@@ -1,0 +1,187 @@
+//! The hypercube system and hyperspace router.
+//!
+//! Paper §1: "The architecture consists of multiple processing nodes
+//! arranged in a hypercube configuration"; §2: "Communication between nodes
+//! is handled by means of a hyperspace router." The published system sizing
+//! is 64 nodes (40 GFLOPS, 128 GB).
+//!
+//! The router is modelled with dimension-ordered (e-cube) routing and a
+//! linear latency model — startup per hop plus time per word — with
+//! synthetic constants pinned in DESIGN.md §5 (the paper gives none).
+
+use crate::ids::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Latency model of one hyperspace-router link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RouterModel {
+    /// Fixed cost to launch a message across one hop, in nanoseconds.
+    pub hop_startup_ns: u64,
+    /// Transfer cost per 64-bit word per hop, in nanoseconds.
+    pub ns_per_word: u64,
+}
+
+impl RouterModel {
+    /// The pinned synthetic model: 10 us startup per hop, 100 ns per word.
+    pub const NSC_1988: RouterModel = RouterModel { hop_startup_ns: 10_000, ns_per_word: 100 };
+
+    /// Time for a message of `words` to traverse `hops` links, in ns.
+    pub fn message_ns(&self, hops: u32, words: u64) -> u64 {
+        if hops == 0 {
+            return 0;
+        }
+        self.hop_startup_ns * hops as u64 + self.ns_per_word * words * hops as u64
+    }
+}
+
+impl Default for RouterModel {
+    fn default() -> Self {
+        Self::NSC_1988
+    }
+}
+
+/// A hypercube of NSC nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HypercubeConfig {
+    /// Hypercube dimension; the system has `2^dimension` nodes.
+    pub dimension: u32,
+    /// Router latency model.
+    pub router: RouterModel,
+}
+
+impl HypercubeConfig {
+    /// A cube of the given dimension with the default router.
+    pub fn new(dimension: u32) -> Self {
+        assert!(dimension <= 16, "dimension {dimension} unreasonably large");
+        HypercubeConfig { dimension, router: RouterModel::default() }
+    }
+
+    /// The published 64-node system.
+    pub fn nsc_64() -> Self {
+        Self::new(6)
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        1usize << self.dimension
+    }
+
+    /// Hamming distance between two node addresses = e-cube hop count.
+    pub fn hops(&self, from: NodeId, to: NodeId) -> u32 {
+        (from.0 ^ to.0).count_ones()
+    }
+
+    /// Direct neighbours of a node (one per dimension).
+    pub fn neighbours(&self, node: NodeId) -> Vec<NodeId> {
+        (0..self.dimension).map(|d| NodeId(node.0 ^ (1 << d))).collect()
+    }
+
+    /// Dimension-ordered (e-cube) route from `from` to `to`, inclusive of
+    /// both endpoints. Deterministic and deadlock-free: dimensions are
+    /// corrected lowest-first.
+    pub fn ecube_route(&self, from: NodeId, to: NodeId) -> Vec<NodeId> {
+        let mut route = vec![from];
+        let mut cur = from.0;
+        for d in 0..self.dimension {
+            let bit = 1u16 << d;
+            if (cur ^ to.0) & bit != 0 {
+                cur ^= bit;
+                route.push(NodeId(cur));
+            }
+        }
+        route
+    }
+
+    /// Time for a point-to-point message, in nanoseconds.
+    pub fn message_ns(&self, from: NodeId, to: NodeId, words: u64) -> u64 {
+        self.router.message_ns(self.hops(from, to), words)
+    }
+
+    /// Binary-reflected Gray code of `i`: embeds a ring (or 1-D domain
+    /// decomposition chain) into the cube so that successive subdomains are
+    /// physical neighbours.
+    pub fn gray(i: u16) -> u16 {
+        i ^ (i >> 1)
+    }
+
+    /// The node hosting ring position `i` under the Gray embedding.
+    pub fn ring_node(&self, i: usize) -> NodeId {
+        NodeId(Self::gray((i % self.nodes()) as u16))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn published_system_size() {
+        let sys = HypercubeConfig::nsc_64();
+        assert_eq!(sys.nodes(), 64);
+        assert_eq!(sys.dimension, 6);
+    }
+
+    #[test]
+    fn hop_count_is_hamming_distance() {
+        let sys = HypercubeConfig::new(4);
+        assert_eq!(sys.hops(NodeId(0b0000), NodeId(0b1111)), 4);
+        assert_eq!(sys.hops(NodeId(0b1010), NodeId(0b1010)), 0);
+        assert_eq!(sys.hops(NodeId(0b1010), NodeId(0b1000)), 1);
+    }
+
+    #[test]
+    fn neighbours_differ_in_exactly_one_bit() {
+        let sys = HypercubeConfig::new(6);
+        let n = NodeId(0b101010);
+        let nb = sys.neighbours(n);
+        assert_eq!(nb.len(), 6);
+        for x in nb {
+            assert_eq!(sys.hops(n, x), 1);
+        }
+    }
+
+    #[test]
+    fn ecube_route_is_monotone_and_minimal() {
+        let sys = HypercubeConfig::new(6);
+        let from = NodeId(0b000111);
+        let to = NodeId(0b101010);
+        let route = sys.ecube_route(from, to);
+        assert_eq!(route.first(), Some(&from));
+        assert_eq!(route.last(), Some(&to));
+        assert_eq!(route.len() as u32 - 1, sys.hops(from, to), "minimal route");
+        for w in route.windows(2) {
+            assert_eq!(sys.hops(w[0], w[1]), 1, "each step crosses one link");
+        }
+    }
+
+    #[test]
+    fn ecube_route_trivial_when_same_node() {
+        let sys = HypercubeConfig::new(3);
+        assert_eq!(sys.ecube_route(NodeId(5), NodeId(5)), vec![NodeId(5)]);
+    }
+
+    #[test]
+    fn message_time_model() {
+        let r = RouterModel::NSC_1988;
+        assert_eq!(r.message_ns(0, 1000), 0, "local messages are free");
+        assert_eq!(r.message_ns(1, 0), 10_000);
+        assert_eq!(r.message_ns(2, 100), 2 * 10_000 + 2 * 100 * 100);
+    }
+
+    #[test]
+    fn gray_embedding_keeps_ring_neighbours_adjacent() {
+        let sys = HypercubeConfig::new(6);
+        for i in 0..sys.nodes() {
+            let a = sys.ring_node(i);
+            let b = sys.ring_node((i + 1) % sys.nodes());
+            assert_eq!(sys.hops(a, b), 1, "ring positions {i},{} not adjacent", i + 1);
+        }
+    }
+
+    #[test]
+    fn gray_codes_are_a_permutation() {
+        let n = 64u16;
+        let set: std::collections::HashSet<_> = (0..n).map(HypercubeConfig::gray).collect();
+        assert_eq!(set.len(), n as usize);
+    }
+}

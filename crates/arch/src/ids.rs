@@ -1,0 +1,124 @@
+//! Strongly-typed identifiers for the physical resources of an NSC node.
+//!
+//! Raw `u8`/`u16` indices invite exactly the kind of cross-wiring bug the
+//! checker exists to prevent, so every resource class gets its own newtype.
+//! All ids are dense indices, valid against a particular
+//! [`MachineConfig`](crate::MachineConfig) (the checker validates range).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal, $repr:ty) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub $repr);
+
+        impl $name {
+            /// Dense index of this resource within its node (or system).
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$repr> for $name {
+            fn from(v: $repr) -> Self {
+                Self(v)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A functional unit, numbered densely across the node (0..32 in the
+    /// 1988 configuration). Every FU performs floating-point operations;
+    /// capability extras are described by [`FuCaps`](crate::FuCaps).
+    FuId,
+    "FU",
+    u8
+);
+
+id_type!(
+    /// An arithmetic-logic structure (singlet, doublet or triplet). FUs are
+    /// hardwired into ALSs; the mapping is part of [`NodeLayout`](crate::NodeLayout).
+    AlsId,
+    "ALS",
+    u8
+);
+
+id_type!(
+    /// A memory plane (16 planes of 128 MB each in the 1988 configuration).
+    PlaneId,
+    "MP",
+    u8
+);
+
+id_type!(
+    /// A double-buffered data cache (16 in the 1988 configuration).
+    CacheId,
+    "DC",
+    u8
+);
+
+id_type!(
+    /// A shift/delay unit (2 in the 1988 configuration); reformats one
+    /// memory stream into several delayed vector streams.
+    SduId,
+    "SDU",
+    u8
+);
+
+id_type!(
+    /// A node of the hypercube system (up to 64 in the published sizing).
+    NodeId,
+    "N",
+    u16
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_paper_prefixes() {
+        assert_eq!(FuId(3).to_string(), "FU3");
+        assert_eq!(AlsId(0).to_string(), "ALS0");
+        assert_eq!(PlaneId(15).to_string(), "MP15");
+        assert_eq!(CacheId(7).to_string(), "DC7");
+        assert_eq!(SduId(1).to_string(), "SDU1");
+        assert_eq!(NodeId(63).to_string(), "N63");
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        let mut v = vec![FuId(3), FuId(1), FuId(2)];
+        v.sort();
+        assert_eq!(v, vec![FuId(1), FuId(2), FuId(3)]);
+        let set: std::collections::HashSet<_> = v.into_iter().collect();
+        assert!(set.contains(&FuId(2)));
+    }
+
+    #[test]
+    fn index_round_trips() {
+        assert_eq!(FuId::from(9).index(), 9);
+        assert_eq!(NodeId::from(512).index(), 512);
+    }
+
+    #[test]
+    fn serde_is_transparent() {
+        let s = serde_json::to_string(&PlaneId(5)).unwrap();
+        assert_eq!(s, "5");
+        let p: PlaneId = serde_json::from_str("5").unwrap();
+        assert_eq!(p, PlaneId(5));
+    }
+}

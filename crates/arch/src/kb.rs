@@ -1,0 +1,228 @@
+//! The knowledge base: the one queryable authority on machine facts.
+//!
+//! Paper §4: "The checker contains, in a knowledge base or other suitable
+//! representation, detailed information about the architecture of the NSC,
+//! so far as it is relevant to the programming process. This includes
+//! various machine parameters such as the number and types of function
+//! units, their organization into ALSs, the number and size of memory
+//! planes, etc."
+//!
+//! And the robustness argument that experiment T9 validates: "it helps to
+//! make the whole visual environment more robust in the face of changes to
+//! the machine design. Some changes can be handled merely by updating the
+//! knowledge base, with minimal impact on the graphical editor and microcode
+//! generator."
+//!
+//! [`KnowledgeBase`] bundles a [`MachineConfig`] with its derived
+//! [`NodeLayout`] and canonical switch-port enumerations; every downstream
+//! component takes a `&KnowledgeBase` instead of hard-coding machine facts.
+
+use crate::config::MachineConfig;
+use crate::fu::{FuCaps, FuOp};
+use crate::ids::{CacheId, FuId, PlaneId, SduId};
+use crate::node::NodeLayout;
+use crate::switch::{SinkRef, SourceRef, SwitchSpec};
+use std::collections::HashMap;
+
+/// Machine facts bundled for querying.
+#[derive(Debug, Clone)]
+pub struct KnowledgeBase {
+    cfg: MachineConfig,
+    layout: NodeLayout,
+    sources: Vec<SourceRef>,
+    sinks: Vec<SinkRef>,
+    source_codes: HashMap<SourceRef, u16>,
+    sink_codes: HashMap<SinkRef, u16>,
+}
+
+impl KnowledgeBase {
+    /// Build the knowledge base for a machine configuration.
+    pub fn new(cfg: MachineConfig) -> Self {
+        let layout = NodeLayout::build(&cfg);
+        let sources = SwitchSpec::enumerate_sources(
+            cfg.fu_count(),
+            cfg.cache.caches,
+            cfg.memory.planes,
+            cfg.sdu.units,
+            cfg.sdu.taps_per_unit,
+        );
+        let sinks = SwitchSpec::enumerate_sinks(
+            cfg.fu_count(),
+            cfg.cache.caches,
+            cfg.memory.planes,
+            cfg.sdu.units,
+        );
+        let source_codes = sources.iter().enumerate().map(|(i, &s)| (s, i as u16)).collect();
+        let sink_codes = sinks.iter().enumerate().map(|(i, &s)| (s, i as u16)).collect();
+        KnowledgeBase { cfg, layout, sources, sinks, source_codes, sink_codes }
+    }
+
+    /// The 1988 machine.
+    pub fn nsc_1988() -> Self {
+        Self::new(MachineConfig::nsc_1988())
+    }
+
+    /// The underlying configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// The resolved node layout.
+    pub fn layout(&self) -> &NodeLayout {
+        &self.layout
+    }
+
+    /// Capability of a functional unit.
+    pub fn fu_caps(&self, fu: FuId) -> FuCaps {
+        self.layout.fu_caps(fu)
+    }
+
+    /// Legal operations for a functional unit — exactly the paper Figure 10
+    /// pop-up menu contents.
+    pub fn legal_ops(&self, fu: FuId) -> Vec<FuOp> {
+        self.fu_caps(fu).legal_ops()
+    }
+
+    /// Every switch source port, in canonical (microcode) order.
+    pub fn sources(&self) -> &[SourceRef] {
+        &self.sources
+    }
+
+    /// Every switch sink port, in canonical (microcode) order.
+    pub fn sinks(&self) -> &[SinkRef] {
+        &self.sinks
+    }
+
+    /// Dense source-select code of a source port.
+    pub fn source_code(&self, s: SourceRef) -> Option<u16> {
+        self.source_codes.get(&s).copied()
+    }
+
+    /// Source port for a dense code.
+    pub fn source_from_code(&self, code: u16) -> Option<SourceRef> {
+        self.sources.get(code as usize).copied()
+    }
+
+    /// Dense index of a sink port.
+    pub fn sink_code(&self, s: SinkRef) -> Option<u16> {
+        self.sink_codes.get(&s).copied()
+    }
+
+    /// Sink port for a dense index.
+    pub fn sink_from_code(&self, code: u16) -> Option<SinkRef> {
+        self.sinks.get(code as usize).copied()
+    }
+
+    /// Whether this machine has the referenced resource at all (a cache id
+    /// can be structurally valid yet absent under a subset model).
+    pub fn source_exists(&self, s: SourceRef) -> bool {
+        self.source_codes.contains_key(&s)
+    }
+
+    /// Sink-side counterpart of [`KnowledgeBase::source_exists`].
+    pub fn sink_exists(&self, s: SinkRef) -> bool {
+        self.sink_codes.contains_key(&s)
+    }
+
+    /// Range-check a plane id.
+    pub fn valid_plane(&self, p: PlaneId) -> bool {
+        p.index() < self.cfg.memory.planes
+    }
+
+    /// Range-check a cache id.
+    pub fn valid_cache(&self, c: CacheId) -> bool {
+        c.index() < self.cfg.cache.caches
+    }
+
+    /// Range-check an SDU id.
+    pub fn valid_sdu(&self, s: SduId) -> bool {
+        s.index() < self.cfg.sdu.units
+    }
+
+    /// Range-check a functional unit id.
+    pub fn valid_fu(&self, f: FuId) -> bool {
+        f.index() < self.cfg.fu_count()
+    }
+
+    /// Maximum switch fan-out per source.
+    pub fn max_fanout(&self) -> usize {
+        self.cfg.switch.max_fanout
+    }
+
+    /// Bits needed for a source-select microcode field (including one spare
+    /// code for "unrouted").
+    pub fn source_select_bits(&self) -> u32 {
+        let n = self.sources.len() as u32 + 1;
+        u32::BITS - (n - 1).leading_zeros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::switch::InPort;
+
+    #[test]
+    fn codes_round_trip_for_every_port() {
+        let kb = KnowledgeBase::nsc_1988();
+        for (i, &s) in kb.sources().iter().enumerate() {
+            assert_eq!(kb.source_code(s), Some(i as u16));
+            assert_eq!(kb.source_from_code(i as u16), Some(s));
+        }
+        for (i, &s) in kb.sinks().iter().enumerate() {
+            assert_eq!(kb.sink_code(s), Some(i as u16));
+            assert_eq!(kb.sink_from_code(i as u16), Some(s));
+        }
+    }
+
+    #[test]
+    fn port_census_of_the_1988_machine() {
+        let kb = KnowledgeBase::nsc_1988();
+        assert_eq!(kb.sources().len(), 32 + 16 + 16 + 8, "72 sources");
+        assert_eq!(kb.sinks().len(), 64 + 16 + 16 + 2, "98 sinks");
+        assert_eq!(kb.source_select_bits(), 7, "72+1 codes fit in 7 bits");
+    }
+
+    #[test]
+    fn subset_models_remove_ports() {
+        let kb = KnowledgeBase::new(MachineConfig::nsc_1988().subset(crate::SubsetModel::NoCaches));
+        assert!(!kb.source_exists(SourceRef::CacheRead(CacheId(0))));
+        assert!(!kb.sink_exists(SinkRef::CacheWrite(CacheId(0))));
+        assert!(kb.source_exists(SourceRef::PlaneRead(PlaneId(0))));
+
+        let kb = KnowledgeBase::new(MachineConfig::nsc_1988().subset(crate::SubsetModel::NoSdu));
+        assert!(!kb.source_exists(SourceRef::SduTap(SduId(0), 0)));
+        assert!(!kb.sink_exists(SinkRef::SduIn(SduId(0))));
+    }
+
+    #[test]
+    fn legal_ops_respects_fu_position() {
+        let kb = KnowledgeBase::nsc_1988();
+        // FU0 is the first unit of triplet 0: integer-capable.
+        assert!(kb.legal_ops(FuId(0)).contains(&FuOp::IAdd));
+        assert!(!kb.legal_ops(FuId(0)).contains(&FuOp::Max));
+        // FU1 is the triplet middle: plain float.
+        assert!(!kb.legal_ops(FuId(1)).contains(&FuOp::IAdd));
+        assert!(!kb.legal_ops(FuId(1)).contains(&FuOp::Max));
+        assert!(kb.legal_ops(FuId(1)).contains(&FuOp::Add));
+        // FU2 is the triplet tail: min/max-capable.
+        assert!(kb.legal_ops(FuId(2)).contains(&FuOp::Max));
+    }
+
+    #[test]
+    fn validity_checks() {
+        let kb = KnowledgeBase::nsc_1988();
+        assert!(kb.valid_plane(PlaneId(15)) && !kb.valid_plane(PlaneId(16)));
+        assert!(kb.valid_cache(CacheId(15)) && !kb.valid_cache(CacheId(16)));
+        assert!(kb.valid_sdu(SduId(1)) && !kb.valid_sdu(SduId(2)));
+        assert!(kb.valid_fu(FuId(31)) && !kb.valid_fu(FuId(32)));
+    }
+
+    #[test]
+    fn sink_codes_cover_fu_inputs_first() {
+        let kb = KnowledgeBase::nsc_1988();
+        assert_eq!(kb.sink_code(SinkRef::FuIn(FuId(0), InPort::A)), Some(0));
+        assert_eq!(kb.sink_code(SinkRef::FuIn(FuId(0), InPort::B)), Some(1));
+        assert_eq!(kb.sink_code(SinkRef::FuIn(FuId(31), InPort::B)), Some(63));
+    }
+}

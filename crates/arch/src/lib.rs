@@ -1,0 +1,64 @@
+//! # nsc-arch — architecture model of the Navier-Stokes Computer
+//!
+//! This crate is the *knowledge base* of the visual programming environment:
+//! a complete, queryable description of one node of the Navier-Stokes
+//! Computer (NSC) as presented in ICASE Report 88-6, plus the hypercube
+//! system that nodes are arranged into.
+//!
+//! The paper (§2) describes each node as:
+//!
+//! * **32 functional units**, every one capable of floating-point work, with
+//!   asymmetric extras: within each arithmetic-logic structure only one unit
+//!   can perform integer/logical operations and another has min/max
+//!   circuitry;
+//! * functional units hardwired into **arithmetic-logic structures (ALSs)**
+//!   of three kinds — *singlets*, *doublets* and *triplets* — containing 1, 2
+//!   or 3 floating-point units respectively;
+//! * a **register file** attached to every functional unit, used for
+//!   constants, intermediate values, and circular queues that implement the
+//!   timing delays needed to align vector streams;
+//! * **16 memory planes of 128 MB** each (2 GB per node) and **16
+//!   double-buffered data caches**;
+//! * **two shift/delay units** that reformat a memory stream into multiple
+//!   delayed vector streams;
+//! * a **programmable switch network** (called FLONET in the paper's
+//!   Figure 2) routing data among ALSs, memory planes, caches and
+//!   shift/delay units;
+//! * per-plane **DMA controllers**, a central **sequencer**, and an
+//!   **interrupt scheme** for pipeline completion, conditional evaluation and
+//!   exception traps;
+//! * a **hyperspace router** connecting nodes in a hypercube.
+//!
+//! The final NSC hardware design was not complete when the paper was written
+//! ("so some adjustments to the following may be needed"); the free
+//! parameters are pinned in [`MachineConfig::nsc_1988`] so that every
+//! headline number in the paper reproduces exactly: 32 FUs at 20 MHz give the
+//! published 640 MFLOPS peak per node, and a 64-node machine reaches
+//! 40 GFLOPS with 128 GB of memory.
+//!
+//! Everything downstream — the diagram editor, the checker, the microcode
+//! generator and the simulator — consults this crate rather than hard-coding
+//! machine facts, which is what lets experiment T9 (knowledge-base evolution)
+//! absorb a machine-design change without touching the editor.
+
+pub mod als;
+pub mod config;
+pub mod fu;
+pub mod hypercube;
+pub mod ids;
+pub mod kb;
+pub mod memory;
+pub mod node;
+pub mod switch;
+pub mod timing;
+
+pub use als::{AlsKind, AlsStructure, DoubletMode};
+pub use config::{MachineConfig, SubsetModel};
+pub use fu::{FuCaps, FuOp, OpClass};
+pub use hypercube::{HypercubeConfig, RouterModel};
+pub use ids::{AlsId, CacheId, FuId, NodeId, PlaneId, SduId};
+pub use kb::KnowledgeBase;
+pub use memory::{CacheSpec, MemorySpec, SduSpec};
+pub use node::NodeLayout;
+pub use switch::{InPort, SinkRef, SourceRef, SwitchSpec};
+pub use timing::LatencyTable;

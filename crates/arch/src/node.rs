@@ -1,0 +1,169 @@
+//! The physical layout of one node: which FU lives in which ALS.
+//!
+//! [`NodeLayout`] is derived deterministically from a
+//! [`MachineConfig`](crate::MachineConfig): ALSs are numbered with triplets
+//! first, then doublets, then singlets, and functional units are numbered
+//! densely in chain order within each ALS. The editor, checker, codegen and
+//! simulator all resolve FU/ALS relationships through this one table.
+
+use crate::als::{AlsKind, AlsStructure};
+use crate::config::MachineConfig;
+use crate::fu::FuCaps;
+use crate::ids::{AlsId, FuId};
+use serde::{Deserialize, Serialize};
+
+/// Resolved physical layout of a node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeLayout {
+    alss: Vec<AlsStructure>,
+    /// Capability of every FU, indexed by `FuId`.
+    fu_caps: Vec<FuCaps>,
+    /// Owning ALS of every FU, indexed by `FuId`.
+    als_of_fu: Vec<AlsId>,
+}
+
+impl NodeLayout {
+    /// Derive the layout from a configuration.
+    pub fn build(cfg: &MachineConfig) -> Self {
+        let mut alss = Vec::with_capacity(cfg.als_count());
+        let mut fu_caps = Vec::with_capacity(cfg.fu_count());
+        let mut als_of_fu = Vec::with_capacity(cfg.fu_count());
+        let mut next_fu = 0u8;
+        for (i, kind) in cfg.als_kinds().enumerate() {
+            let id = AlsId(i as u8);
+            let als = AlsStructure::new(id, kind, FuId(next_fu));
+            for pos in 0..kind.unit_count() {
+                fu_caps.push(kind.unit_caps(pos));
+                als_of_fu.push(id);
+            }
+            next_fu += kind.unit_count() as u8;
+            alss.push(als);
+        }
+        NodeLayout { alss, fu_caps, als_of_fu }
+    }
+
+    /// All ALS structures in id order.
+    pub fn alss(&self) -> &[AlsStructure] {
+        &self.alss
+    }
+
+    /// The ALS with the given id.
+    pub fn als(&self, id: AlsId) -> &AlsStructure {
+        &self.alss[id.index()]
+    }
+
+    /// Total functional units.
+    pub fn fu_count(&self) -> usize {
+        self.fu_caps.len()
+    }
+
+    /// Capability of a functional unit.
+    pub fn fu_caps(&self, fu: FuId) -> FuCaps {
+        self.fu_caps[fu.index()]
+    }
+
+    /// The ALS a functional unit is hardwired into.
+    pub fn als_of(&self, fu: FuId) -> AlsId {
+        self.als_of_fu[fu.index()]
+    }
+
+    /// Chain position of a functional unit within its ALS.
+    pub fn position_of(&self, fu: FuId) -> usize {
+        self.als(self.als_of(fu)).position_of(fu).expect("fu belongs to its als")
+    }
+
+    /// Whether `from` feeds `to` through the hardwired intra-ALS chain.
+    pub fn chains_to(&self, from: FuId, to: FuId) -> bool {
+        self.als_of(from) == self.als_of(to) && self.als(self.als_of(from)).chains_to(from, to)
+    }
+
+    /// ALS ids of a given kind, in id order (used by the binder to allocate
+    /// physical ALSs to diagram icons).
+    pub fn alss_of_kind(&self, kind: AlsKind) -> Vec<AlsId> {
+        self.alss.iter().filter(|a| a.kind == kind).map(|a| a.id).collect()
+    }
+
+    /// Every FU id, in order.
+    pub fn fus(&self) -> impl Iterator<Item = FuId> {
+        (0..self.fu_count() as u8).map(FuId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_of_1988_machine() {
+        let layout = NodeLayout::build(&MachineConfig::nsc_1988());
+        assert_eq!(layout.fu_count(), 32);
+        assert_eq!(layout.alss().len(), 16);
+        // Triplets occupy FUs 0..12.
+        assert_eq!(layout.als_of(FuId(0)), AlsId(0));
+        assert_eq!(layout.als_of(FuId(11)), AlsId(3));
+        // Doublets occupy FUs 12..28.
+        assert_eq!(layout.als_of(FuId(12)), AlsId(4));
+        assert_eq!(layout.als_of(FuId(27)), AlsId(11));
+        // Singlets occupy FUs 28..32.
+        assert_eq!(layout.als_of(FuId(28)), AlsId(12));
+        assert_eq!(layout.als_of(FuId(31)), AlsId(15));
+    }
+
+    #[test]
+    fn capability_census_matches_the_paper_asymmetry() {
+        let layout = NodeLayout::build(&MachineConfig::nsc_1988());
+        // 4 triplets + 8 doublets + 4 singlets each contribute one
+        // integer-capable unit.
+        let int_units = layout.fus().filter(|&f| layout.fu_caps(f).int_logic).count();
+        assert_eq!(int_units, 16);
+        let mm_units = layout.fus().filter(|&f| layout.fu_caps(f).min_max).count();
+        assert_eq!(mm_units, 16);
+        // Triplet middles are plain float: exactly 4 of them.
+        let plain = layout
+            .fus()
+            .filter(|&f| {
+                let c = layout.fu_caps(f);
+                !c.int_logic && !c.min_max
+            })
+            .count();
+        assert_eq!(plain, 4);
+    }
+
+    #[test]
+    fn chain_relation_respects_als_boundaries() {
+        let layout = NodeLayout::build(&MachineConfig::nsc_1988());
+        assert!(layout.chains_to(FuId(0), FuId(1)));
+        assert!(layout.chains_to(FuId(1), FuId(2)));
+        assert!(!layout.chains_to(FuId(2), FuId(3)), "FU2 ends ALS0; FU3 starts ALS1");
+        assert!(layout.chains_to(FuId(12), FuId(13)), "doublet chain");
+        assert!(!layout.chains_to(FuId(28), FuId(29)), "singlets have no chain");
+    }
+
+    #[test]
+    fn alss_of_kind_partitions_the_node() {
+        let layout = NodeLayout::build(&MachineConfig::nsc_1988());
+        let t = layout.alss_of_kind(AlsKind::Triplet);
+        let d = layout.alss_of_kind(AlsKind::Doublet);
+        let s = layout.alss_of_kind(AlsKind::Singlet);
+        assert_eq!((t.len(), d.len(), s.len()), (4, 8, 4));
+        let all: Vec<_> = t.into_iter().chain(d).chain(s).collect();
+        let set: std::collections::HashSet<_> = all.iter().collect();
+        assert_eq!(set.len(), 16);
+    }
+
+    #[test]
+    fn position_of_is_consistent() {
+        let layout = NodeLayout::build(&MachineConfig::nsc_1988());
+        for fu in layout.fus() {
+            let als = layout.als(layout.als_of(fu));
+            assert_eq!(als.fus[layout.position_of(fu)], fu);
+        }
+    }
+
+    #[test]
+    fn small_config_layout() {
+        let layout = NodeLayout::build(&MachineConfig::test_small());
+        assert_eq!(layout.fu_count(), 8);
+        assert_eq!(layout.alss().len(), 4);
+    }
+}

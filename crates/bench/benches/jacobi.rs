@@ -1,0 +1,37 @@
+//! E10 — the paper's running example end-to-end: time one ping-pong sweep
+//! pair of the generated Jacobi microcode on the simulated node, and
+//! record the residual convergence series.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nsc_cfd::{grid::manufactured_problem, nsc_run::run_jacobi_on_node, JacobiVariant};
+use nsc_sim::NodeSim;
+
+fn report_convergence() {
+    let (u0, f, _) = manufactured_problem(12);
+    let mut node = NodeSim::nsc_1988();
+    let run = run_jacobi_on_node(&mut node, &u0, &f, 1e-7, 3000, JacobiVariant::Full);
+    eprintln!(
+        "jacobi 12^3: converged={} sweeps={} residual={:.3e} achieved={:.1} MFLOPS",
+        run.converged, run.sweeps, run.residual, run.mflops
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    report_convergence();
+    for n in [8usize, 12] {
+        let (u0, f, _) = manufactured_problem(n);
+        c.bench_with_input(BenchmarkId::new("jacobi_sweep_pair", n), &n, |b, _| {
+            b.iter(|| {
+                let mut node = NodeSim::nsc_1988();
+                run_jacobi_on_node(&mut node, &u0, &f, 0.0, 1, JacobiVariant::Full)
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = jacobi;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(jacobi);

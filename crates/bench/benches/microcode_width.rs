@@ -1,0 +1,45 @@
+//! T2 — "a few thousand bits of information per instruction, encoded in
+//! dozens of separate fields": the exact census, plus encode/decode cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nsc_arch::{KnowledgeBase, MachineConfig, SubsetModel};
+use nsc_microcode::{Census, MicroInstruction};
+
+fn report() {
+    eprintln!("machine                         bits   bytes  groups  leaf fields");
+    for (name, cfg) in [
+        ("NSC 1988 (full)", MachineConfig::nsc_1988()),
+        ("no-cache subset", MachineConfig::nsc_1988().subset(SubsetModel::NoCaches)),
+        ("no-SDU subset", MachineConfig::nsc_1988().subset(SubsetModel::NoSdu)),
+    ] {
+        let kb = KnowledgeBase::new(cfg);
+        let census = Census::of_machine(&kb);
+        eprintln!(
+            "{name:<30} {:>6} {:>7} {:>7} {:>12}",
+            census.total_bits(),
+            census.total_bits().div_ceil(8),
+            census.total_groups(),
+            census.total_leaves()
+        );
+    }
+    let kb = KnowledgeBase::nsc_1988();
+    eprintln!("\n{}", Census::of_machine(&kb).render_table());
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let kb = KnowledgeBase::nsc_1988();
+    let ins = MicroInstruction::empty(&kb);
+    c.bench_function("encode_instruction", |b| b.iter(|| ins.encode(&kb)));
+    let bytes = ins.encode(&kb);
+    c.bench_function("decode_instruction", |b| {
+        b.iter(|| MicroInstruction::decode(&kb, &bytes).unwrap())
+    });
+}
+
+criterion_group! {
+    name = width;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(width);

@@ -1,0 +1,66 @@
+//! T5 — §3's allocation problem, quantified: the same expression compiled
+//! under different variable-to-plane allocations; bad layouts pay cache
+//! staging instructions and simulated time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nsc_arch::KnowledgeBase;
+use nsc_codegen::generate;
+use nsc_expr::{compile_expr, AllocStrategy, Expr};
+use nsc_sim::{NodeSim, RunOptions};
+
+fn workload() -> Expr {
+    // y = (a+b)*(c-d) + (e+f)*0.5
+    Expr::var("a")
+        .add(Expr::var("b"))
+        .mul(Expr::var("c").sub(Expr::var("d")))
+        .add(Expr::var("e").add(Expr::var("f")).mul(Expr::Const(0.5)))
+}
+
+fn run(strategy: AllocStrategy, len: u64) -> (usize, u64) {
+    let kb = KnowledgeBase::nsc_1988();
+    let expr = workload();
+    let (doc, stats) = compile_expr(&expr, "y", len, strategy, &kb);
+    let out = generate(&kb, &doc).unwrap();
+    let mut node = NodeSim::new(kb);
+    for name in expr.variables() {
+        let decl = doc.decls.lookup(&name).unwrap();
+        let data: Vec<f64> = (0..len).map(|i| (i as f64) * 0.01 + 1.0).collect();
+        node.mem.plane_mut(decl.plane).write_slice(decl.base, &data);
+    }
+    node.run_program(&out.program, &RunOptions::default()).unwrap();
+    (stats.staging_instructions, node.counters.cycles)
+}
+
+fn report() {
+    eprintln!("6-variable expression, 2048 elements:");
+    eprintln!("allocation          staging instrs   cycles   slowdown");
+    let mut base = 0u64;
+    for s in AllocStrategy::ALL.iter().rev() {
+        let (staging, cycles) = run(*s, 2048);
+        if base == 0 {
+            base = cycles;
+        }
+        eprintln!(
+            "{:<20} {staging:>12} {cycles:>10}   {:.2}x",
+            s.label(),
+            cycles as f64 / base as f64
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    c.bench_function("compile_and_run_round_robin", |b| {
+        b.iter(|| run(AllocStrategy::RoundRobin, 256))
+    });
+    c.bench_function("compile_and_run_one_plane", |b| {
+        b.iter(|| run(AllocStrategy::AllInOnePlane, 256))
+    });
+}
+
+criterion_group! {
+    name = contention;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(contention);

@@ -1,0 +1,300 @@
+//! Host reference solvers.
+//!
+//! [`jacobi_sweep_host`] mirrors the NSC pipeline *operation for
+//! operation*: same addition tree, same constant multiply, same masked
+//! update, same running maximum — and works on the same padded arrays with
+//! their zero halos. IEEE double arithmetic is deterministic, so simulator
+//! output can be compared **bit for bit** against this mirror; any
+//! divergence is a bug in the generator or the simulator, not "numerical
+//! noise". [`sor_sweep_host`] provides the conventional stronger baseline.
+
+use crate::grid::{Grid3, PaddedField};
+
+/// Paper Equation 1, as the pipeline computes it. `center` is the old
+/// value, `g = h^2 * f`, neighbours in the fixed pairing order of the
+/// diagram's addition tree.
+#[inline]
+pub fn jacobi_update_tree(
+    up: f64,
+    down: f64,
+    north: f64,
+    south: f64,
+    east: f64,
+    west: f64,
+    center: f64,
+    g: f64,
+    mask: f64,
+) -> (f64, f64) {
+    let s1 = up + down;
+    let s2 = north + south;
+    let s3 = east + west;
+    let s4 = s1 + s2;
+    let s5 = s4 + s3;
+    let t = s5 - g;
+    let uj = t * (1.0 / 6.0);
+    let d = uj - center;
+    let dm = d * mask;
+    let unew = center + dm;
+    (unew, dm)
+}
+
+/// Ping-pong state of the host Jacobi iteration on padded arrays.
+#[derive(Debug, Clone)]
+pub struct JacobiHostState {
+    /// Grid extents.
+    pub nx: usize,
+    /// Grid extents.
+    pub ny: usize,
+    /// Grid extents.
+    pub nz: usize,
+    /// Current solution, stencil-padded.
+    pub u: PaddedField,
+    /// Scratch for the next iterate, stencil-padded.
+    pub u_next: PaddedField,
+    /// `h^2 * f`, aligned-padded.
+    pub g: PaddedField,
+    /// Interior mask, aligned-padded.
+    pub mask: PaddedField,
+}
+
+impl JacobiHostState {
+    /// Set up from unpadded problem data (`f` is the raw right-hand side;
+    /// it is scaled by `h^2` here).
+    pub fn new(u0: &Grid3, f: &Grid3) -> Self {
+        let mut g_grid = f.clone();
+        let h2 = f.h * f.h;
+        for v in &mut g_grid.data {
+            *v *= h2;
+        }
+        // Match Poisson sign convention: -∇²u = f  =>
+        // u = (sum(neighbours) + h²f)/6; the pipeline computes
+        // (sum - g)/6, so store g = -h²f.
+        for v in &mut g_grid.data {
+            *v = -*v;
+        }
+        let mask = u0.interior_mask();
+        JacobiHostState {
+            nx: u0.nx,
+            ny: u0.ny,
+            nz: u0.nz,
+            u: PaddedField::stencil(u0),
+            u_next: PaddedField::stencil(u0),
+            g: PaddedField::aligned(&g_grid),
+            mask: PaddedField::aligned(&mask),
+        }
+    }
+
+    /// Current iterate as a grid.
+    pub fn current(&self) -> Grid3 {
+        self.u.to_grid(self.nx, self.ny, self.nz)
+    }
+}
+
+/// One point-Jacobi sweep in exact NSC stream order. Returns the residual
+/// measure the pipeline computes: `max |masked update|`.
+pub fn jacobi_sweep_host(state: &mut JacobiHostState) -> f64 {
+    let h = state.nx * state.ny; // one xy-plane
+    let n = state.nx * state.ny * state.nz;
+    let u = &state.u.words;
+    let g = &state.g.words;
+    let mask = &state.mask.words;
+    let out = &mut state.u_next.words;
+    let mut res = 0.0f64;
+    for q in 0..n {
+        // Stream index of output q is q + 2h; taps reference u_pad:
+        let up = u[q + 2 * h];
+        let down = u[q];
+        let north = u[q + h + state.nx];
+        let south = u[q + h - state.nx];
+        let east = u[q + h + 1];
+        let west = u[q + h - 1];
+        let center = u[q + h];
+        let (unew, dm) = jacobi_update_tree(
+            up,
+            down,
+            north,
+            south,
+            east,
+            west,
+            center,
+            g[q + 2 * h],
+            mask[q + 2 * h],
+        );
+        out[q + h] = unew;
+        res = dm.abs().max(res);
+    }
+    std::mem::swap(&mut state.u, &mut state.u_next);
+    res
+}
+
+/// Max-norm residual of `-∇²u - f` over interior points (the conventional
+/// measure, for convergence comparisons across methods).
+pub fn residual_linf(u: &Grid3, f: &Grid3) -> f64 {
+    let h2 = u.h * u.h;
+    let mut r = 0.0f64;
+    for k in 1..u.nz - 1 {
+        for j in 1..u.ny - 1 {
+            for i in 1..u.nx - 1 {
+                let lap = (u.at(i + 1, j, k)
+                    + u.at(i - 1, j, k)
+                    + u.at(i, j + 1, k)
+                    + u.at(i, j - 1, k)
+                    + u.at(i, j, k + 1)
+                    + u.at(i, j, k - 1)
+                    - 6.0 * u.at(i, j, k))
+                    / h2;
+                r = r.max((-lap - f.at(i, j, k)).abs());
+            }
+        }
+    }
+    r
+}
+
+/// One Gauss-Seidel/SOR sweep (relaxation factor `omega`); the baseline
+/// iterative method the NSC example would be compared against. Returns
+/// `max |update|`.
+pub fn sor_sweep_host(u: &mut Grid3, f: &Grid3, omega: f64) -> f64 {
+    let h2 = u.h * u.h;
+    let mut res = 0.0f64;
+    for k in 1..u.nz - 1 {
+        for j in 1..u.ny - 1 {
+            for i in 1..u.nx - 1 {
+                let sum = u.at(i + 1, j, k)
+                    + u.at(i - 1, j, k)
+                    + u.at(i, j + 1, k)
+                    + u.at(i, j - 1, k)
+                    + u.at(i, j, k + 1)
+                    + u.at(i, j, k - 1);
+                let gs = (sum + h2 * f.at(i, j, k)) / 6.0;
+                let old = u.at(i, j, k);
+                let new = old + omega * (gs - old);
+                *u.at_mut(i, j, k) = new;
+                res = res.max((new - old).abs());
+            }
+        }
+    }
+    res
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::manufactured_problem;
+
+    #[test]
+    fn jacobi_converges_on_the_manufactured_problem() {
+        let (u0, f, exact) = manufactured_problem(10);
+        let mut state = JacobiHostState::new(&u0, &f);
+        let mut res = f64::INFINITY;
+        for _ in 0..2000 {
+            res = jacobi_sweep_host(&mut state);
+            if res < 1e-10 {
+                break;
+            }
+        }
+        assert!(res < 1e-10, "did not converge: residual {res}");
+        let u = state.current();
+        // Discretization error on a 10^3 grid is O(h^2) ~ 1e-2.
+        assert!(u.linf_diff(&exact) < 0.05, "error {}", u.linf_diff(&exact));
+    }
+
+    #[test]
+    fn boundary_stays_fixed_under_jacobi() {
+        let (mut u0, f, _) = manufactured_problem(8);
+        // Nonzero boundary data to make the test meaningful.
+        for k in 0..8 {
+            for j in 0..8 {
+                for i in 0..8 {
+                    if u0.is_boundary(i, j, k) {
+                        *u0.at_mut(i, j, k) = 7.0;
+                    }
+                }
+            }
+        }
+        let mut state = JacobiHostState::new(&u0, &f);
+        for _ in 0..5 {
+            jacobi_sweep_host(&mut state);
+        }
+        let u = state.current();
+        for k in 0..8 {
+            for j in 0..8 {
+                for i in 0..8 {
+                    if u.is_boundary(i, j, k) {
+                        assert_eq!(u.at(i, j, k), 7.0, "boundary moved at ({i},{j},{k})");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn residual_decreases_monotonically_early() {
+        let (u0, f, _) = manufactured_problem(8);
+        let mut state = JacobiHostState::new(&u0, &f);
+        let r1 = jacobi_sweep_host(&mut state);
+        let r5 = {
+            let mut last = r1;
+            for _ in 0..4 {
+                last = jacobi_sweep_host(&mut state);
+            }
+            last
+        };
+        assert!(r5 < r1, "Jacobi update magnitude should shrink: {r1} -> {r5}");
+    }
+
+    #[test]
+    fn sor_beats_jacobi_in_sweeps() {
+        let (u0, f, _) = manufactured_problem(10);
+        let tol = 1e-8;
+        let mut state = JacobiHostState::new(&u0, &f);
+        let mut jacobi_sweeps = 0;
+        for _ in 0..20_000 {
+            jacobi_sweeps += 1;
+            if jacobi_sweep_host(&mut state) < tol {
+                break;
+            }
+        }
+        let mut u = u0.clone();
+        let omega = 1.6; // a reasonable SOR factor for this grid
+        let mut sor_sweeps = 0;
+        for _ in 0..20_000 {
+            sor_sweeps += 1;
+            if sor_sweep_host(&mut u, &f, omega) < tol {
+                break;
+            }
+        }
+        assert!(
+            sor_sweeps * 2 < jacobi_sweeps,
+            "SOR({omega}) should need far fewer sweeps: {sor_sweeps} vs {jacobi_sweeps}"
+        );
+    }
+
+    #[test]
+    fn conventional_residual_agrees_with_solution_quality() {
+        let (u0, f, _) = manufactured_problem(8);
+        let r0 = residual_linf(&u0, &f);
+        let mut state = JacobiHostState::new(&u0, &f);
+        for _ in 0..500 {
+            jacobi_sweep_host(&mut state);
+        }
+        let r_converged = residual_linf(&state.current(), &f);
+        assert!(r_converged < r0 / 100.0, "{r0} -> {r_converged}");
+    }
+
+    #[test]
+    fn update_tree_matches_a_naive_formula() {
+        // Same values, different association order can differ in the last
+        // ulp; the tree itself must match its own definition though.
+        let (unew, dm) =
+            jacobi_update_tree(1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 0.5, 0.25, 1.0);
+        let s5 = ((1.0 + 2.0) + (3.0 + 4.0)) + (5.0 + 6.0);
+        let uj = (s5 - 0.25) * (1.0 / 6.0);
+        assert_eq!(dm, uj - 0.5);
+        assert_eq!(unew, 0.5 + (uj - 0.5));
+        // Masked points never move.
+        let (unew0, dm0) =
+            jacobi_update_tree(9.0, 9.0, 9.0, 9.0, 9.0, 9.0, 0.5, 0.25, 0.0);
+        assert_eq!(unew0, 0.5);
+        assert_eq!(dm0, 0.0);
+    }
+}

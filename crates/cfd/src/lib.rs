@@ -1,0 +1,37 @@
+//! # nsc-cfd — the paper's computational fluid dynamics workloads
+//!
+//! The NSC exists "to solve large computational fluid dynamics problems"
+//! (§1), and the paper's running example (§4, Equation 1, Figures 2 and 11)
+//! is "a point Jacobi update for the 3-D Poisson equation on a uniform grid
+//! with a residual convergence check", drawn from the multigrid work of
+//! Nosenchuck, Krist & Zang (paper ref. \[6\]).
+//!
+//! This crate provides:
+//!
+//! * [`grid`] — flat 3-D grids with the padded memory layout the NSC
+//!   stencil streams require (front/back halos of one xy-plane);
+//! * [`host`] — host reference solvers: a point-Jacobi sweep that mirrors
+//!   the NSC pipeline's operation tree *exactly* (so simulator output can
+//!   be compared bit-for-bit), plus an SOR baseline;
+//! * [`multigrid`] — the ref-\[6\] V-cycle (full-weighting restriction,
+//!   trilinear prolongation, Jacobi smoothing) for experiment T6;
+//! * [`diagrams`] — builders that construct the paper's pipeline diagrams
+//!   programmatically: the Figure 2/11 Jacobi document (shift/delay-unit
+//!   stencil streams, masked update, feedback residual reduction), the
+//!   no-SDU variant (array copies in extra planes, §3's "multiple copies
+//!   of arrays"), the subset-model variant, and a compute-bound Chebyshev
+//!   kernel for the T4 ablation;
+//! * [`nsc_run`] — glue that loads a problem into a simulated node, runs
+//!   the generated microcode, and compares against the host reference.
+
+pub mod diagrams;
+pub mod grid;
+pub mod host;
+pub mod multigrid;
+pub mod nsc_run;
+
+pub use diagrams::{build_chebyshev_document, build_jacobi_document, JacobiVariant};
+pub use grid::{Grid3, PaddedField};
+pub use host::{jacobi_sweep_host, residual_linf, sor_sweep_host, JacobiHostState};
+pub use multigrid::{vcycle, MgOptions, MgStats};
+pub use nsc_run::{load_problem, prepare, run_jacobi_on_node, JacobiRun};

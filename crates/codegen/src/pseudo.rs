@@ -1,0 +1,177 @@
+//! The 1988 prototype's output format: a pseudo-code dump of the semantic
+//! data structures.
+//!
+//! Paper §4: "Since the final design of the NSC is not complete, and there
+//! is no means of running actual NSC programs, the prototype produces only
+//! the semantic data structures as output, rather than the actual
+//! microcode instructions. The semantic data can be thought of as a
+//! pseudo-code representation of the instructions." This module reproduces
+//! that output (this reproduction *also* has the real generator and a
+//! simulator, but the pseudo-code remains useful for review and for the
+//! programming-effort accounting of experiment T3).
+
+use nsc_diagram::{ControlNode, Document, IconKind, InputSpec, PipelineDiagram};
+use std::fmt::Write as _;
+
+/// Render the whole document as pseudo-code.
+pub fn emit_pseudocode(doc: &Document) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "PROGRAM \"{}\"", doc.name);
+    for v in &doc.decls.vars {
+        let _ = writeln!(
+            out,
+            "DECL {} plane={} base={} len={}",
+            v.name, v.plane, v.base, v.len
+        );
+    }
+    for (ordinal, p) in doc.pipelines().iter().enumerate() {
+        emit_pipeline(&mut out, ordinal, p);
+    }
+    if let Some(control) = &doc.control {
+        let _ = writeln!(out, "CONTROL");
+        emit_control(&mut out, doc, control, 1);
+    }
+    out
+}
+
+fn emit_pipeline(out: &mut String, ordinal: usize, p: &PipelineDiagram) {
+    let _ = writeln!(out, "PIPELINE {ordinal} \"{}\" stream={} ; {}", p.name, p.stream_len, p.id);
+    for icon in p.icons() {
+        let binding = match icon.kind {
+            IconKind::Als { als: Some(a), .. } => format!(" {a}"),
+            IconKind::Memory { plane: Some(pl) } => format!(" {pl}"),
+            IconKind::Cache { cache: Some(c) } => format!(" {c}"),
+            IconKind::Sdu { sdu: Some(s) } => format!(" {s}"),
+            _ => " unbound".to_string(),
+        };
+        let _ = writeln!(out, "  ICON {} {}{}", icon.id, icon.kind.palette_label(), binding);
+        if matches!(icon.kind, IconKind::Sdu { .. }) {
+            let taps = p.sdu_taps(icon.id);
+            if !taps.is_empty() {
+                let list: Vec<String> = taps.iter().map(u16::to_string).collect();
+                let _ = writeln!(out, "    TAPS [{}]", list.join(","));
+            }
+        }
+    }
+    for c in p.connections() {
+        let attrs = match &c.dma {
+            Some(a) => format!("  [{a}]"),
+            None => String::new(),
+        };
+        let _ = writeln!(out, "  WIRE {} -> {}{}", c.from, c.to, attrs);
+    }
+    for (icon, pos, a) in p.fu_assigns() {
+        let _ = writeln!(
+            out,
+            "  FU {icon}.u{pos} {} a={} b={}",
+            a.op.mnemonic(),
+            spec_str(a.in_a),
+            spec_str(a.in_b)
+        );
+    }
+}
+
+fn spec_str(s: InputSpec) -> String {
+    match s {
+        InputSpec::Wire => "wire".to_string(),
+        InputSpec::DelayedWire { delay } => format!("wire>>{delay}"),
+        InputSpec::Constant(v) => format!("const({v})"),
+        InputSpec::Feedback { init } => format!("feedback({init})"),
+        InputSpec::Unused => "-".to_string(),
+    }
+}
+
+fn emit_control(out: &mut String, doc: &Document, node: &ControlNode, depth: usize) {
+    let pad = "  ".repeat(depth);
+    match node {
+        ControlNode::Pipeline(id) => {
+            let ordinal =
+                doc.ordinal_of(*id).map(|o| o.to_string()).unwrap_or_else(|| "?".to_string());
+            let _ = writeln!(out, "{pad}RUN pipeline {ordinal} ; {id}");
+        }
+        ControlNode::Seq(children) => {
+            for c in children {
+                emit_control(out, doc, c, depth);
+            }
+        }
+        ControlNode::Repeat { times, body } => {
+            let _ = writeln!(out, "{pad}REPEAT {times} TIMES");
+            emit_control(out, doc, body, depth + 1);
+            let _ = writeln!(out, "{pad}END");
+        }
+        ControlNode::RepeatUntil { cond, body } => {
+            let _ = writeln!(
+                out,
+                "{pad}REPEAT UNTIL {}[{}] < {:e} (MAX {})",
+                cond.cache, cond.offset, cond.threshold, cond.max_iters
+            );
+            emit_control(out, doc, body, depth + 1);
+            let _ = writeln!(out, "{pad}END");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsc_arch::{AlsKind, CacheId, FuOp, InPort, PlaneId};
+    use nsc_diagram::{
+        ConvergenceCond, DmaAttrs, FuAssign, PadLoc, PadRef, VarDecl,
+    };
+
+    #[test]
+    fn pseudocode_covers_the_semantic_content() {
+        let mut doc = Document::new("jacobi3d");
+        doc.decls.declare(VarDecl { name: "u".into(), plane: PlaneId(0), base: 0, len: 1000 });
+        let pid = doc.add_pipeline("sweep");
+        let p = doc.pipeline_mut(pid).unwrap();
+        p.stream_len = 1000;
+        let m = p.add_icon(IconKind::Memory { plane: Some(PlaneId(0)) });
+        let sdu = p.add_icon(IconKind::Sdu { sdu: Some(nsc_arch::SduId(0)) });
+        let als = p.add_icon(IconKind::als(AlsKind::Doublet));
+        p.set_sdu_taps(sdu, vec![0, 9]).unwrap();
+        p.connect(
+            PadLoc::new(m, PadRef::Io),
+            PadLoc::new(sdu, PadRef::SduIn),
+            Some(DmaAttrs::variable("u")),
+        )
+        .unwrap();
+        p.connect(
+            PadLoc::new(sdu, PadRef::SduTap { tap: 0 }),
+            PadLoc::new(als, PadRef::FuIn { pos: 0, port: InPort::A }),
+            None,
+        )
+        .unwrap();
+        p.assign_fu(als, 0, FuAssign::with_const(FuOp::Mul, 1.0 / 6.0)).unwrap();
+        doc.control = Some(ControlNode::RepeatUntil {
+            cond: ConvergenceCond {
+                cache: CacheId(0),
+                offset: 0,
+                threshold: 1e-6,
+                max_iters: 99,
+            },
+            body: Box::new(ControlNode::Pipeline(pid)),
+        });
+
+        let text = emit_pseudocode(&doc);
+        assert!(text.contains("PROGRAM \"jacobi3d\""));
+        assert!(text.contains("DECL u plane=MP0"));
+        assert!(text.contains("PIPELINE 0 \"sweep\" stream=1000"));
+        assert!(text.contains("ICON icon1 SHIFT/DLY SDU0"));
+        assert!(text.contains("TAPS [0,9]"));
+        assert!(text.contains("WIRE icon0.io -> icon1.in"));
+        assert!(text.contains("[u+0 stride=1]"));
+        assert!(text.contains("FU icon2.u0 MUL a=wire b=const(0.16666666666666666)"));
+        assert!(text.contains("REPEAT UNTIL DC0[0] < 1e-6 (MAX 99)"));
+        assert!(text.contains("RUN pipeline 0"));
+    }
+
+    #[test]
+    fn unbound_icons_marked() {
+        let mut doc = Document::new("t");
+        let pid = doc.add_pipeline("p");
+        doc.pipeline_mut(pid).unwrap().add_icon(IconKind::memory());
+        let text = emit_pseudocode(&doc);
+        assert!(text.contains("MEMORY unbound"));
+    }
+}

@@ -1,0 +1,224 @@
+//! The Figure 3 integration: editor ↔ checker ↔ generator ↔ machine.
+
+use nsc_arch::{KnowledgeBase, MachineConfig};
+use nsc_checker::{Checker, Diagnostic};
+use nsc_codegen::{generate, GenError, GenOutput};
+use nsc_diagram::Document;
+use nsc_editor::Editor;
+use nsc_sim::{NodeSim, RunOptions, RunStats};
+
+/// The whole environment for one machine configuration.
+#[derive(Debug, Clone)]
+pub struct VisualEnvironment {
+    kb: KnowledgeBase,
+}
+
+impl VisualEnvironment {
+    /// An environment for a machine configuration.
+    pub fn new(cfg: MachineConfig) -> Self {
+        VisualEnvironment { kb: KnowledgeBase::new(cfg) }
+    }
+
+    /// The published 1988 machine.
+    pub fn nsc_1988() -> Self {
+        Self::new(MachineConfig::nsc_1988())
+    }
+
+    /// The knowledge base.
+    pub fn kb(&self) -> &KnowledgeBase {
+        &self.kb
+    }
+
+    /// A checker over this machine.
+    pub fn checker(&self) -> Checker {
+        Checker::new(self.kb.clone())
+    }
+
+    /// A fresh editor wired to this machine's checker.
+    pub fn editor(&self, name: impl Into<String>) -> Editor {
+        Editor::new(self.checker(), name)
+    }
+
+    /// An editor over an existing document.
+    pub fn open(&self, doc: Document) -> Editor {
+        Editor::open(self.checker(), doc)
+    }
+
+    /// Whole-document check (the generator's "thorough check of global
+    /// constraints").
+    pub fn check(&self, doc: &Document) -> Vec<Diagnostic> {
+        self.checker().check_document(doc)
+    }
+
+    /// Bind unbound icons, then generate microcode.
+    pub fn generate(&self, doc: &mut Document) -> Result<GenOutput, GenError> {
+        let checker = self.checker();
+        let decls = doc.decls.clone();
+        let ids: Vec<_> = doc.pipelines().iter().map(|p| p.id).collect();
+        let mut bind_diags = Vec::new();
+        for id in ids {
+            bind_diags.extend(checker.auto_bind(doc.pipeline_mut(id).unwrap(), &decls));
+        }
+        if !bind_diags.is_empty() {
+            return Err(GenError::CheckFailed(bind_diags));
+        }
+        generate(&self.kb, doc)
+    }
+
+    /// A fresh simulated node for this machine.
+    pub fn node(&self) -> NodeSim {
+        NodeSim::new(self.kb.clone())
+    }
+
+    /// Generate and execute a document on a node (the full Figure 3 pass).
+    pub fn execute(
+        &self,
+        doc: &mut Document,
+        node: &mut NodeSim,
+        opts: &RunOptions,
+    ) -> Result<(GenOutput, RunStats), GenError> {
+        let out = self.generate(doc)?;
+        let stats = node
+            .run_program(&out.program, opts)
+            .map_err(|e| GenError::Unsupported(format!("execution failed: {e}")))?;
+        Ok((out, stats))
+    }
+
+    /// Render every pipeline of a document (the §6 "back end to a
+    /// compiler" display mode). Returns `(pipeline name, ascii render)`.
+    pub fn display_document(&self, doc: &Document) -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        for p in doc.pipelines() {
+            let mut sub = Document::new(doc.name.clone());
+            sub.decls = doc.decls.clone();
+            let pid = sub.add_pipeline(p.name.clone());
+            *sub.pipeline_mut(pid).unwrap() = {
+                let mut clone = p.clone();
+                clone.id = pid;
+                clone
+            };
+            // Lay the icons out automatically if the source document had
+            // no display data.
+            let mut ed = Editor::open(self.checker(), sub);
+            auto_layout(&mut ed, pid);
+            out.push((p.name.clone(), nsc_editor::render_ascii(&ed)));
+        }
+        out
+    }
+}
+
+/// Grid-place any unpositioned icons so renders are meaningful for
+/// documents built programmatically (no display data).
+pub fn auto_layout(ed: &mut Editor, pipeline: nsc_diagram::PipelineId) {
+    use nsc_diagram::Point;
+    let Some(d) = ed.doc.pipeline(pipeline) else { return };
+    let ids: Vec<_> = d.icons().map(|i| i.id).collect();
+    let placed: Vec<_> = {
+        let layout = ed.doc.layout(pipeline);
+        ids.iter()
+            .filter(|id| layout.is_none_or(|l| l.position(**id).is_none()))
+            .copied()
+            .collect()
+    };
+    let (x0, y0) = (nsc_editor::DRAW_X0 + 3, nsc_editor::DRAW_Y0 + 1);
+    for (i, id) in placed.into_iter().enumerate() {
+        let col = (i % 5) as i32;
+        let row = (i / 5) as i32;
+        if let Some(layout) = ed.doc.layout_mut(pipeline) {
+            layout.place(id, Point::new(x0 + col * 14, y0 + row * 13));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsc_arch::{AlsKind, FuOp, InPort, PlaneId};
+    use nsc_diagram::{DmaAttrs, FuAssign, IconKind, PadLoc, PadRef};
+    use nsc_sim::HaltReason;
+
+    /// Build a MP0 -> neg -> MP1 document through the environment's editor.
+    fn small_doc(env: &VisualEnvironment) -> Document {
+        let mut ed = env.editor("negate");
+        ed.set_stream_len(32);
+        let mem = ed.place_icon(
+            IconKind::Memory { plane: Some(PlaneId(0)) },
+            nsc_diagram::Point::new(22, 6),
+        );
+        let als = ed.place_icon(IconKind::als(AlsKind::Singlet), nsc_diagram::Point::new(45, 6));
+        let out = ed.place_icon(
+            IconKind::Memory { plane: Some(PlaneId(1)) },
+            nsc_diagram::Point::new(70, 6),
+        );
+        let c1 = ed
+            .connect(
+                PadLoc::new(mem, PadRef::Io),
+                PadLoc::new(als, PadRef::FuIn { pos: 0, port: InPort::A }),
+            )
+            .expect("legal");
+        ed.set_dma(c1, DmaAttrs::at_address(0));
+        ed.assign_fu(als, 0, FuAssign::unary(FuOp::Neg));
+        let c2 = ed
+            .connect(PadLoc::new(als, PadRef::FuOut { pos: 0 }), PadLoc::new(out, PadRef::Io))
+            .expect("legal");
+        ed.set_dma(c2, DmaAttrs::at_address(100));
+        ed.doc.clone()
+    }
+
+    #[test]
+    fn figure_3_flow_end_to_end() {
+        let env = VisualEnvironment::nsc_1988();
+        let mut doc = small_doc(&env);
+        // Generate (binds unbound icons) -> execute -> check.
+        let mut node = env.node();
+        node.mem.plane_mut(PlaneId(0)).write_slice(0, &[1.0, -2.0, 3.0]);
+        let (out, stats) = env
+            .execute(&mut doc, &mut node, &RunOptions::default())
+            .expect("executes");
+        let diags = env.check(&doc);
+        assert!(!nsc_checker::diag::has_errors(&diags), "{diags:?}");
+        assert_eq!(out.program.len(), 1);
+        assert_eq!(stats.halted, HaltReason::Halt);
+        assert_eq!(node.mem.plane(PlaneId(1)).read_vec(100, 3), vec![-1.0, 2.0, -3.0]);
+    }
+
+    #[test]
+    fn generation_refuses_unbindable_documents() {
+        let env = VisualEnvironment::nsc_1988();
+        let mut doc = Document::new("too-many");
+        let pid = doc.add_pipeline("p");
+        for _ in 0..5 {
+            doc.pipeline_mut(pid).unwrap().add_icon(IconKind::als(AlsKind::Triplet));
+        }
+        assert!(matches!(env.generate(&mut doc), Err(GenError::CheckFailed(_))));
+    }
+
+    #[test]
+    fn display_mode_renders_every_pipeline() {
+        let env = VisualEnvironment::nsc_1988();
+        let doc = small_doc(&env);
+        let frames = env.display_document(&doc);
+        assert_eq!(frames.len(), 1);
+        assert!(frames[0].1.contains("NEG"));
+        assert!(frames[0].1.contains("MP0"));
+    }
+
+    #[test]
+    fn knowledge_base_evolution_absorbs_machine_changes() {
+        // Experiment T9: the same document checks and generates against a
+        // revised machine (double-size register files, six-tap SDUs) with
+        // no editor or document change.
+        let env_a = VisualEnvironment::nsc_1988();
+        let mut revised = MachineConfig::nsc_1988();
+        revised.name = "NSC (1989 revision)".into();
+        revised.rf_words = 128;
+        revised.sdu.taps_per_unit = 6;
+        let env_b = VisualEnvironment::new(revised);
+        let mut doc_a = small_doc(&env_a);
+        let mut doc_b = doc_a.clone();
+        let out_a = env_a.generate(&mut doc_a).expect("1988 generates");
+        let out_b = env_b.generate(&mut doc_b).expect("1989 generates");
+        assert_eq!(out_a.program.len(), out_b.program.len());
+        assert_eq!(out_b.program.machine, "NSC (1989 revision)");
+    }
+}

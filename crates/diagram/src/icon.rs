@@ -1,0 +1,291 @@
+//! Icons: the visual objects representing architectural components.
+//!
+//! Paper §5: "The central concept is that visual objects, or icons, are
+//! used to represent architectural components of the NSC at a suitable
+//! level of abstraction ... icons consist principally of the three
+//! different ALS types (Figure 4). Two representations of the doublet are
+//! provided, since doublets may be configured to operate as singlets by
+//! bypassing one of the functional units ... Other icons which would be
+//! useful, but are not currently implemented, include memory planes and
+//! shift/delay units." This reproduction implements those too (plus the
+//! cache icon the Figure 9 pop-up needs).
+//!
+//! Every icon exposes **I/O pads** ("short wires terminated by small black
+//! circles", §5) enumerated by [`PadRef`]; connections land on pads.
+
+use crate::ids::IconId;
+use nsc_arch::{AlsKind, CacheId, DoubletMode, InPort, PlaneId, SduId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What an icon stands for.
+///
+/// Physical bindings (`als`, `plane`, `cache`, `sdu`) start unresolved;
+/// the pop-up sub-windows (Figure 9) or the automatic binder fill them in.
+/// The checker refuses to generate code for unbound icons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IconKind {
+    /// An arithmetic-logic structure of the given shape.
+    Als {
+        /// Singlet, doublet or triplet.
+        kind: AlsKind,
+        /// Bypass configuration (meaningful for doublets only).
+        mode: DoubletMode,
+        /// Physical ALS this icon is bound to, once allocated.
+        als: Option<nsc_arch::AlsId>,
+    },
+    /// A memory plane.
+    Memory {
+        /// Physical plane number (the Figure 9 "plane" field).
+        plane: Option<PlaneId>,
+    },
+    /// A double-buffered data cache.
+    Cache {
+        /// Physical cache number.
+        cache: Option<CacheId>,
+    },
+    /// A shift/delay unit.
+    Sdu {
+        /// Physical unit number.
+        sdu: Option<SduId>,
+    },
+}
+
+impl IconKind {
+    /// An unbound ALS icon.
+    pub fn als(kind: AlsKind) -> Self {
+        IconKind::Als { kind, mode: DoubletMode::Full, als: None }
+    }
+
+    /// An unbound memory-plane icon.
+    pub fn memory() -> Self {
+        IconKind::Memory { plane: None }
+    }
+
+    /// An unbound cache icon.
+    pub fn cache() -> Self {
+        IconKind::Cache { cache: None }
+    }
+
+    /// An unbound shift/delay icon.
+    pub fn sdu() -> Self {
+        IconKind::Sdu { sdu: None }
+    }
+
+    /// Palette label (paper Figure 5 control panel).
+    pub fn palette_label(&self) -> &'static str {
+        match self {
+            IconKind::Als { kind: AlsKind::Singlet, .. } => "SINGLET",
+            IconKind::Als { kind: AlsKind::Doublet, mode: DoubletMode::Full, .. } => "DOUBLET",
+            IconKind::Als { kind: AlsKind::Doublet, .. } => "DOUBLET/1",
+            IconKind::Als { kind: AlsKind::Triplet, .. } => "TRIPLET",
+            IconKind::Memory { .. } => "MEMORY",
+            IconKind::Cache { .. } => "CACHE",
+            IconKind::Sdu { .. } => "SHIFT/DLY",
+        }
+    }
+
+    /// Whether the icon has been bound to a physical resource.
+    pub fn is_bound(&self) -> bool {
+        match self {
+            IconKind::Als { als, .. } => als.is_some(),
+            IconKind::Memory { plane } => plane.is_some(),
+            IconKind::Cache { cache } => cache.is_some(),
+            IconKind::Sdu { sdu } => sdu.is_some(),
+        }
+    }
+
+    /// The pads this icon exposes, in drawing order.
+    pub fn pads(&self, taps_per_sdu: usize) -> Vec<PadRef> {
+        match self {
+            IconKind::Als { kind, mode, .. } => {
+                let active: Vec<usize> = match (kind, mode) {
+                    (AlsKind::Doublet, m) => m.active_positions().to_vec(),
+                    (k, _) => (0..k.unit_count()).collect(),
+                };
+                let mut pads = Vec::with_capacity(active.len() * 3);
+                for &pos in &active {
+                    pads.push(PadRef::FuIn { pos: pos as u8, port: InPort::A });
+                    pads.push(PadRef::FuIn { pos: pos as u8, port: InPort::B });
+                    pads.push(PadRef::FuOut { pos: pos as u8 });
+                }
+                pads
+            }
+            IconKind::Memory { .. } | IconKind::Cache { .. } => vec![PadRef::Io],
+            IconKind::Sdu { .. } => {
+                let mut pads = vec![PadRef::SduIn];
+                pads.extend((0..taps_per_sdu).map(|t| PadRef::SduTap { tap: t as u8 }));
+                pads
+            }
+        }
+    }
+}
+
+/// One pad (connection point) on an icon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum PadRef {
+    /// Operand input of the functional unit at chain position `pos`.
+    FuIn {
+        /// Chain position within the ALS icon (0-based).
+        pos: u8,
+        /// Which operand.
+        port: InPort,
+    },
+    /// Result output of the functional unit at chain position `pos`.
+    FuOut {
+        /// Chain position within the ALS icon.
+        pos: u8,
+    },
+    /// The single I/O pad of a memory or cache icon; acts as a source when
+    /// a wire leaves it and a sink when a wire enters it.
+    Io,
+    /// The input pad of a shift/delay icon.
+    SduIn,
+    /// One delayed output tap of a shift/delay icon.
+    SduTap {
+        /// Tap index.
+        tap: u8,
+    },
+}
+
+impl PadRef {
+    /// Which directions this pad supports.
+    pub fn dir(&self) -> PadDir {
+        match self {
+            PadRef::FuIn { .. } | PadRef::SduIn => PadDir::SinkOnly,
+            PadRef::FuOut { .. } | PadRef::SduTap { .. } => PadDir::SourceOnly,
+            PadRef::Io => PadDir::Bidirectional,
+        }
+    }
+
+    /// Whether a connection may *start* here.
+    pub fn can_source(&self) -> bool {
+        self.dir() != PadDir::SinkOnly
+    }
+
+    /// Whether a connection may *end* here.
+    pub fn can_sink(&self) -> bool {
+        self.dir() != PadDir::SourceOnly
+    }
+}
+
+impl fmt::Display for PadRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PadRef::FuIn { pos, port } => write!(f, "u{pos}.in{port}"),
+            PadRef::FuOut { pos } => write!(f, "u{pos}.out"),
+            PadRef::Io => write!(f, "io"),
+            PadRef::SduIn => write!(f, "in"),
+            PadRef::SduTap { tap } => write!(f, "tap{tap}"),
+        }
+    }
+}
+
+/// Direction capability of a pad.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PadDir {
+    /// Data only flows out of this pad.
+    SourceOnly,
+    /// Data only flows into this pad.
+    SinkOnly,
+    /// Memory/cache pads carry reads out and writes in.
+    Bidirectional,
+}
+
+/// An icon instance in a diagram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Icon {
+    /// Stable identity.
+    pub id: IconId,
+    /// What it represents and how it is bound.
+    pub kind: IconKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triplet_exposes_nine_pads() {
+        let pads = IconKind::als(AlsKind::Triplet).pads(4);
+        assert_eq!(pads.len(), 9, "3 units x (inA, inB, out)");
+        assert!(pads.contains(&PadRef::FuIn { pos: 2, port: InPort::B }));
+        assert!(pads.contains(&PadRef::FuOut { pos: 0 }));
+    }
+
+    #[test]
+    fn bypassed_doublet_exposes_one_units_pads() {
+        let kind = IconKind::Als {
+            kind: AlsKind::Doublet,
+            mode: DoubletMode::BypassSecond,
+            als: None,
+        };
+        let pads = kind.pads(4);
+        assert_eq!(pads.len(), 3);
+        assert!(pads.iter().all(|p| match p {
+            PadRef::FuIn { pos, .. } | PadRef::FuOut { pos } => *pos == 0,
+            _ => false,
+        }));
+    }
+
+    #[test]
+    fn memory_and_cache_expose_a_single_io_pad() {
+        assert_eq!(IconKind::memory().pads(4), vec![PadRef::Io]);
+        assert_eq!(IconKind::cache().pads(4), vec![PadRef::Io]);
+    }
+
+    #[test]
+    fn sdu_exposes_input_plus_taps() {
+        let pads = IconKind::sdu().pads(4);
+        assert_eq!(pads.len(), 5);
+        assert_eq!(pads[0], PadRef::SduIn);
+        assert_eq!(pads[4], PadRef::SduTap { tap: 3 });
+    }
+
+    #[test]
+    fn pad_directions() {
+        assert!(!PadRef::FuIn { pos: 0, port: InPort::A }.can_source());
+        assert!(PadRef::FuIn { pos: 0, port: InPort::A }.can_sink());
+        assert!(PadRef::FuOut { pos: 0 }.can_source());
+        assert!(!PadRef::FuOut { pos: 0 }.can_sink());
+        assert!(PadRef::Io.can_source() && PadRef::Io.can_sink());
+        assert!(PadRef::SduTap { tap: 0 }.can_source());
+        assert!(!PadRef::SduIn.can_source());
+    }
+
+    #[test]
+    fn palette_labels_match_figure_4_and_5() {
+        assert_eq!(IconKind::als(AlsKind::Singlet).palette_label(), "SINGLET");
+        assert_eq!(IconKind::als(AlsKind::Doublet).palette_label(), "DOUBLET");
+        let bypass = IconKind::Als {
+            kind: AlsKind::Doublet,
+            mode: DoubletMode::BypassFirst,
+            als: None,
+        };
+        assert_eq!(bypass.palette_label(), "DOUBLET/1");
+        assert_eq!(IconKind::als(AlsKind::Triplet).palette_label(), "TRIPLET");
+        assert_eq!(IconKind::memory().palette_label(), "MEMORY");
+        assert_eq!(IconKind::cache().palette_label(), "CACHE");
+        assert_eq!(IconKind::sdu().palette_label(), "SHIFT/DLY");
+    }
+
+    #[test]
+    fn binding_state() {
+        assert!(!IconKind::memory().is_bound());
+        let bound = IconKind::Memory { plane: Some(PlaneId(3)) };
+        assert!(bound.is_bound());
+        let als = IconKind::Als {
+            kind: AlsKind::Triplet,
+            mode: DoubletMode::Full,
+            als: Some(nsc_arch::AlsId(1)),
+        };
+        assert!(als.is_bound());
+    }
+
+    #[test]
+    fn pad_display() {
+        assert_eq!(PadRef::FuIn { pos: 1, port: InPort::A }.to_string(), "u1.ina");
+        assert_eq!(PadRef::FuOut { pos: 2 }.to_string(), "u2.out");
+        assert_eq!(PadRef::SduTap { tap: 3 }.to_string(), "tap3");
+    }
+}

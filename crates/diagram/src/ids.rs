@@ -1,0 +1,97 @@
+//! Identifiers and geometry for diagram objects.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identity of one icon within a pipeline diagram. Stable across edits
+/// (never reused after deletion) so undo logs and checker diagnostics can
+/// refer to icons safely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct IconId(pub u32);
+
+impl fmt::Display for IconId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "icon{}", self.0)
+    }
+}
+
+/// Identity of one connection (wire) within a pipeline diagram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct ConnId(pub u32);
+
+impl fmt::Display for ConnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wire{}", self.0)
+    }
+}
+
+/// Identity of one pipeline diagram within a document. Pipelines also have
+/// an *ordinal* (their position in the program), which renumbering changes;
+/// the id never changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct PipelineId(pub u32);
+
+impl fmt::Display for PipelineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pipe{}", self.0)
+    }
+}
+
+/// A position on the drawing surface, in character cells (the prototype
+/// used Sun pixels; the headless renderer uses a character grid).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Point {
+    /// Column, increasing rightward.
+    pub x: i32,
+    /// Row, increasing downward.
+    pub y: i32,
+}
+
+impl Point {
+    /// Construct a point.
+    pub fn new(x: i32, y: i32) -> Self {
+        Point { x, y }
+    }
+
+    /// Component-wise translation.
+    pub fn offset(self, dx: i32, dy: i32) -> Self {
+        Point { x: self.x + dx, y: self.y + dy }
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(IconId(4).to_string(), "icon4");
+        assert_eq!(ConnId(2).to_string(), "wire2");
+        assert_eq!(PipelineId(0).to_string(), "pipe0");
+    }
+
+    #[test]
+    fn point_offset() {
+        let p = Point::new(3, 4).offset(-1, 2);
+        assert_eq!(p, Point::new(2, 6));
+        assert_eq!(p.to_string(), "(2,6)");
+    }
+
+    #[test]
+    fn ids_serialize_transparently() {
+        assert_eq!(serde_json::to_string(&IconId(7)).unwrap(), "7");
+        let back: ConnId = serde_json::from_str("9").unwrap();
+        assert_eq!(back, ConnId(9));
+    }
+}

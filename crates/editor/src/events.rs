@@ -1,0 +1,191 @@
+//! Input events: the mouse-and-keyboard vocabulary of the editor.
+//!
+//! Paper §5: "Interaction is provided primarily with a 'mouse', augmented
+//! with a keyboard for some operations." Every gesture in Figures 6-10 is
+//! expressible as a sequence of these events.
+
+use nsc_arch::{AlsKind, DoubletMode};
+use nsc_diagram::IconKind;
+
+/// Entries of the control panel's icon palette (Figure 4's icons plus the
+/// storage icons this reproduction implements).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PaletteEntry {
+    /// Single-unit ALS.
+    Singlet,
+    /// Two-unit ALS.
+    Doublet,
+    /// Doublet configured as a singlet (second representation in Fig. 4).
+    DoubletBypass,
+    /// Three-unit ALS.
+    Triplet,
+    /// Memory plane.
+    Memory,
+    /// Data cache.
+    Cache,
+    /// Shift/delay unit.
+    Sdu,
+}
+
+impl PaletteEntry {
+    /// Palette order, top to bottom, in the control panel.
+    pub const ALL: [PaletteEntry; 7] = [
+        PaletteEntry::Singlet,
+        PaletteEntry::Doublet,
+        PaletteEntry::DoubletBypass,
+        PaletteEntry::Triplet,
+        PaletteEntry::Memory,
+        PaletteEntry::Cache,
+        PaletteEntry::Sdu,
+    ];
+
+    /// The icon this palette entry stamps out.
+    pub fn kind(self) -> IconKind {
+        match self {
+            PaletteEntry::Singlet => IconKind::als(AlsKind::Singlet),
+            PaletteEntry::Doublet => IconKind::als(AlsKind::Doublet),
+            PaletteEntry::DoubletBypass => IconKind::Als {
+                kind: AlsKind::Doublet,
+                mode: DoubletMode::BypassSecond,
+                als: None,
+            },
+            PaletteEntry::Triplet => IconKind::als(AlsKind::Triplet),
+            PaletteEntry::Memory => IconKind::memory(),
+            PaletteEntry::Cache => IconKind::cache(),
+            PaletteEntry::Sdu => IconKind::sdu(),
+        }
+    }
+
+    /// Panel label.
+    pub fn label(self) -> &'static str {
+        match self {
+            PaletteEntry::DoubletBypass => "DOUBLET/1",
+            other => other.kind().palette_label(),
+        }
+    }
+}
+
+/// Control-panel buttons: "the usual editor operations to insert, delete,
+/// copy, and renumber pipelines, as well as to scroll forward or backward
+/// or jump to a specific pipeline" (§5), plus CHECK and SAVE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Button {
+    /// Insert a new pipeline after the current one.
+    InsertPipe,
+    /// Delete the current pipeline.
+    DeletePipe,
+    /// Copy the current pipeline.
+    CopyPipe,
+    /// Move the current pipeline one slot earlier (renumber).
+    Renumber,
+    /// Scroll to the next pipeline.
+    Next,
+    /// Scroll to the previous pipeline.
+    Prev,
+    /// Run the checker on the current pipeline.
+    Check,
+    /// Save the document (JSON + pseudo-code).
+    Save,
+    /// Undo the last edit.
+    Undo,
+    /// Redo the last undone edit.
+    Redo,
+}
+
+impl Button {
+    /// Panel order, placed below the palette.
+    pub const ALL: [Button; 10] = [
+        Button::InsertPipe,
+        Button::DeletePipe,
+        Button::CopyPipe,
+        Button::Renumber,
+        Button::Next,
+        Button::Prev,
+        Button::Check,
+        Button::Save,
+        Button::Undo,
+        Button::Redo,
+    ];
+
+    /// Panel label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Button::InsertPipe => "INSERT",
+            Button::DeletePipe => "DELETE",
+            Button::CopyPipe => "COPY",
+            Button::Renumber => "RENUM",
+            Button::Next => "NEXT >",
+            Button::Prev => "< PREV",
+            Button::Check => "CHECK",
+            Button::Save => "SAVE",
+            Button::Undo => "UNDO",
+            Button::Redo => "REDO",
+        }
+    }
+}
+
+/// One input event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// Mouse button pressed at a cell.
+    MouseDown {
+        /// Column.
+        x: i32,
+        /// Row.
+        y: i32,
+    },
+    /// Mouse moved (with the button held, during drags/rubber-banding).
+    MouseMove {
+        /// Column.
+        x: i32,
+        /// Row.
+        y: i32,
+    },
+    /// Mouse button released at a cell.
+    MouseUp {
+        /// Column.
+        x: i32,
+        /// Row.
+        y: i32,
+    },
+    /// An entry of the active pop-up menu was chosen.
+    MenuPick(usize),
+    /// The active pop-up was dismissed.
+    MenuCancel,
+    /// Keyboard text into the active sub-window field.
+    Text(String),
+    /// Advance to the next sub-window field.
+    NextField,
+    /// Commit the active sub-window.
+    SubmitForm,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn palette_covers_figure_4_and_storage() {
+        assert_eq!(PaletteEntry::ALL.len(), 7);
+        let labels: std::collections::HashSet<_> =
+            PaletteEntry::ALL.iter().map(|p| p.label()).collect();
+        assert_eq!(labels.len(), 7, "labels unique");
+        assert!(labels.contains("DOUBLET/1"), "both doublet representations");
+    }
+
+    #[test]
+    fn bypass_entry_stamps_a_bypassed_doublet() {
+        match PaletteEntry::DoubletBypass.kind() {
+            IconKind::Als { kind: AlsKind::Doublet, mode: DoubletMode::BypassSecond, .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn buttons_cover_the_papers_list() {
+        let labels: Vec<_> = Button::ALL.iter().map(|b| b.label()).collect();
+        for needed in ["INSERT", "DELETE", "COPY", "RENUM"] {
+            assert!(labels.contains(&needed), "missing {needed}");
+        }
+    }
+}

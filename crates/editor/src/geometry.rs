@@ -1,0 +1,222 @@
+//! Window layout and icon geometry (paper Figures 4 and 5).
+//!
+//! "Figure 5 shows the basic display window used. The right hand side is a
+//! 'control panel' area used to select icons and specify various editor
+//! operations. The large area in the center is the drawing space in which
+//! pipeline diagrams are constructed. Informational and error messages are
+//! displayed in the narrow strip across the top. The region at the left is
+//! reserved for control flow specifications and variable declarations."
+//!
+//! The prototype drew in Sun pixels; this core draws in character cells.
+
+use nsc_arch::{AlsKind, DoubletMode, InPort};
+use nsc_diagram::{IconKind, PadRef, Point};
+
+/// Window width in cells.
+pub const WIN_W: i32 = 104;
+/// Window height in cells.
+pub const WIN_H: i32 = 40;
+/// Message strip rows `0..MSG_H`.
+pub const MSG_H: i32 = 2;
+/// Left (declarations / control flow) region width.
+pub const LEFT_W: i32 = 18;
+/// Control panel width on the right.
+pub const PANEL_W: i32 = 16;
+/// Drawing area origin.
+pub const DRAW_X0: i32 = LEFT_W;
+/// Drawing area top row.
+pub const DRAW_Y0: i32 = MSG_H;
+/// Drawing area width.
+pub const DRAW_W: i32 = WIN_W - LEFT_W - PANEL_W;
+/// Drawing area height.
+pub const DRAW_H: i32 = WIN_H - MSG_H;
+
+/// The five window regions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Region {
+    /// Top message strip.
+    MessageStrip,
+    /// Left declarations / control-flow region.
+    ControlFlow,
+    /// Central drawing area.
+    Drawing,
+    /// Right control panel.
+    ControlPanel,
+}
+
+/// Which region a point falls in.
+pub fn region_at(x: i32, y: i32) -> Region {
+    if y < MSG_H {
+        Region::MessageStrip
+    } else if x < LEFT_W {
+        Region::ControlFlow
+    } else if x >= WIN_W - PANEL_W {
+        Region::ControlPanel
+    } else {
+        Region::Drawing
+    }
+}
+
+/// Static window layout queries.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WindowLayout;
+
+impl WindowLayout {
+    /// Top-left of the `i`-th control-panel row (palette entries first,
+    /// then buttons).
+    pub fn panel_row(i: usize) -> Point {
+        Point::new(WIN_W - PANEL_W + 1, MSG_H + 1 + 2 * i as i32)
+    }
+}
+
+/// Pixel-level metrics of one icon kind.
+#[derive(Debug, Clone, Copy)]
+pub struct IconMetrics {
+    /// Bounding-box width.
+    pub w: i32,
+    /// Bounding-box height.
+    pub h: i32,
+}
+
+/// Height of one drawn functional-unit box.
+const UNIT_H: i32 = 3;
+/// Vertical gap between unit boxes in one ALS icon.
+const UNIT_GAP: i32 = 1;
+/// Width of icon boxes.
+const ICON_W: i32 = 11;
+
+/// Metrics of an icon kind.
+pub fn metrics(kind: &IconKind) -> IconMetrics {
+    match kind {
+        IconKind::Als { kind, mode, .. } => {
+            let units = active_positions(*kind, *mode).len() as i32;
+            IconMetrics { w: ICON_W, h: units * UNIT_H + (units - 1) * UNIT_GAP }
+        }
+        IconKind::Memory { .. } | IconKind::Cache { .. } => IconMetrics { w: ICON_W, h: 3 },
+        IconKind::Sdu { .. } => IconMetrics { w: ICON_W, h: 3 + 4 },
+    }
+}
+
+/// Active chain positions (drawing order) of an ALS icon.
+pub fn active_positions(kind: AlsKind, mode: DoubletMode) -> Vec<u8> {
+    match kind {
+        AlsKind::Doublet => mode.active_positions().iter().map(|&p| p as u8).collect(),
+        k => (0..k.unit_count() as u8).collect(),
+    }
+}
+
+/// Cell position of a pad relative to the icon's top-left corner.
+///
+/// ALS units stack vertically; each unit's `a` input pad sits at its top
+/// left, `b` at its bottom left, the output at its right centre. Memory,
+/// cache and SDU pads follow Figure 2's conventions.
+pub fn pad_offset(kind: &IconKind, pad: PadRef) -> Option<Point> {
+    match (kind, pad) {
+        (IconKind::Als { kind, mode, .. }, PadRef::FuIn { pos, port }) => {
+            let row = draw_row(*kind, *mode, pos)?;
+            let dy = match port {
+                InPort::A => 0,
+                InPort::B => UNIT_H - 1,
+            };
+            Some(Point::new(0, row + dy))
+        }
+        (IconKind::Als { kind, mode, .. }, PadRef::FuOut { pos }) => {
+            let row = draw_row(*kind, *mode, pos)?;
+            Some(Point::new(ICON_W - 1, row + 1))
+        }
+        (IconKind::Memory { .. }, PadRef::Io) | (IconKind::Cache { .. }, PadRef::Io) => {
+            Some(Point::new(0, 1))
+        }
+        (IconKind::Sdu { .. }, PadRef::SduIn) => Some(Point::new(0, 1)),
+        (IconKind::Sdu { .. }, PadRef::SduTap { tap }) if tap < 4 => {
+            Some(Point::new(ICON_W - 1, 1 + tap as i32))
+        }
+        _ => None,
+    }
+}
+
+fn draw_row(kind: AlsKind, mode: DoubletMode, pos: u8) -> Option<i32> {
+    let order = active_positions(kind, mode);
+    let slot = order.iter().position(|&p| p == pos)? as i32;
+    Some(slot * (UNIT_H + UNIT_GAP))
+}
+
+/// All pads of an icon with their offsets (for hit testing and drawing).
+pub fn pads_with_offsets(kind: &IconKind) -> Vec<(PadRef, Point)> {
+    kind.pads(4)
+        .into_iter()
+        .filter_map(|p| pad_offset(kind, p).map(|o| (p, o)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_match_figure_5() {
+        assert_eq!(region_at(50, 0), Region::MessageStrip);
+        assert_eq!(region_at(5, 10), Region::ControlFlow);
+        assert_eq!(region_at(50, 10), Region::Drawing);
+        assert_eq!(region_at(WIN_W - 5, 10), Region::ControlPanel);
+    }
+
+    #[test]
+    fn triplet_metrics_stack_three_units() {
+        let m = metrics(&IconKind::als(AlsKind::Triplet));
+        assert_eq!(m.h, 3 * 3 + 2);
+        let s = metrics(&IconKind::als(AlsKind::Singlet));
+        assert_eq!(s.h, 3);
+    }
+
+    #[test]
+    fn bypassed_doublet_draws_one_unit() {
+        let k = IconKind::Als {
+            kind: AlsKind::Doublet,
+            mode: DoubletMode::BypassFirst,
+            als: None,
+        };
+        assert_eq!(metrics(&k).h, 3);
+        // The single active unit (pos 1) draws at row 0.
+        assert_eq!(
+            pad_offset(&k, PadRef::FuIn { pos: 1, port: InPort::A }),
+            Some(Point::new(0, 0))
+        );
+        assert_eq!(pad_offset(&k, PadRef::FuIn { pos: 0, port: InPort::A }), None);
+    }
+
+    #[test]
+    fn pad_offsets_are_distinct_per_icon() {
+        for kind in [
+            IconKind::als(AlsKind::Triplet),
+            IconKind::als(AlsKind::Doublet),
+            IconKind::memory(),
+            IconKind::sdu(),
+        ] {
+            let pads = pads_with_offsets(&kind);
+            let set: std::collections::HashSet<_> =
+                pads.iter().map(|(_, p)| (p.x, p.y)).collect();
+            assert_eq!(set.len(), pads.len(), "overlapping pads on {kind:?}");
+        }
+    }
+
+    #[test]
+    fn output_pads_sit_on_the_right_edge() {
+        let kind = IconKind::als(AlsKind::Triplet);
+        for pos in 0..3u8 {
+            let p = pad_offset(&kind, PadRef::FuOut { pos }).unwrap();
+            assert_eq!(p.x, ICON_W - 1);
+        }
+        let sdu = IconKind::sdu();
+        let p = pad_offset(&sdu, PadRef::SduTap { tap: 3 }).unwrap();
+        assert_eq!(p.x, ICON_W - 1);
+    }
+
+    #[test]
+    fn panel_rows_are_inside_the_panel() {
+        for i in 0..12 {
+            let p = WindowLayout::panel_row(i);
+            assert_eq!(region_at(p.x, p.y.min(WIN_H - 1)), Region::ControlPanel);
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # nsc-editor — the graphical editor
+//!
+//! Paper §4-5: the graphical editor is the user's interface to the whole
+//! environment. "The user manipulates these icons interactively to
+//! construct a program ... A high-resolution bit-mapped display is used as
+//! the drawing surface. Interaction is provided primarily with a 'mouse',
+//! augmented with a keyboard for some operations."
+//!
+//! The 1988 prototype ran on a Sun-3 under SunView; this reproduction
+//! models the same editor as an **event-driven core**: mouse and keyboard
+//! input arrive as explicit [`Event`]s, every screen state renders to
+//! ASCII (and SVG) through [`render`], and all of the paper's Figure 5-11
+//! interactions — selecting an icon from the control panel, dragging its
+//! outline into the drawing area, rubber-banding a connection between I/O
+//! pads, filling the Figure 9 DMA sub-window, picking an operation from
+//! the Figure 10 menu — are reproducible as scripted [`session`]s whose
+//! snapshots regenerate the figures.
+//!
+//! The editor enforces nothing itself: every gesture consults the checker
+//! ("the graphical editor calls on the checker at appropriate points
+//! during interaction with the user"), pop-up menus are *populated by* the
+//! checker's legal-target queries, and errors land in the message strip
+//! the moment they are detected.
+
+pub mod editor;
+pub mod events;
+pub mod geometry;
+pub mod render;
+pub mod session;
+
+pub use editor::{Editor, EffortMeter, Mode};
+pub use events::{Button, Event, PaletteEntry};
+pub use geometry::{IconMetrics, WindowLayout, DRAW_X0, DRAW_Y0, WIN_H, WIN_W};
+pub use render::{render_ascii, render_svg};
+pub use session::{Session, Snapshot};

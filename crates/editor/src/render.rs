@@ -1,0 +1,368 @@
+//! Renderers: every editor state draws to ASCII (tests, terminals) and
+//! SVG (figure artifacts). The geometry is shared with hit-testing, so
+//! what is drawn is exactly what the mouse addresses.
+
+use crate::editor::{Editor, Mode};
+use crate::events::{Button, PaletteEntry};
+use crate::geometry::{
+    self, WindowLayout, DRAW_Y0, LEFT_W, MSG_H, PANEL_W, WIN_H, WIN_W,
+};
+use nsc_diagram::{IconKind, Point};
+
+/// Render the full window as ASCII art (one string, `WIN_H` lines).
+pub fn render_ascii(ed: &Editor) -> String {
+    let mut c = Canvas::new();
+    chrome(&mut c, ed);
+    panel(&mut c);
+    left_region(&mut c, ed);
+    diagram(&mut c, ed);
+    overlays(&mut c, ed);
+    c.to_string()
+}
+
+struct Canvas {
+    cells: Vec<Vec<char>>,
+}
+
+impl Canvas {
+    fn new() -> Self {
+        Canvas { cells: vec![vec![' '; WIN_W as usize]; WIN_H as usize] }
+    }
+
+    fn put(&mut self, x: i32, y: i32, ch: char) {
+        if (0..WIN_W).contains(&x) && (0..WIN_H).contains(&y) {
+            self.cells[y as usize][x as usize] = ch;
+        }
+    }
+
+    /// Write only onto blank cells (wires must not cut through boxes).
+    fn put_soft(&mut self, x: i32, y: i32, ch: char) {
+        if (0..WIN_W).contains(&x) && (0..WIN_H).contains(&y) {
+            let cell = &mut self.cells[y as usize][x as usize];
+            if *cell == ' ' {
+                *cell = ch;
+            }
+        }
+    }
+
+    fn text(&mut self, x: i32, y: i32, s: &str) {
+        for (i, ch) in s.chars().enumerate() {
+            self.put(x + i as i32, y, ch);
+        }
+    }
+}
+
+impl std::fmt::Display for Canvas {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for row in &self.cells {
+            writeln!(f, "{}", row.iter().collect::<String>().trim_end())?;
+        }
+        Ok(())
+    }
+}
+
+fn chrome(c: &mut Canvas, ed: &Editor) {
+    let title = format!(" NSC visual environment | {}", ed.message);
+    c.text(0, 0, &title[..title.len().min(WIN_W as usize)]);
+    for x in 0..WIN_W {
+        c.put(x, MSG_H - 1, '=');
+    }
+    for y in MSG_H..WIN_H {
+        c.put(LEFT_W - 1, y, '|');
+        c.put(WIN_W - PANEL_W, y, '|');
+    }
+}
+
+fn panel(c: &mut Canvas) {
+    for (i, entry) in PaletteEntry::ALL.iter().enumerate() {
+        let p = WindowLayout::panel_row(i);
+        c.text(p.x, p.y, &format!("[{:<10}]", entry.label()));
+    }
+    let base = PaletteEntry::ALL.len();
+    for (i, b) in Button::ALL.iter().enumerate() {
+        let p = WindowLayout::panel_row(base + i);
+        c.text(p.x, p.y, &format!("<{:^9}>", b.label()));
+    }
+}
+
+fn left_region(c: &mut Canvas, ed: &Editor) {
+    c.text(1, DRAW_Y0, "DECLARATIONS");
+    for (i, v) in ed.doc.decls.vars.iter().take(10).enumerate() {
+        c.text(1, DRAW_Y0 + 1 + i as i32, &format!("{} {}", v.name, v.plane));
+    }
+    let ord = ed.doc.ordinal_of(ed.current).unwrap_or(0);
+    c.text(1, WIN_H - 2, &format!("pipe {}/{}", ord + 1, ed.doc.pipeline_count()));
+    if ed.doc.control.is_some() {
+        c.text(1, WIN_H - 3, "ctl: defined");
+    }
+}
+
+fn unit_border(kind: &IconKind, pos: u8) -> char {
+    if let IconKind::Als { kind, .. } = kind {
+        let caps = kind.unit_caps(pos as usize);
+        if caps.int_logic {
+            return '='; // the Figure 4 "double box"
+        }
+        if caps.min_max {
+            return '~';
+        }
+    }
+    '-'
+}
+
+fn diagram(c: &mut Canvas, ed: &Editor) {
+    let Some(d) = ed.doc.pipeline(ed.current) else { return };
+    let Some(layout) = ed.doc.layout(ed.current) else { return };
+
+    // Icons.
+    for icon in d.icons() {
+        let Some(at) = layout.position(icon.id) else { continue };
+        match icon.kind {
+            IconKind::Als { kind, mode, .. } => {
+                for (slot, pos) in geometry::active_positions(kind, mode).iter().enumerate() {
+                    let y0 = at.y + slot as i32 * 4;
+                    let b = unit_border(&icon.kind, *pos);
+                    let border: String = std::iter::repeat(b).take(7).collect();
+                    c.text(at.x + 1, y0, &format!("+{border}+"));
+                    let label = d
+                        .fu_assign(icon.id, *pos)
+                        .map(|a| a.op.mnemonic().to_string())
+                        .unwrap_or_else(|| format!("u{pos}?"));
+                    c.text(at.x + 1, y0 + 1, &format!("|{label:^7}|"));
+                    c.text(at.x + 1, y0 + 2, &format!("+{border}+"));
+                }
+            }
+            IconKind::Memory { plane } => {
+                let label =
+                    plane.map(|p| p.to_string()).unwrap_or_else(|| "MEM ?".to_string());
+                storage_box(c, at, &label);
+            }
+            IconKind::Cache { cache } => {
+                let label =
+                    cache.map(|x| x.to_string()).unwrap_or_else(|| "DC ?".to_string());
+                storage_box(c, at, &label);
+            }
+            IconKind::Sdu { sdu } => {
+                let label = sdu.map(|s| s.to_string()).unwrap_or_else(|| "SDU?".to_string());
+                let m = geometry::metrics(&icon.kind);
+                for y in at.y..at.y + m.h {
+                    c.put(at.x + 1, y, '|');
+                    c.put(at.x + 9, y, '|');
+                }
+                c.text(at.x + 1, at.y, "+-------+");
+                c.text(at.x + 1, at.y + m.h - 1, "+-------+");
+                c.text(at.x + 2, at.y + 1, &format!("{label:^7}"));
+                let taps = d.sdu_taps(icon.id);
+                for (t, delay) in taps.iter().take(4).enumerate() {
+                    c.text(at.x + 2, at.y + 2 + t as i32, &format!("t{t}:{delay:<4}"));
+                }
+            }
+        }
+        // Pads: 'o', or '*' when a wire lands/leaves there.
+        for (pad, off) in geometry::pads_with_offsets(&icon.kind) {
+            let loc = nsc_diagram::PadLoc::new(icon.id, pad);
+            let used = !d.incoming(loc).is_empty() || !d.outgoing(loc).is_empty();
+            c.put(at.x + off.x, at.y + off.y, if used { '*' } else { 'o' });
+        }
+    }
+
+    // Wires, as Manhattan paths that never overwrite box art.
+    for conn in d.connections() {
+        let (Some(a), Some(b)) = (pad_abs(ed, conn.from), pad_abs(ed, conn.to)) else {
+            continue;
+        };
+        manhattan(c, a, b, '-', '|');
+    }
+
+    // Rubber band.
+    if let Mode::RubberBand { from, to } = &ed.mode {
+        if let Some(a) = pad_abs(ed, *from) {
+            manhattan(c, a, *to, '*', '*');
+        }
+    }
+}
+
+fn storage_box(c: &mut Canvas, at: Point, label: &str) {
+    c.text(at.x + 1, at.y, "+=======+");
+    c.text(at.x + 1, at.y + 1, &format!("|{label:^7}|"));
+    c.text(at.x + 1, at.y + 2, "+=======+");
+}
+
+fn pad_abs(ed: &Editor, loc: nsc_diagram::PadLoc) -> Option<Point> {
+    let d = ed.doc.pipeline(ed.current)?;
+    let layout = ed.doc.layout(ed.current)?;
+    let icon = d.icon(loc.icon)?;
+    let at = layout.position(loc.icon)?;
+    let off = geometry::pad_offset(&icon.kind, loc.pad)?;
+    Some(Point::new(at.x + off.x, at.y + off.y))
+}
+
+fn manhattan(c: &mut Canvas, a: Point, b: Point, h: char, v: char) {
+    let mx = (a.x + b.x) / 2;
+    for x in range(a.x + 1, mx) {
+        c.put_soft(x, a.y, h);
+    }
+    for y in range(a.y, b.y) {
+        c.put_soft(mx, y, v);
+    }
+    for x in range(mx, b.x - 1) {
+        c.put_soft(x, b.y, h);
+    }
+}
+
+fn range(from: i32, to: i32) -> Box<dyn Iterator<Item = i32>> {
+    if from <= to {
+        Box::new(from..=to)
+    } else {
+        Box::new(to..=from)
+    }
+}
+
+fn overlays(c: &mut Canvas, ed: &Editor) {
+    let (title, entries): (String, Vec<String>) = match &ed.mode {
+        Mode::ConnMenu { from, targets } => (
+            format!("connect {from} to:"),
+            targets.iter().take(12).enumerate().map(|(i, t)| format!("{i}) {t}")).collect(),
+        ),
+        Mode::OpMenu { icon, pos, ops } => (
+            format!("operation for {icon}.u{pos}:"),
+            ops.iter().take(14).enumerate().map(|(i, o)| format!("{i}) {}", o.mnemonic())).collect(),
+        ),
+        Mode::DmaForm { fields, active, .. } => (
+            "DMA parameters".to_string(),
+            ["plane/cache", "variable", "offset", "stride", "count"]
+                .iter()
+                .enumerate()
+                .map(|(i, name)| {
+                    let marker = if i == *active { '>' } else { ' ' };
+                    format!("{marker}{name}: {}", fields[i])
+                })
+                .collect(),
+        ),
+        _ => return,
+    };
+    let x0 = LEFT_W + 3;
+    let y0 = DRAW_Y0 + 1;
+    let w = entries
+        .iter()
+        .map(String::len)
+        .chain(std::iter::once(title.len()))
+        .max()
+        .unwrap_or(10) as i32
+        + 2;
+    for (row, line) in std::iter::once(&title).chain(entries.iter()).enumerate() {
+        let y = y0 + row as i32;
+        for dx in 0..w {
+            c.put(x0 + dx, y, ' ');
+        }
+        c.put(x0 - 1, y, '#');
+        c.put(x0 + w, y, '#');
+        c.text(x0 + 1, y, line);
+    }
+    for dx in -1..=w {
+        c.put(x0 + dx, y0 - 1, '#');
+        c.put(x0 + dx, y0 + 1 + entries.len() as i32, '#');
+    }
+}
+
+/// Render the window as a standalone SVG document.
+pub fn render_svg(ed: &Editor) -> String {
+    let ascii = render_ascii(ed);
+    let (cw, chh) = (8, 16);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{}\" height=\"{}\" \
+         font-family=\"monospace\" font-size=\"14\">\n",
+        WIN_W * cw,
+        WIN_H * chh
+    ));
+    out.push_str("<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n");
+    for (row, line) in ascii.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let escaped = line
+            .replace('&', "&amp;")
+            .replace('<', "&lt;")
+            .replace('>', "&gt;");
+        out.push_str(&format!(
+            "<text x=\"0\" y=\"{}\" xml:space=\"preserve\">{}</text>\n",
+            (row + 1) * chh as usize,
+            escaped
+        ));
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsc_arch::{AlsKind, FuOp, PlaneId};
+    use nsc_checker::Checker;
+    use nsc_diagram::{FuAssign, PadRef};
+
+    fn editor_with_icons() -> Editor {
+        let mut ed = Editor::new(Checker::nsc_1988(), "render-test");
+        let mem =
+            ed.place_icon(IconKind::Memory { plane: Some(PlaneId(2)) }, Point::new(22, 6));
+        let als = ed.place_icon(IconKind::als(AlsKind::Triplet), Point::new(45, 4));
+        ed.assign_fu(als, 0, FuAssign::binary(FuOp::Add));
+        ed.connect(
+            nsc_diagram::PadLoc::new(mem, PadRef::Io),
+            nsc_diagram::PadLoc::new(
+                als,
+                PadRef::FuIn { pos: 0, port: nsc_arch::InPort::A },
+            ),
+        );
+        ed
+    }
+
+    #[test]
+    fn window_shows_all_figure_5_regions() {
+        let ed = Editor::new(Checker::nsc_1988(), "layout");
+        let art = render_ascii(&ed);
+        assert!(art.contains("NSC visual environment"));
+        assert!(art.contains("DECLARATIONS"));
+        assert!(art.contains("[SINGLET"));
+        assert!(art.contains("[TRIPLET"));
+        assert!(art.contains("INSERT"));
+        assert!(art.contains("pipe 1/1"));
+    }
+
+    #[test]
+    fn icons_and_wires_are_drawn() {
+        let ed = editor_with_icons();
+        let art = render_ascii(&ed);
+        assert!(art.contains("MP2"), "memory label");
+        assert!(art.contains("ADD"), "assigned op label");
+        assert!(art.contains("u1?"), "unassigned unit placeholder");
+        assert!(art.contains('*'), "connected pads marked");
+        assert!(art.contains('='), "integer-capable unit double box");
+        assert!(art.contains('~'), "min/max unit border");
+    }
+
+    #[test]
+    fn menus_overlay_when_open() {
+        let mut ed = editor_with_icons();
+        ed.handle(crate::events::Event::MouseDown { x: 48, y: 9 }); // unit 1 box
+        let art = render_ascii(&ed);
+        assert!(art.contains("operation for"), "{art}");
+        assert!(art.contains("0) ADD"));
+    }
+
+    #[test]
+    fn svg_wraps_the_same_content() {
+        let ed = editor_with_icons();
+        let svg = render_svg(&ed);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains("MP2"));
+        assert!(svg.ends_with("</svg>\n"));
+    }
+
+    #[test]
+    fn render_is_stable_for_identical_state() {
+        let ed = editor_with_icons();
+        assert_eq!(render_ascii(&ed), render_ascii(&ed));
+    }
+}

@@ -1,0 +1,120 @@
+//! Scripted interaction sessions: the reproducible form of the paper's
+//! Figures 6-11 walkthrough.
+//!
+//! A [`Session`] feeds recorded events to an editor, captures labelled
+//! ASCII/SVG snapshots at chosen moments, and carries the effort meter
+//! used by experiment T3 (user actions vs. microcode bits).
+
+use crate::editor::Editor;
+use crate::events::Event;
+use crate::render::{render_ascii, render_svg};
+use std::io::Write as _;
+use std::path::Path;
+
+/// One captured frame.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Caption (e.g. "fig6: dragging a triplet from the palette").
+    pub label: String,
+    /// ASCII rendering at capture time.
+    pub ascii: String,
+    /// SVG rendering at capture time.
+    pub svg: String,
+}
+
+/// A scripted editor session.
+#[derive(Debug)]
+pub struct Session {
+    /// The editor being driven.
+    pub editor: Editor,
+    /// Captured frames, in order.
+    pub snapshots: Vec<Snapshot>,
+    /// Events fed so far.
+    pub events_fed: usize,
+}
+
+impl Session {
+    /// Start a session over an editor.
+    pub fn new(editor: Editor) -> Self {
+        Session { editor, snapshots: Vec::new(), events_fed: 0 }
+    }
+
+    /// Feed a batch of events.
+    pub fn feed(&mut self, events: impl IntoIterator<Item = Event>) -> &mut Self {
+        for ev in events {
+            self.editor.handle(ev);
+            self.events_fed += 1;
+        }
+        self
+    }
+
+    /// Capture the current screen.
+    pub fn snap(&mut self, label: impl Into<String>) -> &mut Self {
+        self.snapshots.push(Snapshot {
+            label: label.into(),
+            ascii: render_ascii(&self.editor),
+            svg: render_svg(&self.editor),
+        });
+        self
+    }
+
+    /// Write every snapshot to `dir` as `.txt` and `.svg` files named by a
+    /// slug of their labels. Returns the file stems written.
+    pub fn save_all(&self, dir: &Path) -> std::io::Result<Vec<String>> {
+        std::fs::create_dir_all(dir)?;
+        let mut stems = Vec::new();
+        for (i, snap) in self.snapshots.iter().enumerate() {
+            let slug: String = snap
+                .label
+                .chars()
+                .map(|c| if c.is_alphanumeric() { c } else { '_' })
+                .collect::<String>()
+                .to_lowercase();
+            let stem = format!("{i:02}_{}", &slug[..slug.len().min(40)]);
+            let mut txt = std::fs::File::create(dir.join(format!("{stem}.txt")))?;
+            writeln!(txt, "{}\n{}", snap.label, snap.ascii)?;
+            std::fs::write(dir.join(format!("{stem}.svg")), &snap.svg)?;
+            stems.push(stem);
+        }
+        Ok(stems)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::{MSG_H, WIN_W};
+    use nsc_checker::Checker;
+
+    #[test]
+    fn sessions_replay_and_snapshot() {
+        let ed = Editor::new(Checker::nsc_1988(), "session-test");
+        let mut s = Session::new(ed);
+        // Drag a memory icon out of the palette (row 4 = MEMORY).
+        let py = MSG_H + 1 + 2 * 4;
+        s.feed([
+            Event::MouseDown { x: WIN_W - 8, y: py },
+            Event::MouseMove { x: 30, y: 8 },
+        ])
+        .snap("dragging")
+        .feed([Event::MouseUp { x: 30, y: 8 }])
+        .snap("placed");
+        assert_eq!(s.snapshots.len(), 2);
+        assert_eq!(s.events_fed, 3);
+        assert!(s.snapshots[1].ascii.contains("MEM ?"));
+        assert!(s.editor.effort.mouse_actions >= 2);
+    }
+
+    #[test]
+    fn snapshots_save_to_disk() {
+        let ed = Editor::new(Checker::nsc_1988(), "save-test");
+        let mut s = Session::new(ed);
+        s.snap("empty window");
+        let dir = std::env::temp_dir().join("nsc_session_test");
+        let stems = s.save_all(&dir).expect("writes");
+        assert_eq!(stems.len(), 1);
+        let txt = std::fs::read_to_string(dir.join(format!("{}.txt", stems[0]))).unwrap();
+        assert!(txt.contains("empty window"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

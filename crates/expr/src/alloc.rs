@@ -1,0 +1,101 @@
+//! Variable-to-plane allocation strategies (the §3 difficulty knob).
+
+use nsc_arch::PlaneId;
+use nsc_diagram::{Declarations, VarDecl};
+
+/// How variables are assigned to memory planes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocStrategy {
+    /// Everything in plane 0 (a naive compiler's first attempt; maximal
+    /// port contention).
+    AllInOnePlane,
+    /// Variables packed two per plane.
+    TwoPerPlane,
+    /// One plane per variable, round-robin (the contention-free layout a
+    /// knowledgeable programmer — or the checker-guided editor — picks).
+    RoundRobin,
+}
+
+impl AllocStrategy {
+    /// All strategies, worst to best.
+    pub const ALL: [AllocStrategy; 3] =
+        [AllocStrategy::AllInOnePlane, AllocStrategy::TwoPerPlane, AllocStrategy::RoundRobin];
+
+    /// Short label for result tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            AllocStrategy::AllInOnePlane => "all-in-one-plane",
+            AllocStrategy::TwoPerPlane => "two-per-plane",
+            AllocStrategy::RoundRobin => "one-per-plane",
+        }
+    }
+
+    /// Declare `vars` (plus the output variable) of length `len` each,
+    /// reserving plane 15 for the output and scratch.
+    pub fn declare(
+        self,
+        vars: &[String],
+        output: &str,
+        len: u64,
+        planes: usize,
+    ) -> Declarations {
+        let mut decls = Declarations::default();
+        let usable = planes.saturating_sub(1).max(1); // keep the last plane for output
+        for (i, name) in vars.iter().enumerate() {
+            let (plane, slot) = match self {
+                AllocStrategy::AllInOnePlane => (0usize, i as u64),
+                AllocStrategy::TwoPerPlane => (i / 2 % usable, (i % 2) as u64),
+                AllocStrategy::RoundRobin => (i % usable, 0u64),
+            };
+            decls.declare(VarDecl {
+                name: name.clone(),
+                plane: PlaneId(plane as u8),
+                base: slot * len,
+                len,
+            });
+        }
+        decls.declare(VarDecl {
+            name: output.to_string(),
+            plane: PlaneId(planes as u8 - 1),
+            base: 0,
+            len,
+        });
+        decls
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("v{i}")).collect()
+    }
+
+    #[test]
+    fn one_plane_piles_everything_up() {
+        let d = AllocStrategy::AllInOnePlane.declare(&names(4), "y", 100, 16);
+        for i in 0..4 {
+            let v = d.lookup(&format!("v{i}")).unwrap();
+            assert_eq!(v.plane, PlaneId(0));
+            assert_eq!(v.base, i as u64 * 100, "non-overlapping slots");
+        }
+        assert_eq!(d.lookup("y").unwrap().plane, PlaneId(15));
+    }
+
+    #[test]
+    fn round_robin_spreads_planes() {
+        let d = AllocStrategy::RoundRobin.declare(&names(4), "y", 100, 16);
+        let planes: Vec<_> =
+            (0..4).map(|i| d.lookup(&format!("v{i}")).unwrap().plane).collect();
+        let set: std::collections::HashSet<_> = planes.iter().collect();
+        assert_eq!(set.len(), 4, "distinct planes");
+    }
+
+    #[test]
+    fn two_per_plane_pairs_variables() {
+        let d = AllocStrategy::TwoPerPlane.declare(&names(4), "y", 64, 16);
+        assert_eq!(d.lookup("v0").unwrap().plane, d.lookup("v1").unwrap().plane);
+        assert_ne!(d.lookup("v0").unwrap().plane, d.lookup("v2").unwrap().plane);
+    }
+}

@@ -1,0 +1,373 @@
+//! The expression mapper: trees onto pipeline diagrams, §3-style.
+//!
+//! Two architecture rules dominate the mapping:
+//!
+//! * a memory plane supplies **one read stream per instruction** — when two
+//!   operand variables share a plane, all but one must be *staged through a
+//!   data cache* by an extra preceding instruction;
+//! * a functional unit touches **one read plane** — when a binary unit
+//!   would combine two direct plane streams, the second is routed through
+//!   a COPY unit inside the same instruction (a unit-count cost, not a
+//!   time cost).
+//!
+//! The number of staging instructions is therefore a direct function of
+//! the allocation strategy — exactly the §3 claim that "the optimum layout
+//! for one pipeline may be unworkable for the next".
+
+use crate::alloc::AllocStrategy;
+use crate::expr::Expr;
+use nsc_arch::{AlsKind, CacheId, FuOp, InPort, KnowledgeBase};
+use nsc_checker::Checker;
+use nsc_diagram::{
+    ControlNode, DmaAttrs, Document, FuAssign, IconId, IconKind, PadLoc, PadRef, PipelineDiagram,
+};
+use std::collections::BTreeMap;
+
+/// Mapping cost accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompileStats {
+    /// Extra instructions that stage conflicting variables through caches.
+    pub staging_instructions: usize,
+    /// Functional units used by the main instruction (incl. copies).
+    pub units_used: usize,
+    /// COPY units inserted for the one-plane-per-unit rule.
+    pub copies_inserted: usize,
+}
+
+/// Compile an expression into a document: zero or more cache-staging
+/// instructions followed by the evaluating instruction storing to
+/// `output`. Icons are bound before return; the document is ready for the
+/// generator.
+pub fn compile_expr(
+    expr: &Expr,
+    output: &str,
+    len: u64,
+    strategy: AllocStrategy,
+    kb: &KnowledgeBase,
+) -> (Document, CompileStats) {
+    let vars = expr.variables();
+    let decls = strategy.declare(&vars, output, len, kb.config().memory.planes);
+    let mut doc = Document::new(format!("expr->{output} [{}]", strategy.label()));
+    doc.decls = decls;
+    let mut stats = CompileStats::default();
+
+    // Per plane, the first variable keeps the read port; the rest are
+    // staged through caches.
+    let mut port_owner: BTreeMap<u8, String> = BTreeMap::new();
+    let mut staged: BTreeMap<String, CacheId> = BTreeMap::new();
+    for name in &vars {
+        let plane = doc.decls.lookup(name).expect("declared").plane;
+        if port_owner.contains_key(&plane.0) {
+            let cache = CacheId(staged.len() as u8);
+            assert!(kb.valid_cache(cache), "more conflicting variables than caches");
+            staged.insert(name.clone(), cache);
+        } else {
+            port_owner.insert(plane.0, name.clone());
+        }
+    }
+
+    // One staging instruction per conflicted variable.
+    for (name, cache) in &staged {
+        let pid = doc.add_pipeline(format!("stage {name} via {cache}"));
+        let d = doc.pipeline_mut(pid).unwrap();
+        d.stream_len = len;
+        let mem = d.add_icon(IconKind::memory());
+        let unit = d.add_icon(IconKind::als(AlsKind::Singlet));
+        let cc = d.add_icon(IconKind::Cache { cache: Some(*cache) });
+        d.connect(
+            PadLoc::new(mem, PadRef::Io),
+            PadLoc::new(unit, PadRef::FuIn { pos: 0, port: InPort::A }),
+            Some(DmaAttrs::variable(name)),
+        )
+        .unwrap();
+        d.assign_fu(unit, 0, FuAssign::unary(FuOp::Copy)).unwrap();
+        d.connect(
+            PadLoc::new(unit, PadRef::FuOut { pos: 0 }),
+            PadLoc::new(cc, PadRef::Io),
+            Some(DmaAttrs::at_address(0)),
+        )
+        .unwrap();
+        stats.staging_instructions += 1;
+    }
+
+    // The main instruction.
+    let pid = doc.add_pipeline("evaluate");
+    let d = doc.pipeline_mut(pid).unwrap();
+    d.stream_len = len;
+    let mut cx = MapCx {
+        d,
+        staged: &staged,
+        next_slot: 0,
+        group_icons: BTreeMap::new(),
+        var_pads: BTreeMap::new(),
+        copies: 0,
+    };
+    let root = cx.lower(expr);
+    let copies = cx.copies;
+    let units = cx.next_slot;
+    let root_attrs = root.attrs.clone();
+    let mem_out = cx.d.add_icon(IconKind::memory());
+    cx.d.connect(
+        root.pad,
+        PadLoc::new(mem_out, PadRef::Io),
+        Some(DmaAttrs::variable(output).with_count(len)),
+    )
+    .unwrap();
+    drop(root_attrs);
+    stats.units_used = units;
+    stats.copies_inserted = copies;
+
+    doc.control = Some(ControlNode::Seq(
+        doc.pipelines().iter().map(|p| ControlNode::Pipeline(p.id)).collect(),
+    ));
+    // Bind everything.
+    let checker = Checker::new(kb.clone());
+    let decls = doc.decls.clone();
+    let ids: Vec<_> = doc.pipelines().iter().map(|p| p.id).collect();
+    for id in ids {
+        let diags = checker.auto_bind(doc.pipeline_mut(id).unwrap(), &decls);
+        assert!(diags.is_empty(), "binding: {diags:?}");
+    }
+    (doc, stats)
+}
+
+/// A lowered subexpression: the pad its stream leaves from, the DMA
+/// attributes every wire from that pad must carry (storage pads only), and
+/// the variable name when the stream is a *direct plane read*.
+#[derive(Clone)]
+struct Lowered {
+    pad: PadLoc,
+    attrs: Option<DmaAttrs>,
+    direct_var: Option<String>,
+}
+
+struct MapCx<'a> {
+    d: &'a mut PipelineDiagram,
+    staged: &'a BTreeMap<String, CacheId>,
+    next_slot: usize,
+    group_icons: BTreeMap<usize, IconId>,
+    var_pads: BTreeMap<String, Lowered>,
+    copies: usize,
+}
+
+impl<'a> MapCx<'a> {
+    /// Allocate the next unit slot, creating ALS icons lazily.
+    fn alloc_unit(&mut self) -> (IconId, u8) {
+        let shapes = [
+            (AlsKind::Triplet, 4usize, 3usize),
+            (AlsKind::Doublet, 8, 2),
+            (AlsKind::Singlet, 4, 1),
+        ];
+        let mut base = 0usize;
+        for (kind, count, per) in shapes {
+            for g in 0..count {
+                let lo = base + g * per;
+                let hi = lo + per;
+                if self.next_slot >= lo && self.next_slot < hi {
+                    let icon = *self
+                        .group_icons
+                        .entry(lo)
+                        .or_insert_with(|| self.d.add_icon(IconKind::als(kind)));
+                    let pos = (self.next_slot - lo) as u8;
+                    self.next_slot += 1;
+                    return (icon, pos);
+                }
+            }
+            base += count * per;
+        }
+        panic!("expression needs more than 32 units; split it first");
+    }
+
+    fn lower(&mut self, e: &Expr) -> Lowered {
+        match e {
+            Expr::Load(name) => {
+                if let Some(l) = self.var_pads.get(name) {
+                    return l.clone();
+                }
+                let lowered = match self.staged.get(name) {
+                    Some(cache) => {
+                        let icon = self.d.add_icon(IconKind::Cache { cache: Some(*cache) });
+                        Lowered {
+                            pad: PadLoc::new(icon, PadRef::Io),
+                            attrs: Some(DmaAttrs::at_address(0)),
+                            direct_var: None,
+                        }
+                    }
+                    None => {
+                        let icon = self.d.add_icon(IconKind::memory());
+                        Lowered {
+                            pad: PadLoc::new(icon, PadRef::Io),
+                            attrs: Some(DmaAttrs::variable(name)),
+                            direct_var: Some(name.clone()),
+                        }
+                    }
+                };
+                self.var_pads.insert(name.clone(), lowered.clone());
+                lowered
+            }
+            Expr::Const(_) => panic!("constants only as right operands of binary nodes"),
+            Expr::Unary(op, a) => {
+                let src = self.lower(a);
+                let (icon, pos) = self.alloc_unit();
+                self.d.assign_fu(icon, pos, FuAssign::unary(*op)).unwrap();
+                self.d
+                    .connect(
+                        src.pad,
+                        PadLoc::new(icon, PadRef::FuIn { pos, port: InPort::A }),
+                        src.attrs,
+                    )
+                    .unwrap();
+                Lowered {
+                    pad: PadLoc::new(icon, PadRef::FuOut { pos }),
+                    attrs: None,
+                    direct_var: None,
+                }
+            }
+            Expr::Binary(op, a, b) => {
+                if let Expr::Const(c) = **b {
+                    let src = self.lower(a);
+                    let (icon, pos) = self.alloc_unit();
+                    self.d.assign_fu(icon, pos, FuAssign::with_const(*op, c)).unwrap();
+                    self.d
+                        .connect(
+                            src.pad,
+                            PadLoc::new(icon, PadRef::FuIn { pos, port: InPort::A }),
+                            src.attrs,
+                        )
+                        .unwrap();
+                    return Lowered {
+                        pad: PadLoc::new(icon, PadRef::FuOut { pos }),
+                        attrs: None,
+                        direct_var: None,
+                    };
+                }
+                let la = self.lower(a);
+                let mut lb = self.lower(b);
+                // One read plane per unit: two *different* direct plane
+                // streams cannot meet at one unit.
+                if la.direct_var.is_some()
+                    && lb.direct_var.is_some()
+                    && la.direct_var != lb.direct_var
+                {
+                    let (ci, cp) = self.alloc_unit();
+                    self.d.assign_fu(ci, cp, FuAssign::unary(FuOp::Copy)).unwrap();
+                    self.d
+                        .connect(
+                            lb.pad,
+                            PadLoc::new(ci, PadRef::FuIn { pos: cp, port: InPort::A }),
+                            lb.attrs.clone(),
+                        )
+                        .unwrap();
+                    lb = Lowered {
+                        pad: PadLoc::new(ci, PadRef::FuOut { pos: cp }),
+                        attrs: None,
+                        direct_var: None,
+                    };
+                    self.copies += 1;
+                }
+                let (icon, pos) = self.alloc_unit();
+                self.d.assign_fu(icon, pos, FuAssign::binary(*op)).unwrap();
+                self.d
+                    .connect(
+                        la.pad,
+                        PadLoc::new(icon, PadRef::FuIn { pos, port: InPort::A }),
+                        la.attrs,
+                    )
+                    .unwrap();
+                self.d
+                    .connect(
+                        lb.pad,
+                        PadLoc::new(icon, PadRef::FuIn { pos, port: InPort::B }),
+                        lb.attrs,
+                    )
+                    .unwrap();
+                Lowered {
+                    pad: PadLoc::new(icon, PadRef::FuOut { pos }),
+                    attrs: None,
+                    direct_var: None,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsc_codegen::generate;
+    use nsc_sim::{NodeSim, RunOptions};
+    use rand::{Rng, SeedableRng};
+
+    fn sample_expr() -> Expr {
+        // y = (a+b) * (c-d) + |a| * 0.5
+        Expr::var("a")
+            .add(Expr::var("b"))
+            .mul(Expr::var("c").sub(Expr::var("d")))
+            .add(Expr::var("a").abs().mul(Expr::Const(0.5)))
+    }
+
+    fn run_strategy(strategy: AllocStrategy, len: u64) -> (Vec<f64>, u64, CompileStats) {
+        let kb = nsc_arch::KnowledgeBase::nsc_1988();
+        let expr = sample_expr();
+        let (doc, stats) = compile_expr(&expr, "y", len, strategy, &kb);
+        let out = generate(&kb, &doc).expect("generates");
+        let mut node = NodeSim::new(kb);
+        // Load inputs at their declared addresses.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut data: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+        for name in expr.variables() {
+            let v: Vec<f64> = (0..len).map(|_| rng.random_range(-4.0..4.0)).collect();
+            let decl = doc.decls.lookup(&name).unwrap();
+            node.mem.plane_mut(decl.plane).write_slice(decl.base, &v);
+            data.insert(name, v);
+        }
+        node.run_program(&out.program, &RunOptions::default()).expect("runs");
+        let ydecl = doc.decls.lookup("y").unwrap();
+        let y = node.mem.plane(ydecl.plane).read_vec(ydecl.base, len);
+        // Host comparison.
+        let host = expr.eval_host(len as usize, &|n| data[n].clone());
+        for (s, h) in y.iter().zip(&host) {
+            assert_eq!(s.to_bits(), h.to_bits(), "simulated expr must match host exactly");
+        }
+        (y, node.counters.cycles, stats)
+    }
+
+    #[test]
+    fn round_robin_needs_no_staging() {
+        let (_, _, stats) = run_strategy(AllocStrategy::RoundRobin, 64);
+        assert_eq!(stats.staging_instructions, 0);
+        assert!(stats.copies_inserted >= 1, "direct plane pairs still need copies");
+    }
+
+    #[test]
+    fn one_plane_allocation_pays_staging_instructions() {
+        let (_, _, stats) = run_strategy(AllocStrategy::AllInOnePlane, 64);
+        // Four variables in one plane: three must be staged.
+        assert_eq!(stats.staging_instructions, 3);
+    }
+
+    #[test]
+    fn two_per_plane_is_in_between() {
+        let (_, _, stats) = run_strategy(AllocStrategy::TwoPerPlane, 64);
+        assert_eq!(stats.staging_instructions, 2, "one conflict per shared plane");
+    }
+
+    #[test]
+    fn bad_allocation_costs_simulated_time() {
+        let (_, t_bad, _) = run_strategy(AllocStrategy::AllInOnePlane, 512);
+        let (_, t_good, _) = run_strategy(AllocStrategy::RoundRobin, 512);
+        assert!(
+            t_bad as f64 > 2.5 * t_good as f64,
+            "staging must dominate: {t_bad} vs {t_good} cycles"
+        );
+    }
+
+    #[test]
+    fn all_strategies_agree_on_values() {
+        let (a, _, _) = run_strategy(AllocStrategy::AllInOnePlane, 128);
+        let (b, _, _) = run_strategy(AllocStrategy::RoundRobin, 128);
+        let (c, _, _) = run_strategy(AllocStrategy::TwoPerPlane, 128);
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+    }
+}

@@ -1,0 +1,151 @@
+//! Elementwise vector expression trees.
+
+use nsc_arch::FuOp;
+use std::collections::BTreeSet;
+
+/// An elementwise expression over named vector variables.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A named input vector.
+    Load(String),
+    /// A broadcast constant.
+    Const(f64),
+    /// A unary operation.
+    Unary(FuOp, Box<Expr>),
+    /// A binary operation.
+    Binary(FuOp, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Load a variable.
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::Load(name.into())
+    }
+
+    /// `self + rhs`.
+    pub fn add(self, rhs: Expr) -> Expr {
+        Expr::Binary(FuOp::Add, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self - rhs`.
+    pub fn sub(self, rhs: Expr) -> Expr {
+        Expr::Binary(FuOp::Sub, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self * rhs`.
+    pub fn mul(self, rhs: Expr) -> Expr {
+        Expr::Binary(FuOp::Mul, Box::new(self), Box::new(rhs))
+    }
+
+    /// `|self|`.
+    pub fn abs(self) -> Expr {
+        Expr::Unary(FuOp::Abs, Box::new(self))
+    }
+
+    /// Distinct variables referenced, in first-use order.
+    pub fn variables(&self) -> Vec<String> {
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        self.visit(&mut |e| {
+            if let Expr::Load(name) = e {
+                if seen.insert(name.clone()) {
+                    out.push(name.clone());
+                }
+            }
+        });
+        out
+    }
+
+    /// Number of operation nodes (functional units needed, before staging).
+    pub fn op_count(&self) -> usize {
+        let mut n = 0;
+        self.visit(&mut |e| {
+            if matches!(e, Expr::Unary(..) | Expr::Binary(..)) {
+                n += 1;
+            }
+        });
+        n
+    }
+
+    fn visit(&self, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Unary(_, a) => a.visit(f),
+            Expr::Binary(_, a, b) => {
+                a.visit(f);
+                b.visit(f);
+            }
+            _ => {}
+        }
+    }
+
+    /// Evaluate elementwise on the host. `lookup` resolves variables to
+    /// slices of equal length; element `i` of the result uses element `i`
+    /// of every input.
+    pub fn eval_host(&self, len: usize, lookup: &impl Fn(&str) -> Vec<f64>) -> Vec<f64> {
+        match self {
+            Expr::Load(name) => {
+                let v = lookup(name);
+                assert_eq!(v.len(), len, "variable '{name}' length");
+                v
+            }
+            Expr::Const(c) => vec![*c; len],
+            Expr::Unary(op, a) => {
+                let av = a.eval_host(len, lookup);
+                av.into_iter().map(|x| op.apply(x, 0.0, 0.0)).collect()
+            }
+            Expr::Binary(op, a, b) => {
+                let av = a.eval_host(len, lookup);
+                let bv = b.eval_host(len, lookup);
+                av.into_iter().zip(bv).map(|(x, y)| op.apply(x, y, 0.0)).collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Expr {
+        // (a + b) * (c - d) + |a|
+        Expr::var("a")
+            .add(Expr::var("b"))
+            .mul(Expr::var("c").sub(Expr::var("d")))
+            .add(Expr::var("a").abs())
+    }
+
+    #[test]
+    fn variables_in_first_use_order() {
+        assert_eq!(sample().variables(), vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn op_count() {
+        // add, mul, sub, add, abs
+        assert_eq!(sample().op_count(), 5);
+    }
+
+    #[test]
+    fn host_eval() {
+        let lookup = |name: &str| -> Vec<f64> {
+            match name {
+                "a" => vec![-1.0, 2.0],
+                "b" => vec![3.0, 4.0],
+                "c" => vec![5.0, 6.0],
+                "d" => vec![1.0, 1.0],
+                _ => panic!(),
+            }
+        };
+        let y = sample().eval_host(2, &lookup);
+        assert_eq!(y[0], (-1.0 + 3.0) * (5.0 - 1.0) + 1.0);
+        assert_eq!(y[1], (2.0 + 4.0) * (6.0 - 1.0) + 2.0);
+    }
+
+    #[test]
+    fn constants_broadcast() {
+        let e = Expr::var("a").mul(Expr::Const(2.5));
+        let y = e.eval_host(3, &|_| vec![1.0, 2.0, 3.0]);
+        assert_eq!(y, vec![2.5, 5.0, 7.5]);
+    }
+}

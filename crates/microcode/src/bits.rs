@@ -1,0 +1,278 @@
+//! Bit-exact serialization primitives for the microcode word.
+//!
+//! Microinstructions are streams of fields with odd widths (1-bit enables,
+//! 6-bit opcodes, 24-bit addresses, 64-bit constants); [`BitWriter`] packs
+//! them MSB-first into a byte buffer and [`BitReader`] unpacks them. The
+//! encoded length in bits is tracked exactly so experiment T2 can report
+//! the true instruction width.
+
+use bytes::{BufMut, BytesMut};
+
+/// MSB-first bit packer.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    buf: BytesMut,
+    /// Bits of the final partial byte already used (0..8).
+    partial_bits: u32,
+    /// Total bits written.
+    len_bits: usize,
+}
+
+impl BitWriter {
+    /// Empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append the low `width` bits of `value`, MSB first.
+    ///
+    /// # Panics
+    /// If `width > 64` or `value` has bits above `width`.
+    pub fn write(&mut self, value: u64, width: u32) {
+        assert!(width <= 64, "width {width} > 64");
+        assert!(
+            width == 64 || value < (1u64 << width),
+            "value {value:#x} does not fit in {width} bits"
+        );
+        let mut remaining = width;
+        while remaining > 0 {
+            if self.partial_bits == 0 {
+                self.buf.put_u8(0);
+            }
+            let free = 8 - self.partial_bits;
+            let take = free.min(remaining);
+            let shift = remaining - take;
+            let chunk = ((value >> shift) & ((1u64 << take) - 1)) as u8;
+            let last = self.buf.len() - 1;
+            self.buf[last] |= chunk << (free - take);
+            self.partial_bits = (self.partial_bits + take) % 8;
+            remaining -= take;
+        }
+        self.len_bits += width as usize;
+    }
+
+    /// Append a boolean as one bit.
+    pub fn write_bool(&mut self, v: bool) {
+        self.write(v as u64, 1);
+    }
+
+    /// Append a signed value in `width`-bit two's complement.
+    pub fn write_signed(&mut self, value: i64, width: u32) {
+        assert!(width >= 1 && width <= 64);
+        if width < 64 {
+            let min = -(1i64 << (width - 1));
+            let max = (1i64 << (width - 1)) - 1;
+            assert!(value >= min && value <= max, "{value} does not fit in i{width}");
+        }
+        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        self.write((value as u64) & mask, width);
+    }
+
+    /// Append a full f64 as its 64 IEEE bits.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write(v.to_bits(), 64);
+    }
+
+    /// Total bits written so far.
+    pub fn len_bits(&self) -> usize {
+        self.len_bits
+    }
+
+    /// Finish, returning the packed bytes (final byte zero-padded).
+    pub fn finish(self) -> Vec<u8> {
+        self.buf.to_vec()
+    }
+}
+
+/// MSB-first bit unpacker.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    buf: &'a [u8],
+    pos_bits: usize,
+}
+
+/// Error produced when a reader runs off the end of its buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitUnderflow {
+    /// Bit position at which the read was attempted.
+    pub at_bit: usize,
+    /// Width requested.
+    pub width: u32,
+}
+
+impl std::fmt::Display for BitUnderflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bit underflow: read of {} bits at bit {}", self.width, self.at_bit)
+    }
+}
+
+impl std::error::Error for BitUnderflow {}
+
+impl<'a> BitReader<'a> {
+    /// Reader over packed bytes.
+    pub fn new(buf: &'a [u8]) -> Self {
+        BitReader { buf, pos_bits: 0 }
+    }
+
+    /// Read `width` bits MSB-first.
+    pub fn read(&mut self, width: u32) -> Result<u64, BitUnderflow> {
+        assert!(width <= 64);
+        if self.pos_bits + width as usize > self.buf.len() * 8 {
+            return Err(BitUnderflow { at_bit: self.pos_bits, width });
+        }
+        let mut out: u64 = 0;
+        let mut remaining = width;
+        while remaining > 0 {
+            let byte = self.buf[self.pos_bits / 8];
+            let used = (self.pos_bits % 8) as u32;
+            let avail = 8 - used;
+            let take = avail.min(remaining);
+            let chunk = (byte >> (avail - take)) & ((1u16 << take) - 1) as u8;
+            out = (out << take) | chunk as u64;
+            self.pos_bits += take as usize;
+            remaining -= take;
+        }
+        Ok(out)
+    }
+
+    /// Read one bit as a boolean.
+    pub fn read_bool(&mut self) -> Result<bool, BitUnderflow> {
+        Ok(self.read(1)? != 0)
+    }
+
+    /// Read a `width`-bit two's-complement value.
+    pub fn read_signed(&mut self, width: u32) -> Result<i64, BitUnderflow> {
+        let raw = self.read(width)?;
+        if width == 64 {
+            return Ok(raw as i64);
+        }
+        let sign = 1u64 << (width - 1);
+        Ok(if raw & sign != 0 { (raw | !((1u64 << width) - 1)) as i64 } else { raw as i64 })
+    }
+
+    /// Read 64 bits as an f64.
+    pub fn read_f64(&mut self) -> Result<f64, BitUnderflow> {
+        Ok(f64::from_bits(self.read(64)?))
+    }
+
+    /// Current bit position.
+    pub fn pos_bits(&self) -> usize {
+        self.pos_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_field_round_trip() {
+        let mut w = BitWriter::new();
+        w.write(0b101, 3);
+        assert_eq!(w.len_bits(), 3);
+        let bytes = w.finish();
+        assert_eq!(bytes, vec![0b1010_0000]);
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read(3).unwrap(), 0b101);
+    }
+
+    #[test]
+    fn fields_pack_across_byte_boundaries() {
+        let mut w = BitWriter::new();
+        w.write(0x3F, 6);
+        w.write(0x1FF, 9);
+        w.write(1, 1);
+        let bytes = w.finish();
+        assert_eq!(w_len(&bytes), 2); // 16 bits = 2 bytes
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read(6).unwrap(), 0x3F);
+        assert_eq!(r.read(9).unwrap(), 0x1FF);
+        assert_eq!(r.read(1).unwrap(), 1);
+        fn w_len(b: &[u8]) -> usize {
+            b.len()
+        }
+    }
+
+    #[test]
+    fn signed_round_trip() {
+        let mut w = BitWriter::new();
+        w.write_signed(-1, 16);
+        w.write_signed(-4096, 16);
+        w.write_signed(32767, 16);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_signed(16).unwrap(), -1);
+        assert_eq!(r.read_signed(16).unwrap(), -4096);
+        assert_eq!(r.read_signed(16).unwrap(), 32767);
+    }
+
+    #[test]
+    fn f64_round_trip_preserves_bits() {
+        for v in [0.0, -0.0, 1.0 / 6.0, f64::INFINITY, f64::MIN_POSITIVE, 1e-300] {
+            let mut w = BitWriter::new();
+            w.write_f64(v);
+            let bytes = w.finish();
+            let back = BitReader::new(&bytes).read_f64().unwrap();
+            assert_eq!(back.to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn underflow_is_reported() {
+        let bytes = [0xFFu8];
+        let mut r = BitReader::new(&bytes);
+        r.read(6).unwrap();
+        let err = r.read(6).unwrap_err();
+        assert_eq!(err.at_bit, 6);
+        assert_eq!(err.width, 6);
+        assert!(err.to_string().contains("underflow"));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_value_panics() {
+        BitWriter::new().write(8, 3);
+    }
+
+    #[test]
+    fn full_width_64_is_allowed() {
+        let mut w = BitWriter::new();
+        w.write(u64::MAX, 64);
+        let bytes = w.finish();
+        assert_eq!(BitReader::new(&bytes).read(64).unwrap(), u64::MAX);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mixed_fields_round_trip(fields in prop::collection::vec((0u64..u64::MAX, 1u32..=64), 1..64)) {
+            let mut w = BitWriter::new();
+            let mut expect = Vec::new();
+            for (v, width) in fields {
+                let masked = if width == 64 { v } else { v & ((1u64 << width) - 1) };
+                w.write(masked, width);
+                expect.push((masked, width));
+            }
+            let total = w.len_bits();
+            let bytes = w.finish();
+            prop_assert_eq!(bytes.len(), total.div_ceil(8));
+            let mut r = BitReader::new(&bytes);
+            for (v, width) in expect {
+                prop_assert_eq!(r.read(width).unwrap(), v);
+            }
+        }
+
+        #[test]
+        fn prop_signed_round_trip(v in i64::MIN..i64::MAX, width in 1u32..=64) {
+            let clamped = if width == 64 { v } else {
+                let min = -(1i64 << (width - 1));
+                let max = (1i64 << (width - 1)) - 1;
+                v.clamp(min, max)
+            };
+            let mut w = BitWriter::new();
+            w.write_signed(clamped, width);
+            let bytes = w.finish();
+            prop_assert_eq!(BitReader::new(&bytes).read_signed(width).unwrap(), clamped);
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! DMA controller descriptors for memory planes and data caches.
+//!
+//! Paper §2: "independent DMA controllers associated with each memory and
+//! cache plane pump data through the pipelines." A plane or cache whose
+//! switch port is routed needs a descriptor telling its controller where to
+//! start, how to stride, and how many words to move; paper Figure 9 shows
+//! the pop-up sub-window in which the user supplies exactly these values
+//! ("the cache or memory plane number, variable name or starting address,
+//! stride, etc.").
+
+use crate::bits::{BitReader, BitUnderflow, BitWriter};
+use serde::{Deserialize, Serialize};
+
+/// How a write-side DMA consumes its input stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum WriteMode {
+    /// Store every element of the stream (vector result).
+    #[default]
+    Stream,
+    /// Consume the whole stream but store only its final element — used to
+    /// capture the result of a feedback reduction (e.g. a residual norm)
+    /// as a scalar.
+    LastOnly,
+}
+
+impl WriteMode {
+    fn bit(self) -> u64 {
+        match self {
+            WriteMode::Stream => 0,
+            WriteMode::LastOnly => 1,
+        }
+    }
+
+    fn from_bit(b: u64) -> Self {
+        if b == 0 {
+            WriteMode::Stream
+        } else {
+            WriteMode::LastOnly
+        }
+    }
+}
+
+/// One direction (read or write) of a memory plane's DMA controller.
+///
+/// Addresses are plane-local word addresses (24 bits cover the 16 Mi words
+/// of a 128 MB plane); strides are signed so streams can run backwards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlaneDmaField {
+    /// Whether this direction runs during the instruction.
+    pub enabled: bool,
+    /// Starting word address within the plane.
+    pub base: u32,
+    /// Element stride in words (signed).
+    pub stride: i32,
+    /// Number of words to transfer.
+    pub count: u32,
+    /// Write side: discard this many leading elements of the incoming
+    /// stream before storing (shift/delay warm-up produced by stencil tap
+    /// offsets; the generator computes it automatically). Ignored on reads.
+    pub skip: u32,
+    /// Write-side consumption mode (ignored for reads).
+    pub mode: WriteMode,
+}
+
+impl PlaneDmaField {
+    const ADDR_BITS: u32 = 24;
+    const STRIDE_BITS: u32 = 16;
+    const COUNT_BITS: u32 = 24;
+    const SKIP_BITS: u32 = 24;
+    /// Encoded width of one plane DMA direction.
+    pub const BITS: u32 =
+        1 + Self::ADDR_BITS + Self::STRIDE_BITS + Self::COUNT_BITS + Self::SKIP_BITS + 1;
+    /// Leaf fields (enable, base, stride, count, skip, mode).
+    pub const LEAF_FIELDS: usize = 6;
+
+    /// An idle controller.
+    pub fn idle() -> Self {
+        PlaneDmaField {
+            enabled: false,
+            base: 0,
+            stride: 1,
+            count: 0,
+            skip: 0,
+            mode: WriteMode::Stream,
+        }
+    }
+
+    /// A unit-stride transfer of `count` words starting at `base`.
+    pub fn contiguous(base: u32, count: u32) -> Self {
+        PlaneDmaField { enabled: true, base, stride: 1, count, skip: 0, mode: WriteMode::Stream }
+    }
+
+    /// Pack into the writer.
+    pub fn encode(&self, w: &mut BitWriter) {
+        w.write_bool(self.enabled);
+        w.write(self.base as u64, Self::ADDR_BITS);
+        w.write_signed(self.stride as i64, Self::STRIDE_BITS);
+        w.write(self.count as u64, Self::COUNT_BITS);
+        w.write(self.skip as u64, Self::SKIP_BITS);
+        w.write(self.mode.bit(), 1);
+    }
+
+    /// Unpack from the reader.
+    pub fn decode(r: &mut BitReader) -> Result<Self, BitUnderflow> {
+        Ok(PlaneDmaField {
+            enabled: r.read_bool()?,
+            base: r.read(Self::ADDR_BITS)? as u32,
+            stride: r.read_signed(Self::STRIDE_BITS)? as i32,
+            count: r.read(Self::COUNT_BITS)? as u32,
+            skip: r.read(Self::SKIP_BITS)? as u32,
+            mode: WriteMode::from_bit(r.read(1)?),
+        })
+    }
+}
+
+impl Default for PlaneDmaField {
+    fn default() -> Self {
+        Self::idle()
+    }
+}
+
+/// One direction (read or write) of a cache's DMA controller.
+///
+/// Offsets address one 8 K-word buffer (13 bits); the `buffer` bit selects
+/// which half of the double buffer the pipelines face this instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheDmaField {
+    /// Whether this direction runs during the instruction.
+    pub enabled: bool,
+    /// Starting word offset within the selected buffer.
+    pub offset: u16,
+    /// Element stride in words (signed).
+    pub stride: i16,
+    /// Number of words to transfer.
+    pub count: u16,
+    /// Write side: discard this many leading stream elements before
+    /// storing. Ignored on reads.
+    pub skip: u16,
+    /// Which buffer of the double buffer this direction uses.
+    pub buffer: u8,
+    /// Write-side consumption mode (ignored for reads).
+    pub mode: WriteMode,
+}
+
+impl CacheDmaField {
+    const OFFSET_BITS: u32 = 13;
+    const STRIDE_BITS: u32 = 8;
+    const COUNT_BITS: u32 = 14;
+    const SKIP_BITS: u32 = 14;
+    /// Encoded width of one cache DMA direction.
+    pub const BITS: u32 =
+        1 + Self::OFFSET_BITS + Self::STRIDE_BITS + Self::COUNT_BITS + Self::SKIP_BITS + 1 + 1;
+    /// Leaf fields (enable, offset, stride, count, skip, buffer, mode).
+    pub const LEAF_FIELDS: usize = 7;
+
+    /// An idle controller.
+    pub fn idle() -> Self {
+        CacheDmaField {
+            enabled: false,
+            offset: 0,
+            stride: 1,
+            count: 0,
+            skip: 0,
+            buffer: 0,
+            mode: WriteMode::Stream,
+        }
+    }
+
+    /// A scalar capture: consume a stream, store its last element at
+    /// `offset` (used for reduction results such as residual norms).
+    pub fn scalar_capture(offset: u16) -> Self {
+        CacheDmaField {
+            enabled: true,
+            offset,
+            stride: 1,
+            count: 1,
+            skip: 0,
+            buffer: 0,
+            mode: WriteMode::LastOnly,
+        }
+    }
+
+    /// Pack into the writer.
+    pub fn encode(&self, w: &mut BitWriter) {
+        w.write_bool(self.enabled);
+        w.write(self.offset as u64, Self::OFFSET_BITS);
+        w.write_signed(self.stride as i64, Self::STRIDE_BITS);
+        w.write(self.count as u64, Self::COUNT_BITS);
+        w.write(self.skip as u64, Self::SKIP_BITS);
+        w.write(self.buffer as u64, 1);
+        w.write(self.mode.bit(), 1);
+    }
+
+    /// Unpack from the reader.
+    pub fn decode(r: &mut BitReader) -> Result<Self, BitUnderflow> {
+        Ok(CacheDmaField {
+            enabled: r.read_bool()?,
+            offset: r.read(Self::OFFSET_BITS)? as u16,
+            stride: r.read_signed(Self::STRIDE_BITS)? as i16,
+            count: r.read(Self::COUNT_BITS)? as u16,
+            skip: r.read(Self::SKIP_BITS)? as u16,
+            buffer: r.read(1)? as u8,
+            mode: WriteMode::from_bit(r.read(1)?),
+        })
+    }
+}
+
+impl Default for CacheDmaField {
+    fn default() -> Self {
+        Self::idle()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn plane_dma_round_trips() {
+        let d = PlaneDmaField {
+            enabled: true,
+            base: 0x00FF_FFFF,
+            stride: -4096,
+            count: 1 << 20,
+            skip: 8192,
+            mode: WriteMode::LastOnly,
+        };
+        let mut w = BitWriter::new();
+        d.encode(&mut w);
+        assert_eq!(w.len_bits(), PlaneDmaField::BITS as usize);
+        let bytes = w.finish();
+        assert_eq!(PlaneDmaField::decode(&mut BitReader::new(&bytes)).unwrap(), d);
+    }
+
+    #[test]
+    fn cache_dma_round_trips() {
+        let d = CacheDmaField {
+            enabled: true,
+            offset: 8191,
+            stride: -128,
+            count: 16383,
+            skip: 100,
+            buffer: 1,
+            mode: WriteMode::Stream,
+        };
+        let mut w = BitWriter::new();
+        d.encode(&mut w);
+        assert_eq!(w.len_bits(), CacheDmaField::BITS as usize);
+        let bytes = w.finish();
+        assert_eq!(CacheDmaField::decode(&mut BitReader::new(&bytes)).unwrap(), d);
+    }
+
+    #[test]
+    fn plane_addresses_cover_a_full_plane() {
+        // 24-bit word addresses address 16 Mi words = 128 MB. The paper's
+        // plane size must be addressable.
+        assert!(1u64 << 24 >= 16 * 1024 * 1024);
+    }
+
+    #[test]
+    fn constructors() {
+        let c = PlaneDmaField::contiguous(100, 50);
+        assert!(c.enabled && c.stride == 1 && c.count == 50 && c.base == 100);
+        let s = CacheDmaField::scalar_capture(7);
+        assert!(s.enabled && s.count == 1 && s.mode == WriteMode::LastOnly && s.offset == 7);
+        assert!(!PlaneDmaField::idle().enabled);
+        assert!(!CacheDmaField::idle().enabled);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_plane_dma_round_trips(
+            enabled in any::<bool>(),
+            base in 0u32..(1 << 24),
+            stride in -32768i32..32768,
+            count in 0u32..(1 << 24),
+            last in any::<bool>(),
+        ) {
+            let d = PlaneDmaField {
+                enabled, base, stride, count, skip: count / 2,
+                mode: if last { WriteMode::LastOnly } else { WriteMode::Stream },
+            };
+            let mut w = BitWriter::new();
+            d.encode(&mut w);
+            let bytes = w.finish();
+            prop_assert_eq!(PlaneDmaField::decode(&mut BitReader::new(&bytes)).unwrap(), d);
+        }
+
+        #[test]
+        fn prop_cache_dma_round_trips(
+            enabled in any::<bool>(),
+            offset in 0u16..(1 << 13),
+            stride in -128i16..128,
+            count in 0u16..(1 << 14),
+            buffer in 0u8..2,
+            last in any::<bool>(),
+        ) {
+            let d = CacheDmaField {
+                enabled, offset, stride, count, skip: count / 2, buffer,
+                mode: if last { WriteMode::LastOnly } else { WriteMode::Stream },
+            };
+            let mut w = BitWriter::new();
+            d.encode(&mut w);
+            let bytes = w.finish();
+            prop_assert_eq!(CacheDmaField::decode(&mut BitReader::new(&bytes)).unwrap(), d);
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Per-functional-unit control fields.
+//!
+//! Each of the node's 32 functional units gets one [`FuField`] in every
+//! microinstruction: whether it participates, which operation it performs,
+//! where each of its two operand inputs comes from, and an optional
+//! register-file constant preload (paper §2: register files "store
+//! constants or intermediate values, as well as ... buffer data to adjust
+//! for pipeline timing delays").
+
+use crate::bits::{BitReader, BitUnderflow, BitWriter};
+use nsc_arch::FuOp;
+use serde::{Deserialize, Serialize};
+
+/// Where one operand input of a functional unit comes from.
+///
+/// Paper §5 (Figure 8 menu): "These may be either external connections to
+/// other function units, caches, memories, or shift/delay units, or else
+/// internal connections for feedback loops or register file data."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FuInputSel {
+    /// External: take the stream the switch routes to this input port.
+    Switch,
+    /// Internal: a register-file constant (slot index into the RF).
+    Constant(u8),
+    /// Internal: this unit's own switch-routed stream, passed through the
+    /// register file configured as a circular queue of the given depth —
+    /// the paper's mechanism for vector-stream timing alignment ("routing
+    /// input data into a circular queue in a register file and then
+    /// retrieving the value a number of clock cycles later").
+    Queue(u8),
+    /// Internal: feedback of this unit's own output (running reductions);
+    /// the slot index names the RF register holding the initial value.
+    Feedback(u8),
+}
+
+impl FuInputSel {
+    const TAG_BITS: u32 = 2;
+    const OPERAND_BITS: u32 = 6;
+    /// Encoded width of one input selector.
+    pub const BITS: u32 = Self::TAG_BITS + Self::OPERAND_BITS;
+
+    fn tag(&self) -> u64 {
+        match self {
+            FuInputSel::Switch => 0,
+            FuInputSel::Constant(_) => 1,
+            FuInputSel::Queue(_) => 2,
+            FuInputSel::Feedback(_) => 3,
+        }
+    }
+
+    fn operand(&self) -> u64 {
+        match self {
+            FuInputSel::Switch => 0,
+            FuInputSel::Constant(s) | FuInputSel::Queue(s) | FuInputSel::Feedback(s) => *s as u64,
+        }
+    }
+
+    /// Pack into the writer.
+    pub fn encode(&self, w: &mut BitWriter) {
+        w.write(self.tag(), Self::TAG_BITS);
+        w.write(self.operand(), Self::OPERAND_BITS);
+    }
+
+    /// Unpack from the reader.
+    pub fn decode(r: &mut BitReader) -> Result<Self, BitUnderflow> {
+        let tag = r.read(Self::TAG_BITS)?;
+        let operand = r.read(Self::OPERAND_BITS)? as u8;
+        Ok(match tag {
+            0 => FuInputSel::Switch,
+            1 => FuInputSel::Constant(operand),
+            2 => FuInputSel::Queue(operand),
+            _ => FuInputSel::Feedback(operand),
+        })
+    }
+}
+
+/// Complete microcode control for one functional unit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FuField {
+    /// Whether this unit participates in the instruction.
+    pub enabled: bool,
+    /// The operation it performs (6-bit opcode).
+    pub op: FuOp,
+    /// First operand source.
+    pub in_a: FuInputSel,
+    /// Second operand source.
+    pub in_b: FuInputSel,
+    /// Register-file slot read by [`FuOp::MulAddConst`] and used as the
+    /// initial value of [`FuInputSel::Feedback`].
+    pub const_slot: u8,
+    /// Constant preloaded into `const_slot` at instruction start, if any.
+    pub preload: Option<f64>,
+}
+
+impl FuField {
+    const OP_BITS: u32 = 6;
+    const SLOT_BITS: u32 = 6;
+    /// Encoded width of one FU field.
+    pub const BITS: u32 = 1 + Self::OP_BITS + 2 * FuInputSel::BITS + Self::SLOT_BITS + 1 + 64;
+    /// Leaf control fields per FU (enable, op, 2 x (tag, operand), slot,
+    /// preload-enable, preload-value).
+    pub const LEAF_FIELDS: usize = 9;
+
+    /// A disabled unit (the all-defaults field).
+    pub fn disabled() -> Self {
+        FuField {
+            enabled: false,
+            op: FuOp::Copy,
+            in_a: FuInputSel::Switch,
+            in_b: FuInputSel::Switch,
+            const_slot: 0,
+            preload: None,
+        }
+    }
+
+    /// An enabled unit computing `op` from two switch-routed streams.
+    pub fn active(op: FuOp) -> Self {
+        FuField { enabled: true, op, ..Self::disabled() }
+    }
+
+    /// Pack into the writer.
+    pub fn encode(&self, w: &mut BitWriter) {
+        w.write_bool(self.enabled);
+        w.write(self.op.code() as u64, Self::OP_BITS);
+        self.in_a.encode(w);
+        self.in_b.encode(w);
+        w.write(self.const_slot as u64, Self::SLOT_BITS);
+        match self.preload {
+            Some(v) => {
+                w.write_bool(true);
+                w.write_f64(v);
+            }
+            None => {
+                w.write_bool(false);
+                w.write_f64(0.0);
+            }
+        }
+    }
+
+    /// Unpack from the reader.
+    pub fn decode(r: &mut BitReader) -> Result<Self, BitUnderflow> {
+        let enabled = r.read_bool()?;
+        let op = FuOp::from_code(r.read(Self::OP_BITS)? as u8).unwrap_or(FuOp::Copy);
+        let in_a = FuInputSel::decode(r)?;
+        let in_b = FuInputSel::decode(r)?;
+        let const_slot = r.read(Self::SLOT_BITS)? as u8;
+        let has_preload = r.read_bool()?;
+        let val = r.read_f64()?;
+        let preload = if has_preload { Some(val) } else { None };
+        Ok(FuField { enabled, op, in_a, in_b, const_slot, preload })
+    }
+}
+
+impl Default for FuField {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn round_trip(f: &FuField) -> FuField {
+        let mut w = BitWriter::new();
+        f.encode(&mut w);
+        assert_eq!(w.len_bits(), FuField::BITS as usize);
+        let bytes = w.finish();
+        FuField::decode(&mut BitReader::new(&bytes)).unwrap()
+    }
+
+    #[test]
+    fn disabled_field_round_trips() {
+        let f = FuField::disabled();
+        assert_eq!(round_trip(&f), f);
+    }
+
+    #[test]
+    fn active_field_round_trips() {
+        let f = FuField {
+            enabled: true,
+            op: FuOp::MulAddConst,
+            in_a: FuInputSel::Queue(17),
+            in_b: FuInputSel::Constant(5),
+            const_slot: 63,
+            preload: Some(1.0 / 6.0),
+        };
+        assert_eq!(round_trip(&f), f);
+    }
+
+    #[test]
+    fn feedback_selector_round_trips() {
+        let f = FuField {
+            enabled: true,
+            op: FuOp::Max,
+            in_a: FuInputSel::Switch,
+            in_b: FuInputSel::Feedback(3),
+            const_slot: 3,
+            preload: Some(0.0),
+        };
+        let back = round_trip(&f);
+        assert_eq!(back.in_b, FuInputSel::Feedback(3));
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn width_constant_matches_layout() {
+        // 1 + 6 + 8 + 8 + 6 + 1 + 64 = 94 bits per FU.
+        assert_eq!(FuField::BITS, 94);
+    }
+
+    fn arb_sel() -> impl Strategy<Value = FuInputSel> {
+        prop_oneof![
+            Just(FuInputSel::Switch),
+            (0u8..64).prop_map(FuInputSel::Constant),
+            (0u8..64).prop_map(FuInputSel::Queue),
+            (0u8..64).prop_map(FuInputSel::Feedback),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn prop_fu_field_round_trips(
+            enabled in any::<bool>(),
+            op_idx in 0usize..FuOp::ALL.len(),
+            in_a in arb_sel(),
+            in_b in arb_sel(),
+            const_slot in 0u8..64,
+            preload in prop::option::of(-1.0e10f64..1.0e10),
+        ) {
+            let f = FuField { enabled, op: FuOp::ALL[op_idx], in_a, in_b, const_slot, preload };
+            prop_assert_eq!(round_trip(&f), f);
+        }
+    }
+}

@@ -1,0 +1,304 @@
+//! The central sequencer field: control flow between pipeline instructions.
+//!
+//! Paper §2: "A central sequencer provides high-level control flow ... An
+//! elaborate interrupt scheme is used to signal pipeline completions,
+//! evaluate conditional expressions, and trap exceptions." In this model
+//! every instruction runs to pipeline completion (the completion interrupt),
+//! after which the sequencer consults its field: an optional conditional
+//! branch evaluated against a scalar in a data cache (how the Jacobi example
+//! implements its residual convergence check), then the unconditional
+//! control — fall through, jump, counted loop, or halt.
+
+use crate::bits::{BitReader, BitUnderflow, BitWriter};
+use nsc_arch::CacheId;
+use serde::{Deserialize, Serialize};
+
+/// Comparison evaluated by the interrupt logic against a cache scalar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpKind {
+    /// Branch if `value < threshold`.
+    Lt,
+    /// Branch if `value >= threshold`.
+    Ge,
+    /// Branch if `value == threshold` (exact).
+    Eq,
+    /// Branch if `value != threshold` (exact).
+    Ne,
+}
+
+impl CmpKind {
+    /// Evaluate the comparison.
+    pub fn eval(self, value: f64, threshold: f64) -> bool {
+        match self {
+            CmpKind::Lt => value < threshold,
+            CmpKind::Ge => value >= threshold,
+            CmpKind::Eq => value == threshold,
+            CmpKind::Ne => value != threshold,
+        }
+    }
+
+    fn code(self) -> u64 {
+        match self {
+            CmpKind::Lt => 0,
+            CmpKind::Ge => 1,
+            CmpKind::Eq => 2,
+            CmpKind::Ne => 3,
+        }
+    }
+
+    fn from_code(c: u64) -> Self {
+        match c {
+            0 => CmpKind::Lt,
+            1 => CmpKind::Ge,
+            2 => CmpKind::Eq,
+            _ => CmpKind::Ne,
+        }
+    }
+
+    /// Mnemonic for the disassembler.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CmpKind::Lt => "LT",
+            CmpKind::Ge => "GE",
+            CmpKind::Eq => "EQ",
+            CmpKind::Ne => "NE",
+        }
+    }
+}
+
+/// A conditional branch evaluated after pipeline completion.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CondBranch {
+    /// Cache holding the scalar to test.
+    pub cache: CacheId,
+    /// Word offset of the scalar within the cache's buffer 0.
+    pub offset: u16,
+    /// Comparison to apply.
+    pub cmp: CmpKind,
+    /// Threshold operand.
+    pub threshold: f64,
+    /// Instruction index to branch to when the comparison holds.
+    pub target: u16,
+}
+
+impl CondBranch {
+    const BITS: u32 = 4 + 13 + 2 + 64 + 16;
+}
+
+/// Unconditional sequencer control, applied when no conditional branch
+/// fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SeqCtl {
+    /// Proceed to the next instruction.
+    #[default]
+    Next,
+    /// Jump to the given instruction index.
+    Jump(u16),
+    /// Decrement loop counter `ctr`; jump to `target` while it is nonzero.
+    DecJnz {
+        /// Which of the sequencer's 16 loop counters to decrement.
+        ctr: u8,
+        /// Branch target while the counter is nonzero.
+        target: u16,
+    },
+    /// Stop the program.
+    Halt,
+}
+
+impl SeqCtl {
+    const BITS: u32 = 2 + 4 + 16;
+}
+
+/// The complete sequencer field of one instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SequencerField {
+    /// Loop-counter preset executed when the instruction is *entered from
+    /// fall-through or jump* (not when re-entered via its own `DecJnz`):
+    /// `(counter, value)`.
+    pub set_counter: Option<(u8, u32)>,
+    /// Conditional branch evaluated first (the interrupt scheme's
+    /// "evaluate conditional expressions").
+    pub cond: Option<CondBranch>,
+    /// Unconditional control applied otherwise.
+    pub ctl: SeqCtl,
+}
+
+impl SequencerField {
+    /// Encoded width of the sequencer field.
+    pub const BITS: u32 = (1 + 4 + 24) + (1 + CondBranch::BITS) + SeqCtl::BITS;
+    /// Leaf fields (set-counter enable/idx/value, cond enable/cache/offset/
+    /// cmp/threshold/target, ctl tag/ctr/target).
+    pub const LEAF_FIELDS: usize = 12;
+
+    /// Fall-through with no conditions.
+    pub fn next() -> Self {
+        Self::default()
+    }
+
+    /// Halt after this instruction.
+    pub fn halt() -> Self {
+        SequencerField { ctl: SeqCtl::Halt, ..Self::default() }
+    }
+
+    /// Pack into the writer.
+    pub fn encode(&self, w: &mut BitWriter) {
+        match self.set_counter {
+            Some((ctr, val)) => {
+                w.write_bool(true);
+                w.write(ctr as u64, 4);
+                w.write(val as u64, 24);
+            }
+            None => {
+                w.write_bool(false);
+                w.write(0, 4);
+                w.write(0, 24);
+            }
+        }
+        match &self.cond {
+            Some(c) => {
+                w.write_bool(true);
+                w.write(c.cache.0 as u64, 4);
+                w.write(c.offset as u64, 13);
+                w.write(c.cmp.code(), 2);
+                w.write_f64(c.threshold);
+                w.write(c.target as u64, 16);
+            }
+            None => {
+                w.write_bool(false);
+                w.write(0, 4);
+                w.write(0, 13);
+                w.write(0, 2);
+                w.write_f64(0.0);
+                w.write(0, 16);
+            }
+        }
+        let (tag, ctr, target) = match self.ctl {
+            SeqCtl::Next => (0u64, 0u64, 0u64),
+            SeqCtl::Jump(t) => (1, 0, t as u64),
+            SeqCtl::DecJnz { ctr, target } => (2, ctr as u64, target as u64),
+            SeqCtl::Halt => (3, 0, 0),
+        };
+        w.write(tag, 2);
+        w.write(ctr, 4);
+        w.write(target, 16);
+    }
+
+    /// Unpack from the reader.
+    pub fn decode(r: &mut BitReader) -> Result<Self, BitUnderflow> {
+        let has_set = r.read_bool()?;
+        let ctr = r.read(4)? as u8;
+        let val = r.read(24)? as u32;
+        let set_counter = has_set.then_some((ctr, val));
+
+        let has_cond = r.read_bool()?;
+        let cache = CacheId(r.read(4)? as u8);
+        let offset = r.read(13)? as u16;
+        let cmp = CmpKind::from_code(r.read(2)?);
+        let threshold = r.read_f64()?;
+        let target = r.read(16)? as u16;
+        let cond = has_cond.then_some(CondBranch { cache, offset, cmp, threshold, target });
+
+        let tag = r.read(2)?;
+        let c = r.read(4)? as u8;
+        let t = r.read(16)? as u16;
+        let ctl = match tag {
+            0 => SeqCtl::Next,
+            1 => SeqCtl::Jump(t),
+            2 => SeqCtl::DecJnz { ctr: c, target: t },
+            _ => SeqCtl::Halt,
+        };
+        Ok(SequencerField { set_counter, cond, ctl })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn round_trip(s: &SequencerField) -> SequencerField {
+        let mut w = BitWriter::new();
+        s.encode(&mut w);
+        assert_eq!(w.len_bits(), SequencerField::BITS as usize);
+        let bytes = w.finish();
+        SequencerField::decode(&mut BitReader::new(&bytes)).unwrap()
+    }
+
+    #[test]
+    fn default_is_plain_fallthrough() {
+        let s = SequencerField::next();
+        assert_eq!(s.ctl, SeqCtl::Next);
+        assert!(s.cond.is_none() && s.set_counter.is_none());
+        assert_eq!(round_trip(&s), s);
+    }
+
+    #[test]
+    fn convergence_check_round_trips() {
+        // The Jacobi residual check: loop back to instruction 0 until the
+        // residual scalar in cache 0, offset 0 drops below 1e-6.
+        let s = SequencerField {
+            set_counter: None,
+            cond: Some(CondBranch {
+                cache: CacheId(0),
+                offset: 0,
+                cmp: CmpKind::Ge,
+                threshold: 1e-6,
+                target: 0,
+            }),
+            ctl: SeqCtl::Halt,
+        };
+        assert_eq!(round_trip(&s), s);
+    }
+
+    #[test]
+    fn counted_loop_round_trips() {
+        let s = SequencerField {
+            set_counter: Some((3, 1_000_000)),
+            cond: None,
+            ctl: SeqCtl::DecJnz { ctr: 3, target: 7 },
+        };
+        assert_eq!(round_trip(&s), s);
+    }
+
+    #[test]
+    fn cmp_semantics() {
+        assert!(CmpKind::Lt.eval(0.5, 1.0));
+        assert!(!CmpKind::Lt.eval(1.0, 1.0));
+        assert!(CmpKind::Ge.eval(1.0, 1.0));
+        assert!(CmpKind::Eq.eval(2.0, 2.0));
+        assert!(CmpKind::Ne.eval(2.0, 3.0));
+    }
+
+    #[test]
+    fn cmp_mnemonics_unique() {
+        let all = [CmpKind::Lt, CmpKind::Ge, CmpKind::Eq, CmpKind::Ne];
+        let set: std::collections::HashSet<_> = all.iter().map(|c| c.mnemonic()).collect();
+        assert_eq!(set.len(), 4);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_sequencer_round_trips(
+            set in prop::option::of((0u8..16, 0u32..(1<<24))),
+            cond in prop::option::of((0u8..16, 0u16..(1<<13), 0u64..4, -1.0e9f64..1.0e9, any::<u16>())),
+            tag in 0u64..4,
+            ctr in 0u8..16,
+            target in any::<u16>(),
+        ) {
+            let s = SequencerField {
+                set_counter: set,
+                cond: cond.map(|(c, o, k, th, t)| CondBranch {
+                    cache: CacheId(c), offset: o, cmp: CmpKind::from_code(k),
+                    threshold: th, target: t,
+                }),
+                ctl: match tag {
+                    0 => SeqCtl::Next,
+                    1 => SeqCtl::Jump(target),
+                    2 => SeqCtl::DecJnz { ctr, target },
+                    _ => SeqCtl::Halt,
+                },
+            };
+            prop_assert_eq!(round_trip(&s), s);
+        }
+    }
+}

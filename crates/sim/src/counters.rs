@@ -1,0 +1,87 @@
+//! Performance counters: how the simulator grounds the paper's numbers.
+//!
+//! The published peak is 640 MFLOPS per node (32 units x 20 MHz); the
+//! counters measure what generated programs actually achieve against it
+//! (experiment T1) and provide the simulated-time axis for the solver
+//! experiments.
+
+use serde::{Deserialize, Serialize};
+
+/// Cumulative counters of one node.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PerfCounters {
+    /// Clock cycles elapsed (instruction setup + streaming + drain).
+    pub cycles: u64,
+    /// Microinstructions executed.
+    pub instructions: u64,
+    /// Floating-point results produced (MFLOPS numerator).
+    pub flops: u64,
+    /// Words streamed out of planes and caches.
+    pub elements_streamed: u64,
+    /// Words stored into planes and caches.
+    pub elements_stored: u64,
+    /// Pipeline-completion interrupts raised.
+    pub completion_interrupts: u64,
+    /// Arithmetic exceptions trapped (non-finite results).
+    pub exceptions: u64,
+}
+
+impl PerfCounters {
+    /// Simulated wall time at a clock rate.
+    pub fn seconds(&self, clock_hz: u64) -> f64 {
+        self.cycles as f64 / clock_hz as f64
+    }
+
+    /// Achieved MFLOPS at a clock rate.
+    pub fn mflops(&self, clock_hz: u64) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.flops as f64 / self.seconds(clock_hz) / 1.0e6
+    }
+
+    /// Fraction of the machine's peak achieved.
+    pub fn efficiency(&self, clock_hz: u64, peak_mflops: f64) -> f64 {
+        self.mflops(clock_hz) / peak_mflops
+    }
+
+    /// Merge another node's counters (for system totals).
+    pub fn absorb(&mut self, other: &PerfCounters) {
+        self.cycles = self.cycles.max(other.cycles); // parallel nodes overlap
+        self.instructions += other.instructions;
+        self.flops += other.flops;
+        self.elements_streamed += other.elements_streamed;
+        self.elements_stored += other.elements_stored;
+        self.completion_interrupts += other.completion_interrupts;
+        self.exceptions += other.exceptions;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mflops_math() {
+        let c = PerfCounters { cycles: 20_000_000, flops: 640_000_000, ..Default::default() };
+        // 1 second at 20 MHz with 640M flops = 640 MFLOPS = peak.
+        assert!((c.seconds(20_000_000) - 1.0).abs() < 1e-12);
+        assert!((c.mflops(20_000_000) - 640.0).abs() < 1e-9);
+        assert!((c.efficiency(20_000_000, 640.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cycles_is_zero_mflops() {
+        assert_eq!(PerfCounters::default().mflops(20_000_000), 0.0);
+    }
+
+    #[test]
+    fn absorb_overlaps_time_and_sums_work() {
+        let mut a = PerfCounters { cycles: 100, flops: 50, instructions: 1, ..Default::default() };
+        let b = PerfCounters { cycles: 120, flops: 70, instructions: 2, ..Default::default() };
+        a.absorb(&b);
+        assert_eq!(a.cycles, 120, "parallel nodes: elapsed time is the max");
+        assert_eq!(a.flops, 120, "work adds");
+        assert_eq!(a.instructions, 3);
+    }
+}

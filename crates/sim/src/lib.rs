@@ -1,0 +1,36 @@
+//! # nsc-sim — a cycle-level simulator for the Navier-Stokes Computer
+//!
+//! The machine the paper targets was never completed — "there is no means
+//! of running actual NSC programs" (§4) — so this crate provides the
+//! substitute substrate (DESIGN.md substitution table): a functional,
+//! cycle-level model of one NSC node that executes the microcode emitted by
+//! `nsc-codegen`, plus the hypercube system of nodes connected by the
+//! hyperspace router.
+//!
+//! The node model follows §2 exactly:
+//!
+//! * per-plane and per-cache **DMA controllers** "pump data through the
+//!   pipelines" at one word per clock;
+//! * **functional units** consume one element per clock once full, with the
+//!   pipeline depths of [`nsc_arch::LatencyTable`];
+//! * **register files** provide constants, feedback accumulators and the
+//!   circular delay queues that align vector streams;
+//! * **shift/delay units** re-emit one input stream on delayed taps;
+//! * the **sequencer** walks the instruction list, presetting loop
+//!   counters, and the **interrupt scheme** signals pipeline completion,
+//!   evaluates convergence conditions against cache scalars, and counts
+//!   arithmetic exceptions;
+//! * performance counters report cycles and FLOPs so that a saturated node
+//!   measurably approaches the published 640 MFLOPS peak (experiment T1).
+
+pub mod counters;
+pub mod exec;
+pub mod memory;
+pub mod node;
+pub mod system;
+
+pub use counters::PerfCounters;
+pub use exec::{ExecError, SourceTrace};
+pub use memory::{DataCache, MemoryPlane, NodeMemory};
+pub use node::{HaltReason, NodeSim, RunOptions, RunStats};
+pub use system::NscSystem;

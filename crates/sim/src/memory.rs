@@ -1,0 +1,215 @@
+//! Memory planes and double-buffered caches.
+//!
+//! A plane is 16 Mi words (128 MB) in the published sizing; simulating 16
+//! of them per node times 64 nodes eagerly would be 128 GB, so planes
+//! allocate lazily in 64 Ki-word pages. Unwritten memory reads as zero
+//! (the real machine's ECC-scrubbed initial state is unspecified; zero is
+//! the conventional simulator choice).
+
+use nsc_arch::{CacheId, CacheSpec, MachineConfig, MemorySpec, PlaneId};
+use std::collections::HashMap;
+
+const PAGE_WORDS: u64 = 65_536;
+
+/// One lazily-paged memory plane.
+#[derive(Debug, Clone, Default)]
+pub struct MemoryPlane {
+    words: u64,
+    pages: HashMap<u64, Vec<f64>>,
+}
+
+impl MemoryPlane {
+    /// A plane of the given capacity in words.
+    pub fn new(words: u64) -> Self {
+        MemoryPlane { words, pages: HashMap::new() }
+    }
+
+    /// Capacity in words.
+    pub fn words(&self) -> u64 {
+        self.words
+    }
+
+    /// Read one word (zero if never written).
+    ///
+    /// # Panics
+    /// If `addr` is outside the plane.
+    #[inline]
+    pub fn read(&self, addr: u64) -> f64 {
+        assert!(addr < self.words, "plane read at {addr} beyond {} words", self.words);
+        match self.pages.get(&(addr / PAGE_WORDS)) {
+            Some(page) => page[(addr % PAGE_WORDS) as usize],
+            None => 0.0,
+        }
+    }
+
+    /// Write one word.
+    ///
+    /// # Panics
+    /// If `addr` is outside the plane.
+    #[inline]
+    pub fn write(&mut self, addr: u64, value: f64) {
+        assert!(addr < self.words, "plane write at {addr} beyond {} words", self.words);
+        let page = self
+            .pages
+            .entry(addr / PAGE_WORDS)
+            .or_insert_with(|| vec![0.0; PAGE_WORDS as usize]);
+        page[(addr % PAGE_WORDS) as usize] = value;
+    }
+
+    /// Bulk store starting at `base`.
+    pub fn write_slice(&mut self, base: u64, data: &[f64]) {
+        for (i, &v) in data.iter().enumerate() {
+            self.write(base + i as u64, v);
+        }
+    }
+
+    /// Bulk load of `len` words starting at `base`.
+    pub fn read_vec(&self, base: u64, len: u64) -> Vec<f64> {
+        (0..len).map(|i| self.read(base + i)).collect()
+    }
+
+    /// Pages currently resident (for memory-footprint assertions).
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+/// One double-buffered data cache.
+#[derive(Debug, Clone)]
+pub struct DataCache {
+    buffers: [Vec<f64>; 2],
+}
+
+impl DataCache {
+    /// A cache with two buffers of `words_per_buffer` words.
+    pub fn new(words_per_buffer: u64) -> Self {
+        DataCache {
+            buffers: [vec![0.0; words_per_buffer as usize], vec![0.0; words_per_buffer as usize]],
+        }
+    }
+
+    /// Words per buffer.
+    pub fn buffer_words(&self) -> usize {
+        self.buffers[0].len()
+    }
+
+    /// Read from one buffer.
+    #[inline]
+    pub fn read(&self, buffer: u8, offset: u64) -> f64 {
+        self.buffers[buffer as usize & 1][offset as usize]
+    }
+
+    /// Write into one buffer.
+    #[inline]
+    pub fn write(&mut self, buffer: u8, offset: u64, value: f64) {
+        self.buffers[buffer as usize & 1][offset as usize] = value;
+    }
+
+    /// Swap the two buffers (the double-buffer flip).
+    pub fn swap(&mut self) {
+        self.buffers.swap(0, 1);
+    }
+}
+
+/// All storage of one node.
+#[derive(Debug, Clone)]
+pub struct NodeMemory {
+    /// The memory planes.
+    pub planes: Vec<MemoryPlane>,
+    /// The data caches.
+    pub caches: Vec<DataCache>,
+}
+
+impl NodeMemory {
+    /// Storage sized for a machine configuration.
+    pub fn new(cfg: &MachineConfig) -> Self {
+        Self::from_specs(&cfg.memory, &cfg.cache)
+    }
+
+    /// Storage from raw specs.
+    pub fn from_specs(mem: &MemorySpec, cache: &CacheSpec) -> Self {
+        NodeMemory {
+            planes: (0..mem.planes).map(|_| MemoryPlane::new(mem.words_per_plane)).collect(),
+            caches: (0..cache.caches).map(|_| DataCache::new(cache.words_per_buffer)).collect(),
+        }
+    }
+
+    /// A plane by id.
+    pub fn plane(&self, p: PlaneId) -> &MemoryPlane {
+        &self.planes[p.index()]
+    }
+
+    /// A mutable plane by id.
+    pub fn plane_mut(&mut self, p: PlaneId) -> &mut MemoryPlane {
+        &mut self.planes[p.index()]
+    }
+
+    /// A cache by id.
+    pub fn cache(&self, c: CacheId) -> &DataCache {
+        &self.caches[c.index()]
+    }
+
+    /// A mutable cache by id.
+    pub fn cache_mut(&mut self, c: CacheId) -> &mut DataCache {
+        &mut self.caches[c.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planes_read_zero_until_written() {
+        let mut p = MemoryPlane::new(1 << 24);
+        assert_eq!(p.read(12345), 0.0);
+        p.write(12345, 3.5);
+        assert_eq!(p.read(12345), 3.5);
+        assert_eq!(p.read(12346), 0.0);
+    }
+
+    #[test]
+    fn planes_allocate_lazily() {
+        let mut p = MemoryPlane::new(16 * 1024 * 1024);
+        assert_eq!(p.resident_pages(), 0);
+        p.write(0, 1.0);
+        p.write(15 * 1024 * 1024, 2.0);
+        assert_eq!(p.resident_pages(), 2, "two touched pages, not 16M words");
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond")]
+    fn plane_bounds_are_enforced() {
+        MemoryPlane::new(100).read(100);
+    }
+
+    #[test]
+    fn bulk_round_trip() {
+        let mut p = MemoryPlane::new(1 << 20);
+        let data: Vec<f64> = (0..1000).map(|i| i as f64 * 0.5).collect();
+        // Crossing a page boundary on purpose.
+        p.write_slice(PAGE_WORDS - 500, &data);
+        assert_eq!(p.read_vec(PAGE_WORDS - 500, 1000), data);
+    }
+
+    #[test]
+    fn cache_double_buffering() {
+        let mut c = DataCache::new(64);
+        c.write(0, 3, 1.0);
+        c.write(1, 3, 2.0);
+        assert_eq!(c.read(0, 3), 1.0);
+        assert_eq!(c.read(1, 3), 2.0);
+        c.swap();
+        assert_eq!(c.read(0, 3), 2.0);
+        assert_eq!(c.read(1, 3), 1.0);
+    }
+
+    #[test]
+    fn node_memory_matches_config() {
+        let cfg = MachineConfig::test_small();
+        let m = NodeMemory::new(&cfg);
+        assert_eq!(m.planes.len(), 4);
+        assert_eq!(m.caches.len(), 4);
+        assert_eq!(m.caches[0].buffer_words(), 256);
+    }
+}

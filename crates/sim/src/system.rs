@@ -1,0 +1,230 @@
+//! The hypercube system: many nodes plus the hyperspace router.
+//!
+//! Paper §1-2: nodes are "arranged in a hypercube configuration" with
+//! inter-node communication "handled by means of a hyperspace router"; the
+//! published system sizing is 64 nodes for 40 GFLOPS and 128 GB. The
+//! system model runs per-node programs concurrently (crossbeam scoped
+//! threads — real parallelism for simulation wall-clock) and accounts
+//! simulated communication time with the e-cube router model.
+
+use crate::exec::ExecError;
+use crate::node::{NodeSim, RunOptions, RunStats};
+use nsc_arch::{HypercubeConfig, KnowledgeBase, NodeId, PlaneId};
+use nsc_microcode::MicroProgram;
+
+/// A hypercube of simulated nodes.
+#[derive(Debug)]
+pub struct NscSystem {
+    /// Cube topology and router model.
+    pub cube: HypercubeConfig,
+    nodes: Vec<NodeSim>,
+    /// Simulated communication time accumulated so far, in nanoseconds.
+    pub comm_ns: u64,
+}
+
+impl NscSystem {
+    /// A system of `2^dimension` identical nodes.
+    pub fn new(cube: HypercubeConfig, kb: &KnowledgeBase) -> Self {
+        let nodes = (0..cube.nodes()).map(|_| NodeSim::new(kb.clone())).collect();
+        NscSystem { cube, nodes, comm_ns: 0 }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// One node.
+    pub fn node(&self, id: NodeId) -> &NodeSim {
+        &self.nodes[id.index()]
+    }
+
+    /// One node, mutably.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut NodeSim {
+        &mut self.nodes[id.index()]
+    }
+
+    /// Run one program on every node concurrently (each node gets the same
+    /// program; per-node data lives in its own planes). Returns per-node
+    /// stats in node order.
+    pub fn run_on_all(
+        &mut self,
+        prog: &MicroProgram,
+        opts: &RunOptions,
+    ) -> Result<Vec<RunStats>, ExecError> {
+        let mut results: Vec<Option<Result<RunStats, ExecError>>> =
+            (0..self.nodes.len()).map(|_| None).collect();
+        crossbeam::thread::scope(|scope| {
+            for (node, slot) in self.nodes.iter_mut().zip(results.iter_mut()) {
+                scope.spawn(move |_| {
+                    *slot = Some(node.run_program(prog, opts));
+                });
+            }
+        })
+        .expect("node thread panicked");
+        results.into_iter().map(|r| r.expect("slot filled")).collect()
+    }
+
+    /// Transfer `len` words from a plane of one node to a plane of another,
+    /// charging the e-cube route cost. Returns the message time in ns.
+    pub fn exchange(
+        &mut self,
+        from: NodeId,
+        from_plane: PlaneId,
+        from_base: u64,
+        to: NodeId,
+        to_plane: PlaneId,
+        to_base: u64,
+        len: u64,
+    ) -> u64 {
+        let data = self.nodes[from.index()].mem.plane(from_plane).read_vec(from_base, len);
+        self.nodes[to.index()].mem.plane_mut(to_plane).write_slice(to_base, &data);
+        let ns = self.cube.message_ns(from, to, len);
+        self.comm_ns += ns;
+        ns
+    }
+
+    /// Global max-reduction of a cache scalar across all nodes, charged as
+    /// a dimension-ordered butterfly (log2(n) exchange rounds of one word).
+    /// Returns `(max value, reduction time in ns)`.
+    pub fn global_max_cache_scalar(&mut self, cache: nsc_arch::CacheId, offset: u64) -> (f64, u64) {
+        let value = self
+            .nodes
+            .iter()
+            .map(|n| n.mem.cache(cache).read(0, offset))
+            .fold(f64::NEG_INFINITY, f64::max);
+        // Butterfly: every round crosses one cube dimension (distance-1
+        // links), one word per message.
+        let per_round = self.cube.router.message_ns(1, 1);
+        let ns = per_round * self.cube.dimension as u64;
+        self.comm_ns += ns;
+        (value, ns)
+    }
+
+    /// Total simulated time: slowest node's compute plus communication.
+    pub fn simulated_seconds(&self) -> f64 {
+        let clock = self.nodes[0].kb.config().clock_hz;
+        let compute =
+            self.nodes.iter().map(|n| n.counters.cycles).max().unwrap_or(0) as f64 / clock as f64;
+        compute + self.comm_ns as f64 * 1e-9
+    }
+
+    /// Aggregate counters (cycles = max across nodes, work summed).
+    pub fn aggregate_counters(&self) -> crate::PerfCounters {
+        let mut total = crate::PerfCounters::default();
+        for n in &self.nodes {
+            total.absorb(&n.counters);
+        }
+        total
+    }
+
+    /// Aggregate achieved MFLOPS across the system (total flops over the
+    /// slowest node's elapsed time).
+    pub fn aggregate_mflops(&self) -> f64 {
+        let secs = self.simulated_seconds();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        let flops: u64 = self.nodes.iter().map(|n| n.counters.flops).sum();
+        flops as f64 / secs / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsc_arch::{FuId, FuOp, InPort, MachineConfig, SinkRef, SourceRef};
+    use nsc_microcode::{FuField, MicroInstruction, PlaneDmaField, ProgramBuilder};
+
+    fn small_system(dim: u32) -> NscSystem {
+        let kb = KnowledgeBase::new(MachineConfig::test_small());
+        NscSystem::new(HypercubeConfig::new(dim), &kb)
+    }
+
+    fn double_program(kb: &KnowledgeBase, count: u32) -> MicroProgram {
+        let mut b = ProgramBuilder::new(kb, "double");
+        let mut ins = MicroInstruction::empty(kb);
+        *ins.fu_mut(FuId(0)) = FuField {
+            enabled: true,
+            op: FuOp::Mul,
+            in_a: nsc_microcode::FuInputSel::Switch,
+            in_b: nsc_microcode::FuInputSel::Constant(0),
+            const_slot: 0,
+            preload: Some(2.0),
+        };
+        *ins.plane_rd_mut(PlaneId(0)) = PlaneDmaField::contiguous(0, count);
+        *ins.plane_wr_mut(PlaneId(1)) = PlaneDmaField::contiguous(0, count);
+        ins.switch.route(kb, SourceRef::PlaneRead(PlaneId(0)), SinkRef::FuIn(FuId(0), InPort::A));
+        ins.switch.route(kb, SourceRef::Fu(FuId(0)), SinkRef::PlaneWrite(PlaneId(1)));
+        b.push(ins);
+        b.finish()
+    }
+
+    #[test]
+    fn nodes_run_concurrently_with_private_data() {
+        let mut sys = small_system(2); // 4 nodes
+        for i in 0..4u16 {
+            sys.node_mut(NodeId(i)).mem.planes[0].write_slice(0, &[i as f64 + 1.0; 16]);
+        }
+        let kb = sys.node(NodeId(0)).kb.clone();
+        let prog = double_program(&kb, 16);
+        let stats = sys.run_on_all(&prog, &RunOptions::default()).expect("all nodes run");
+        assert_eq!(stats.len(), 4);
+        for i in 0..4u16 {
+            assert_eq!(
+                sys.node(NodeId(i)).mem.planes[1].read(7),
+                2.0 * (i as f64 + 1.0),
+                "node {i} doubled its own data"
+            );
+        }
+    }
+
+    #[test]
+    fn exchange_moves_data_and_charges_the_router() {
+        let mut sys = small_system(3);
+        sys.node_mut(NodeId(0)).mem.planes[0].write_slice(100, &[1.0, 2.0, 3.0]);
+        // 0 -> 7 is 3 hops in a 3-cube.
+        let ns = sys.exchange(NodeId(0), PlaneId(0), 100, NodeId(7), PlaneId(2), 0, 3);
+        assert_eq!(sys.node(NodeId(7)).mem.planes[2].read_vec(0, 3), vec![1.0, 2.0, 3.0]);
+        let expect = sys.cube.router.message_ns(3, 3);
+        assert_eq!(ns, expect);
+        assert_eq!(sys.comm_ns, expect);
+    }
+
+    #[test]
+    fn global_max_reduces_across_nodes() {
+        let mut sys = small_system(2);
+        for i in 0..4u16 {
+            sys.node_mut(NodeId(i)).mem.caches[0].write(0, 0, i as f64 * 10.0);
+        }
+        let (v, ns) = sys.global_max_cache_scalar(nsc_arch::CacheId(0), 0);
+        assert_eq!(v, 30.0);
+        assert_eq!(ns, 2 * sys.cube.router.message_ns(1, 1), "log2(4) rounds");
+    }
+
+    #[test]
+    fn simulated_time_is_max_compute_plus_comm() {
+        let mut sys = small_system(1);
+        let kb = sys.node(NodeId(0)).kb.clone();
+        let prog = double_program(&kb, 64);
+        sys.run_on_all(&prog, &RunOptions::default()).expect("runs");
+        let compute_only = sys.simulated_seconds();
+        assert!(compute_only > 0.0);
+        sys.exchange(NodeId(0), PlaneId(0), 0, NodeId(1), PlaneId(0), 0, 1000);
+        assert!(sys.simulated_seconds() > compute_only, "comm adds simulated time");
+    }
+
+    #[test]
+    fn aggregate_mflops_scale_with_nodes() {
+        // The same per-node work on 1 vs 4 nodes: ~4x the aggregate rate.
+        let kb = KnowledgeBase::new(MachineConfig::test_small());
+        let prog = double_program(&kb, 1024);
+        let mut sys1 = small_system(0);
+        sys1.run_on_all(&prog, &RunOptions::default()).expect("runs");
+        let mut sys4 = small_system(2);
+        sys4.run_on_all(&prog, &RunOptions::default()).expect("runs");
+        let r1 = sys1.aggregate_mflops();
+        let r4 = sys4.aggregate_mflops();
+        assert!(r4 > 3.5 * r1, "expected ~4x: {r1} vs {r4}");
+    }
+}

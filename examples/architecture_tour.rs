@@ -1,0 +1,80 @@
+//! Experiment E1 (paper Figure 1): the simplified datapath architecture
+//! diagram, regenerated from the live machine description — every number
+//! in the block diagram is queried from the knowledge base, not drawn by
+//! hand.
+//!
+//! Run with: `cargo run --example architecture_tour`
+
+use nsc::arch::{AlsKind, KnowledgeBase};
+use nsc::microcode::Census;
+
+fn main() {
+    let kb = KnowledgeBase::nsc_1988();
+    let cfg = kb.config();
+    let mem_mb = cfg.memory.bytes_per_plane() / (1024 * 1024);
+    let cache_kb = cfg.cache.words_per_buffer * 8 / 1024;
+    let t = kb.layout().alss_of_kind(AlsKind::Triplet).len();
+    let d = kb.layout().alss_of_kind(AlsKind::Doublet).len();
+    let s = kb.layout().alss_of_kind(AlsKind::Singlet).len();
+
+    std::fs::create_dir_all("out").ok();
+    let fig = format!(
+        r#"            Figure 1 (regenerated): NSC datapath architecture
+            ================================================
+
+                          +------------------+
+                          | Hyperspace Router|
+                          +---------+--------+
+                                    |
+      +-------------------+  +------+-------+  +----------------------+
+      | Double-Buffered   |  |              |  |  Memory Planes       |
+      | Data Caches       +--+    Switch    +--+  {mem_mb} MB x {planes}        |
+      | {cache_kb} KB x {caches} x {bufs}     |  |   Network    |  |  ({total_gb} GB per node)    |
+      +-------------------+  |   (FLONET)   |  +----------------------+
+                             |  {srcs} sources  |
+                             |  {sinks} sinks    |
+                             +--+--------+--+
+                                |        |
+        +-----------------------+--+  +--+--------------------+
+        | Functional Units          |  | Shift/Delay Units    |
+        | {fus} total: {t} triplets,      |  | {sdus} x {taps} taps           |
+        | {d} doublets, {s} singlets    |  | {sduw}-word buffers   |
+        +---------------------------+  +----------------------+
+
+        clock {mhz} MHz  =>  peak {peak} MFLOPS/node; 64 nodes => {gfl:.2} GFLOPS, {sysgb} GB
+"#,
+        mem_mb = mem_mb,
+        planes = cfg.memory.planes,
+        total_gb = cfg.memory.total_gigabytes(),
+        cache_kb = cache_kb,
+        caches = cfg.cache.caches,
+        bufs = cfg.cache.buffers,
+        srcs = kb.sources().len(),
+        sinks = kb.sinks().len(),
+        fus = cfg.fu_count(),
+        t = t,
+        d = d,
+        s = s,
+        sdus = cfg.sdu.units,
+        taps = cfg.sdu.taps_per_unit,
+        sduw = cfg.sdu.buffer_words,
+        mhz = cfg.clock_hz / 1_000_000,
+        peak = cfg.peak_mflops(),
+        gfl = cfg.system_peak_gflops(64),
+        sysgb = cfg.system_memory_gb(64),
+    );
+    println!("{fig}");
+    std::fs::write("out/fig1_datapath.txt", &fig).ok();
+
+    println!("--- capability asymmetry (paper section 3) ---");
+    for als in kb.layout().alss().iter().take(6) {
+        let caps: Vec<String> =
+            (0..als.kind.unit_count()).map(|p| als.kind.unit_caps(p).to_string()).collect();
+        println!("  {} ({}): units [{}]", als.id, als.kind, caps.join(", "));
+    }
+    println!("  ... ({} ALSs total)\n", kb.layout().alss().len());
+
+    println!("--- the microinstruction word (paper section 3, experiment T2) ---");
+    println!("{}", Census::of_machine(&kb).render_table());
+    println!("wrote out/fig1_datapath.txt");
+}

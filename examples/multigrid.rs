@@ -1,0 +1,64 @@
+//! Experiment T6 — the ref-[6] context: multigrid vs point Jacobi.
+//!
+//! The paper's Jacobi example comes from Nosenchuck, Krist & Zang's
+//! multigrid work for the NSC. This example measures both methods on the
+//! same manufactured Poisson problem: the host-level work comparison
+//! (fine-grid-equivalent sweeps) and the simulated-NSC time for the Jacobi
+//! smoothing that dominates multigrid's cost.
+//!
+//! Run with: `cargo run --release --example multigrid`
+
+use nsc::cfd::{
+    grid::manufactured_problem, host::jacobi_sweep_host, host::JacobiHostState,
+    nsc_run::run_jacobi_on_node, vcycle, JacobiVariant, MgOptions,
+};
+use nsc::env::VisualEnvironment;
+
+fn main() {
+    let n = 17; // 2^4 + 1 for clean coarsening
+    let tol = 1e-7;
+    println!("-lap(u) = f on a {n}^3 grid, residual tolerance {tol:e}\n");
+
+    // Host: plain Jacobi sweep count.
+    let (u0, f, _) = manufactured_problem(n);
+    let mut host = JacobiHostState::new(&u0, &f);
+    let mut jacobi_sweeps = 0usize;
+    for _ in 0..100_000 {
+        jacobi_sweeps += 1;
+        if jacobi_sweep_host(&mut host) < tol {
+            break;
+        }
+    }
+
+    // Host: multigrid V-cycles.
+    let (mut u, f2, _) = manufactured_problem(n);
+    let stats = vcycle(&mut u, &f2, tol, 50, &MgOptions::default());
+
+    println!("method                    iterations   fine-grid-equivalent sweeps");
+    println!("point Jacobi              {jacobi_sweeps:>10}   {jacobi_sweeps:>10}");
+    println!(
+        "multigrid V(2,2)          {:>10}   {:>10.1}",
+        stats.cycles, stats.fine_equivalent_sweeps
+    );
+    let speedup = jacobi_sweeps as f64 / stats.fine_equivalent_sweeps;
+    println!("multigrid work advantage: {speedup:.0}x fewer fine-grid sweeps\n");
+
+    // NSC-simulated: time per Jacobi sweep pair on a 16^3 subgrid (the
+    // smoothing kernel multigrid would run on the machine).
+    let env = VisualEnvironment::nsc_1988();
+    let (u0s, fs, _) = manufactured_problem(16);
+    let mut node = env.node();
+    let run = run_jacobi_on_node(&mut node, &u0s, &fs, 0.0, 2, JacobiVariant::Full);
+    let per_sweep = run.counters.seconds(20_000_000) / run.sweeps as f64;
+    println!(
+        "simulated NSC smoothing cost (16^3): {:.3} ms/sweep at {:.0} MFLOPS",
+        per_sweep * 1e3,
+        run.mflops
+    );
+    println!(
+        "=> estimated time to tolerance: Jacobi {:.1} ms vs multigrid ~{:.1} ms",
+        jacobi_sweeps as f64 * per_sweep * 1e3,
+        stats.fine_equivalent_sweeps * per_sweep * 1e3
+    );
+    assert!(speedup > 5.0, "multigrid must win decisively");
+}
