@@ -118,10 +118,9 @@ impl MachineConfig {
 
     /// The ALS mix in layout order: triplets, then doublets, then singlets.
     pub fn als_kinds(&self) -> impl Iterator<Item = AlsKind> + '_ {
-        std::iter::repeat(AlsKind::Triplet)
-            .take(self.triplets)
-            .chain(std::iter::repeat(AlsKind::Doublet).take(self.doublets))
-            .chain(std::iter::repeat(AlsKind::Singlet).take(self.singlets))
+        std::iter::repeat_n(AlsKind::Triplet, self.triplets)
+            .chain(std::iter::repeat_n(AlsKind::Doublet, self.doublets))
+            .chain(std::iter::repeat_n(AlsKind::Singlet, self.singlets))
     }
 
     /// Total ALS count.
@@ -253,7 +252,7 @@ mod tests {
     #[test]
     fn test_small_is_consistent() {
         let cfg = MachineConfig::test_small();
-        assert_eq!(cfg.fu_count(), 1 * 3 + 2 * 2 + 1);
+        assert_eq!(cfg.fu_count(), 3 + 2 * 2 + 1);
         assert_eq!(cfg.als_count(), 4);
         assert!(cfg.peak_mflops() > 0.0);
     }

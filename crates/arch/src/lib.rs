@@ -52,13 +52,13 @@ pub mod node;
 pub mod switch;
 pub mod timing;
 
-pub use als::{AlsKind, AlsStructure, DoubletMode};
-pub use config::{MachineConfig, SubsetModel};
-pub use fu::{FuCaps, FuOp, OpClass};
-pub use hypercube::{HypercubeConfig, RouterModel};
-pub use ids::{AlsId, CacheId, FuId, NodeId, PlaneId, SduId};
-pub use kb::KnowledgeBase;
-pub use memory::{CacheSpec, MemorySpec, SduSpec};
-pub use node::NodeLayout;
-pub use switch::{InPort, SinkRef, SourceRef, SwitchSpec};
-pub use timing::LatencyTable;
+pub use self::als::{AlsKind, AlsStructure, DoubletMode};
+pub use self::config::{MachineConfig, SubsetModel};
+pub use self::fu::{FuCaps, FuOp, OpClass};
+pub use self::hypercube::{HypercubeConfig, RouterModel};
+pub use self::ids::{AlsId, CacheId, FuId, NodeId, PlaneId, SduId};
+pub use self::kb::KnowledgeBase;
+pub use self::memory::{CacheSpec, MemorySpec, SduSpec};
+pub use self::node::NodeLayout;
+pub use self::switch::{InPort, SinkRef, SourceRef, SwitchSpec};
+pub use self::timing::LatencyTable;

@@ -12,10 +12,16 @@ fn busy_editor() -> nsc_editor::Editor {
     let mut ed = env.editor("bench");
     ed.set_stream_len(64);
     for i in 0..4 {
-        ed.place_icon(IconKind::als(AlsKind::Triplet), Point::new(34 + 12 * (i % 3), 4 + 13 * (i / 3)));
+        ed.place_icon(
+            IconKind::als(AlsKind::Triplet),
+            Point::new(34 + 12 * (i % 3), 4 + 13 * (i / 3)),
+        );
     }
     for i in 0..4u8 {
-        ed.place_icon(IconKind::Memory { plane: Some(PlaneId(i)) }, Point::new(20, 4 + 6 * i as i32));
+        ed.place_icon(
+            IconKind::Memory { plane: Some(PlaneId(i)) },
+            Point::new(20, 4 + 6 * i as i32),
+        );
     }
     ed
 }
@@ -28,7 +34,12 @@ fn bench(c: &mut Criterion) {
 
     c.bench_function("legal_targets_menu", |b| b.iter(|| ed.legal_targets(from)));
     c.bench_function("incremental_check", |b| {
-        b.iter(|| ed.checker().check_pipeline(ed.doc.pipeline(ed.current).unwrap(), nsc_checker::Stage::Incremental))
+        b.iter(|| {
+            ed.checker().check_pipeline(
+                ed.doc.pipeline(ed.current).unwrap(),
+                nsc_checker::Stage::Incremental,
+            )
+        })
     });
     c.bench_function("render_ascii", |b| b.iter(|| nsc_editor::render_ascii(&ed)));
     c.bench_function("connect_and_undo", |b| {

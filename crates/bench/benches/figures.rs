@@ -43,9 +43,7 @@ fn bench(c: &mut Criterion) {
     regenerate_artifacts();
     let env = VisualEnvironment::nsc_1988();
     let doc = build_jacobi_document(8, 1e-6, 100, JacobiVariant::Full);
-    c.bench_function("fig11_render_jacobi_diagram", |b| {
-        b.iter(|| env.display_document(&doc))
-    });
+    c.bench_function("fig11_render_jacobi_diagram", |b| b.iter(|| env.display_document(&doc)));
 }
 
 criterion_group! {

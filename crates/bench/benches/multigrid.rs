@@ -3,8 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use nsc_cfd::{
-    grid::manufactured_problem, host::jacobi_sweep_host, host::JacobiHostState, vcycle,
-    MgOptions,
+    grid::manufactured_problem, host::jacobi_sweep_host, host::JacobiHostState, vcycle, MgOptions,
 };
 
 fn report() {

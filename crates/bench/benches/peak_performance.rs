@@ -22,8 +22,11 @@ fn saturated(kb: &KnowledgeBase, count: u32) -> nsc_microcode::MicroProgram {
                 const_slot: 0,
                 preload: Some(1.0),
             };
-            let src =
-                if i == 0 { SourceRef::PlaneRead(PlaneId(chain)) } else { SourceRef::Fu(fus[i - 1]) };
+            let src = if i == 0 {
+                SourceRef::PlaneRead(PlaneId(chain))
+            } else {
+                SourceRef::Fu(fus[i - 1])
+            };
             ins.switch.route(kb, src, SinkRef::FuIn(fu, InPort::A));
         }
         ins.switch.route(kb, SourceRef::Fu(fus[7]), SinkRef::PlaneWrite(PlaneId(4 + chain)));

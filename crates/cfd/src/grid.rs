@@ -73,8 +73,7 @@ impl Grid3 {
         for k in 0..nz {
             for j in 0..ny {
                 for i in 0..nx {
-                    self.data[i + nx * (j + ny * k)] =
-                        f(i as f64 * h, j as f64 * h, k as f64 * h);
+                    self.data[i + nx * (j + ny * k)] = f(i as f64 * h, j as f64 * h, k as f64 * h);
                 }
             }
         }
@@ -106,11 +105,7 @@ impl Grid3 {
 
     /// Max-norm of the difference against another grid.
     pub fn linf_diff(&self, other: &Grid3) -> f64 {
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f64, f64::max)
+        self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max)
     }
 }
 
@@ -141,7 +136,7 @@ impl PaddedField {
     fn build(g: &Grid3, front: usize, back: usize) -> Self {
         let mut words = vec![0.0; front];
         words.extend_from_slice(&g.data);
-        words.extend(std::iter::repeat(0.0).take(back));
+        words.extend(std::iter::repeat_n(0.0, back));
         PaddedField { front, back, words }
     }
 

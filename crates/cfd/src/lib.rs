@@ -30,8 +30,8 @@ pub mod host;
 pub mod multigrid;
 pub mod nsc_run;
 
-pub use diagrams::{build_chebyshev_document, build_jacobi_document, JacobiVariant};
-pub use grid::{Grid3, PaddedField};
-pub use host::{jacobi_sweep_host, residual_linf, sor_sweep_host, JacobiHostState};
-pub use multigrid::{vcycle, MgOptions, MgStats};
-pub use nsc_run::{load_problem, prepare, run_jacobi_on_node, JacobiRun};
+pub use self::diagrams::{build_chebyshev_document, build_jacobi_document, JacobiVariant};
+pub use self::grid::{Grid3, PaddedField};
+pub use self::host::{jacobi_sweep_host, residual_linf, sor_sweep_host, JacobiHostState};
+pub use self::multigrid::{vcycle, MgOptions, MgStats};
+pub use self::nsc_run::{load_problem, prepare, run_jacobi_on_node, JacobiRun};

@@ -89,7 +89,7 @@ fn residual_field(u: &Grid3, f: &Grid3) -> Grid3 {
 
 /// Full-weighting restriction to the `(n+1)/2` coarse grid.
 fn restrict(fine: &Grid3) -> Grid3 {
-    let nc = (fine.nx + 1) / 2;
+    let nc = fine.nx.div_ceil(2);
     let mut coarse = Grid3::new(nc, nc, nc);
     coarse.h = fine.h * 2.0;
     for kc in 1..nc - 1 {

@@ -38,9 +38,7 @@ pub fn load_problem(node: &mut NodeSim, state: &JacobiHostState, variant: Jacobi
     if variant == JacobiVariant::NoSdu {
         // §3: "maintain multiple copies of arrays" — the initial copies.
         for i in 0..6u8 {
-            node.mem
-                .plane_mut(nsc_arch::PlaneId(PLANE_COPY0 + i))
-                .write_slice(0, &state.u.words);
+            node.mem.plane_mut(nsc_arch::PlaneId(PLANE_COPY0 + i)).write_slice(0, &state.u.words);
         }
     }
 }

@@ -53,20 +53,14 @@ pub fn auto_bind(
     // icons that reference those variables.
     let var_planes: BTreeSet<u8> = decls.vars.iter().map(|v| v.plane.0).collect();
 
-    let unbound: Vec<(IconId, IconKind)> = diagram
-        .icons()
-        .filter(|i| !i.kind.is_bound())
-        .map(|i| (i.id, i.kind))
-        .collect();
+    let unbound: Vec<(IconId, IconKind)> =
+        diagram.icons().filter(|i| !i.kind.is_bound()).map(|i| (i.id, i.kind)).collect();
 
     for (id, kind) in unbound {
         match kind {
             IconKind::Als { kind: shape, .. } => {
-                let free = kb
-                    .layout()
-                    .alss_of_kind(shape)
-                    .into_iter()
-                    .find(|a| !taken_als.contains(&a.0));
+                let free =
+                    kb.layout().alss_of_kind(shape).into_iter().find(|a| !taken_als.contains(&a.0));
                 match free {
                     Some(a) => {
                         taken_als.insert(a.0);

@@ -30,7 +30,7 @@ pub fn validate_connection(
                 crate::diag::RuleCode::SinkDrivenTwice, // structural: surfaced as a generic wiring error
                 crate::diag::Subject::Icon(from.icon),
                 format!("connection refused: {e}"),
-            )]
+            )];
         }
     };
     let before = rules::check_pipeline(kb, diagram, Stage::Incremental);
@@ -41,19 +41,13 @@ pub fn validate_connection(
     after
         .into_iter()
         .filter(|d| d.severity == Severity::Error)
-        .filter(|d| {
-            d.subject == crate::diag::Subject::Connection(conn) || !before.contains(d)
-        })
+        .filter(|d| d.subject == crate::diag::Subject::Connection(conn) || !before.contains(d))
         .collect()
 }
 
 /// Every pad in the diagram that may legally receive a wire from `from` —
 /// exactly what the editor's pop-up menu lists.
-pub fn legal_targets(
-    kb: &KnowledgeBase,
-    diagram: &PipelineDiagram,
-    from: PadLoc,
-) -> Vec<PadLoc> {
+pub fn legal_targets(kb: &KnowledgeBase, diagram: &PipelineDiagram, from: PadLoc) -> Vec<PadLoc> {
     if !diagram.has_pad(from) || !from.pad.can_source() {
         return Vec::new();
     }

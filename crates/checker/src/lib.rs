@@ -28,8 +28,8 @@ pub mod diag;
 pub mod legal;
 pub mod rules;
 
-pub use binder::auto_bind;
-pub use diag::{Diagnostic, RuleCode, Severity, Subject};
+pub use self::binder::auto_bind;
+pub use self::diag::{Diagnostic, RuleCode, Severity, Subject};
 
 use nsc_arch::KnowledgeBase;
 use nsc_diagram::{Document, PadLoc, PipelineDiagram};

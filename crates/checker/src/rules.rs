@@ -101,6 +101,7 @@ pub fn check_document(kb: &KnowledgeBase, doc: &Document) -> Vec<Diagnostic> {
     diags
 }
 
+#[allow(clippy::only_used_in_recursion)] // every rule fn takes the knowledge base uniformly
 fn check_conditions(
     kb: &KnowledgeBase,
     doc: &Document,
@@ -119,9 +120,7 @@ fn check_conditions(
                     p.connections().any(|c| {
                         let Some(icon) = p.icon(c.to.icon) else { return false };
                         matches!(icon.kind, IconKind::Cache { cache: Some(cc) } if cc == cond.cache)
-                            && c.dma
-                                .as_ref()
-                                .is_some_and(|a| a.offset == cond.offset as u64)
+                            && c.dma.as_ref().is_some_and(|a| a.offset == cond.offset as u64)
                     })
                 })
             });
@@ -742,10 +741,8 @@ impl<'a> Ctx<'a> {
         for c in &conns {
             let from_kind = self.d.icon(c.from.icon).map(|i| i.kind);
             let to_kind = self.d.icon(c.to.icon).map(|i| i.kind);
-            let from_storage = matches!(
-                from_kind,
-                Some(IconKind::Memory { .. }) | Some(IconKind::Cache { .. })
-            );
+            let from_storage =
+                matches!(from_kind, Some(IconKind::Memory { .. }) | Some(IconKind::Cache { .. }));
             let to_storage =
                 matches!(to_kind, Some(IconKind::Memory { .. }) | Some(IconKind::Cache { .. }));
             if from_storage && to_storage {
@@ -907,10 +904,8 @@ impl<'a> Ctx<'a> {
     fn rule_unused_icons(&mut self) {
         let icons: Vec<Icon> = self.d.icons().copied().collect();
         for icon in icons {
-            let touched = self
-                .d
-                .connections()
-                .any(|c| c.from.icon == icon.id || c.to.icon == icon.id);
+            let touched =
+                self.d.connections().any(|c| c.from.icon == icon.id || c.to.icon == icon.id);
             if !touched {
                 self.warn(
                     RuleCode::UnusedIcon,
@@ -945,10 +940,9 @@ impl<'a> Ctx<'a> {
             let from_storage = self.d.icon(c.from.icon).is_some_and(|i| {
                 matches!(i.kind, IconKind::Memory { .. } | IconKind::Cache { .. })
             });
-            let to_storage = self
-                .d
-                .icon(c.to.icon)
-                .is_some_and(|i| matches!(i.kind, IconKind::Memory { .. } | IconKind::Cache { .. }));
+            let to_storage = self.d.icon(c.to.icon).is_some_and(|i| {
+                matches!(i.kind, IconKind::Memory { .. } | IconKind::Cache { .. })
+            });
             if from_storage || to_storage {
                 continue;
             }
@@ -1024,8 +1018,8 @@ impl<'a> Ctx<'a> {
 mod tests {
     use super::*;
     use crate::diag::has_errors;
-    use nsc_arch::{AlsId, CacheId, DoubletMode, FuOp, InPort, MachineConfig, PlaneId, SduId};
     use crate::diag::Severity;
+    use nsc_arch::{AlsId, CacheId, DoubletMode, FuOp, InPort, MachineConfig, PlaneId, SduId};
     use nsc_diagram::{FuAssign, PadLoc, PipelineId, VarDecl};
 
     fn kb() -> KnowledgeBase {
@@ -1227,11 +1221,7 @@ mod tests {
         let kb = kb();
         let mut d = legal_pipeline(&kb);
         // The singlet's input b is Constant; wire something into it.
-        let als_id = d
-            .icons()
-            .find(|i| matches!(i.kind, IconKind::Als { .. }))
-            .unwrap()
-            .id;
+        let als_id = d.icons().find(|i| matches!(i.kind, IconKind::Als { .. })).unwrap().id;
         let extra = d.add_icon(IconKind::Memory { plane: Some(PlaneId(2)) });
         d.connect(
             PadLoc::new(extra, PadRef::Io),
@@ -1293,8 +1283,12 @@ mod tests {
         // SDU fed from an ALS is refused.
         let als = d.add_icon(IconKind::als(AlsKind::Singlet));
         d.set_sdu_taps(sdu, vec![0]).unwrap();
-        d.connect(PadLoc::new(als, PadRef::FuOut { pos: 0 }), PadLoc::new(sdu, PadRef::SduIn), None)
-            .unwrap();
+        d.connect(
+            PadLoc::new(als, PadRef::FuOut { pos: 0 }),
+            PadLoc::new(sdu, PadRef::SduIn),
+            None,
+        )
+        .unwrap();
         let diags = check_pipeline(&kb, &d, Stage::Incremental);
         assert!(fires_err(&diags, RuleCode::SduSourceKind));
     }
@@ -1319,8 +1313,7 @@ mod tests {
         let glob = check_pipeline(&kb, &d, Stage::Global);
         assert!(fires_err(&glob, RuleCode::DmaMissing));
         // Out-of-range transfer.
-        d.connection_mut(c1).unwrap().dma =
-            Some(DmaAttrs::at_address(16 * 1024 * 1024 - 10));
+        d.connection_mut(c1).unwrap().dma = Some(DmaAttrs::at_address(16 * 1024 * 1024 - 10));
         let diags = check_pipeline(&kb, &d, Stage::Incremental);
         assert!(fires_err(&diags, RuleCode::DmaRange));
         // Zero stride.

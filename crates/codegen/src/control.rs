@@ -11,10 +11,10 @@
 
 use crate::lower::{lower_pipeline, InstrMap, LoweredPipeline};
 use crate::GenError;
+use nsc_arch::KnowledgeBase;
 use nsc_checker::diag::has_errors;
 use nsc_diagram::{ControlNode, Document, PipelineId};
 use nsc_microcode::{CmpKind, CondBranch, MicroInstruction, MicroProgram, ProgramBuilder, SeqCtl};
-use nsc_arch::KnowledgeBase;
 use std::collections::BTreeMap;
 
 /// A generated program plus per-instruction diagram back-references.
@@ -41,7 +41,9 @@ pub fn generate(kb: &KnowledgeBase, doc: &Document) -> Result<GenOutput, GenErro
     // order, when no control flow is specified).
     let control = match &doc.control {
         Some(c) => c.clone(),
-        None => ControlNode::Seq(doc.pipelines().iter().map(|p| ControlNode::Pipeline(p.id)).collect()),
+        None => {
+            ControlNode::Seq(doc.pipelines().iter().map(|p| ControlNode::Pipeline(p.id)).collect())
+        }
     };
     let mut lowered: BTreeMap<PipelineId, LoweredPipeline> = BTreeMap::new();
     for id in control.referenced_pipelines() {
@@ -181,7 +183,7 @@ mod tests {
     use super::*;
     use nsc_arch::{AlsKind, FuOp, InPort, PlaneId};
     use nsc_diagram::{
-        ConvergenceCond, DmaAttrs, Declarations, FuAssign, IconKind, PadLoc, PadRef,
+        ConvergenceCond, Declarations, DmaAttrs, FuAssign, IconKind, PadLoc, PadRef,
     };
 
     fn kb() -> KnowledgeBase {
@@ -228,10 +230,8 @@ mod tests {
     fn counted_loop_gets_header_and_backedge() {
         let kb = kb();
         let (mut doc, pid) = doc_with_pipeline(&kb);
-        doc.control = Some(ControlNode::Repeat {
-            times: 10,
-            body: Box::new(ControlNode::Pipeline(pid)),
-        });
+        doc.control =
+            Some(ControlNode::Repeat { times: 10, body: Box::new(ControlNode::Pipeline(pid)) });
         let out = generate(&kb, &doc).expect("generates");
         assert_eq!(out.program.len(), 2, "header + body");
         assert_eq!(out.program.instrs[0].seq.set_counter, Some((0, 10)));
@@ -293,9 +293,7 @@ mod tests {
         doc.control = Some(ControlNode::Pipeline(PipelineId(404)));
         match generate(&kb, &doc) {
             Err(GenError::CheckFailed(diags)) => {
-                assert!(diags
-                    .iter()
-                    .any(|d| d.rule == nsc_checker::RuleCode::DanglingControlRef));
+                assert!(diags.iter().any(|d| d.rule == nsc_checker::RuleCode::DanglingControlRef));
             }
             other => panic!("expected CheckFailed, got {other:?}"),
         }

@@ -34,9 +34,9 @@ pub mod control;
 pub mod lower;
 pub mod pseudo;
 
-pub use control::{generate, GenOutput};
-pub use lower::{lower_pipeline, InstrMap, LoweredPipeline};
-pub use pseudo::emit_pseudocode;
+pub use self::control::{generate, GenOutput};
+pub use self::lower::{lower_pipeline, InstrMap, LoweredPipeline};
+pub use self::pseudo::emit_pseudocode;
 
 use nsc_checker::Diagnostic;
 use nsc_diagram::IconId;

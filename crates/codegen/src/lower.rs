@@ -7,7 +7,9 @@ use nsc_diagram::{
     CaptureMode, Declarations, DmaAttrs, IconId, IconKind, InputSpec, PadLoc, PadRef,
     PipelineDiagram, PipelineId,
 };
-use nsc_microcode::{CacheDmaField, FuField, FuInputSel, MicroInstruction, PlaneDmaField, SduField, WriteMode};
+use nsc_microcode::{
+    CacheDmaField, FuField, FuInputSel, MicroInstruction, PlaneDmaField, SduField, WriteMode,
+};
 use std::collections::BTreeMap;
 
 /// Metadata tying a generated instruction back to its diagram — consumed
@@ -95,11 +97,8 @@ pub fn lower_pipeline(
     // Relaxation over the (acyclic, checker-verified) dataflow graph.
     let assigns: Vec<(IconId, u8, nsc_diagram::FuAssign)> =
         d.fu_assigns().map(|(i, p, a)| (i, p, *a)).collect();
-    let sdu_icons: Vec<IconId> = d
-        .icons()
-        .filter(|i| matches!(i.kind, IconKind::Sdu { .. }))
-        .map(|i| i.id)
-        .collect();
+    let sdu_icons: Vec<IconId> =
+        d.icons().filter(|i| matches!(i.kind, IconKind::Sdu { .. })).map(|i| i.id).collect();
     let lat = kb.config().latency;
     let max_rounds = assigns.len() + sdu_icons.len() + 2;
     for _ in 0..max_rounds {
@@ -156,10 +155,8 @@ pub fn lower_pipeline(
                 compensation.insert((icon, pos, port), comp);
                 out_intended = out_intended.max(lag.intended + user);
             }
-            let out = Lag {
-                transport: max_transport + lat.latency(assign.op),
-                intended: out_intended,
-            };
+            let out =
+                Lag { transport: max_transport + lat.latency(assign.op), intended: out_intended };
             let pad = PadLoc::new(icon, PadRef::FuOut { pos });
             if out_lags.insert(pad, out) != Some(out) {
                 progressed = true;
@@ -182,8 +179,8 @@ pub fn lower_pipeline(
         let mut field = FuField::active(assign.op);
         let mut preload: Option<f64> = None;
         let set_input = |spec: InputSpec,
-                             port: InPort,
-                             preload: &mut Option<f64>|
+                         port: InPort,
+                         preload: &mut Option<f64>|
          -> Result<FuInputSel, GenError> {
             let comp = compensation.get(&(icon, pos, port)).copied().unwrap_or(0);
             Ok(match spec {
@@ -314,12 +311,7 @@ pub fn lower_pipeline(
         }
     }
 
-    let map = InstrMap {
-        pipeline: d.id,
-        unit_to_fu,
-        valid_count,
-        write_skip: write_skip_max,
-    };
+    let map = InstrMap { pipeline: d.id, unit_to_fu, valid_count, write_skip: write_skip_max };
     Ok(LoweredPipeline { instr: ins, map })
 }
 

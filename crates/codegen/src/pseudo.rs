@@ -18,11 +18,7 @@ pub fn emit_pseudocode(doc: &Document) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "PROGRAM \"{}\"", doc.name);
     for v in &doc.decls.vars {
-        let _ = writeln!(
-            out,
-            "DECL {} plane={} base={} len={}",
-            v.name, v.plane, v.base, v.len
-        );
+        let _ = writeln!(out, "DECL {} plane={} base={} len={}", v.name, v.plane, v.base, v.len);
     }
     for (ordinal, p) in doc.pipelines().iter().enumerate() {
         emit_pipeline(&mut out, ordinal, p);
@@ -115,9 +111,7 @@ fn emit_control(out: &mut String, doc: &Document, node: &ControlNode, depth: usi
 mod tests {
     use super::*;
     use nsc_arch::{AlsKind, CacheId, FuOp, InPort, PlaneId};
-    use nsc_diagram::{
-        ConvergenceCond, DmaAttrs, FuAssign, PadLoc, PadRef, VarDecl,
-    };
+    use nsc_diagram::{ConvergenceCond, DmaAttrs, FuAssign, PadLoc, PadRef, VarDecl};
 
     #[test]
     fn pseudocode_covers_the_semantic_content() {
@@ -144,12 +138,7 @@ mod tests {
         .unwrap();
         p.assign_fu(als, 0, FuAssign::with_const(FuOp::Mul, 1.0 / 6.0)).unwrap();
         doc.control = Some(ControlNode::RepeatUntil {
-            cond: ConvergenceCond {
-                cache: CacheId(0),
-                offset: 0,
-                threshold: 1e-6,
-                max_iters: 99,
-            },
+            cond: ConvergenceCond { cache: CacheId(0), offset: 0, threshold: 1e-6, max_iters: 99 },
             body: Box::new(ControlNode::Pipeline(pid)),
         });
 

@@ -72,10 +72,8 @@ impl VisualEnvironment {
             .run_program(&out.program, &opts)
             .map_err(|e| GenError::Unsupported(format!("execution failed: {e}")))?;
 
-        let renders: std::collections::BTreeMap<String, String> = self
-            .display_document(doc)
-            .into_iter()
-            .collect();
+        let renders: std::collections::BTreeMap<String, String> =
+            self.display_document(doc).into_iter().collect();
 
         let mut frames = Vec::new();
         for (pc, trace) in &stats.traces {
@@ -93,7 +91,7 @@ impl VisualEnvironment {
             if let (Some(m), Some(p)) = (map, pipeline.and_then(|id| doc.pipeline(id))) {
                 // Functional-unit outputs, in diagram terms.
                 for ((icon, pos), fu) in &m.unit_to_fu {
-                    if let Some(v) = trace.value_of(&self.kb(), SourceRef::Fu(*fu)) {
+                    if let Some(v) = trace.value_of(self.kb(), SourceRef::Fu(*fu)) {
                         values.push((format!("{icon}.u{pos}.out ({fu})"), v));
                     }
                 }
@@ -101,23 +99,18 @@ impl VisualEnvironment {
                 for icon in p.icons() {
                     match icon.kind {
                         IconKind::Memory { plane: Some(pl) } => {
-                            if let Some(v) =
-                                trace.value_of(&self.kb(), SourceRef::PlaneRead(pl))
-                            {
+                            if let Some(v) = trace.value_of(self.kb(), SourceRef::PlaneRead(pl)) {
                                 values.push((format!("{}.rd ({pl})", icon.id), v));
                             }
                         }
                         IconKind::Cache { cache: Some(c) } => {
-                            if let Some(v) =
-                                trace.value_of(&self.kb(), SourceRef::CacheRead(c))
-                            {
+                            if let Some(v) = trace.value_of(self.kb(), SourceRef::CacheRead(c)) {
                                 values.push((format!("{}.rd ({c})", icon.id), v));
                             }
                         }
                         IconKind::Sdu { sdu: Some(s) } => {
                             for t in 0..p.sdu_taps(icon.id).len() as u8 {
-                                if let Some(v) =
-                                    trace.value_of(&self.kb(), SourceRef::SduTap(s, t))
+                                if let Some(v) = trace.value_of(self.kb(), SourceRef::SduTap(s, t))
                                 {
                                     values.push((format!("{}.tap{t} ({s})", icon.id), v));
                                 }
@@ -179,11 +172,8 @@ mod tests {
         // The unit's last output is the last input x10 — but the stream is
         // 8 long and only 3 words were loaded; the rest are zeros, so the
         // last observed value is 0.0. The plane read shows 0.0 too.
-        let fu_val = frame
-            .values
-            .iter()
-            .find(|(l, _)| l.contains(".u0.out"))
-            .expect("unit value present");
+        let fu_val =
+            frame.values.iter().find(|(l, _)| l.contains(".u0.out")).expect("unit value present");
         assert_eq!(fu_val.1, 0.0);
         let rendered = report.render();
         assert!(rendered.contains("values flowing"));
@@ -198,11 +188,7 @@ mod tests {
         let mut node = env.node();
         node.mem.plane_mut(PlaneId(0)).write_slice(0, &[3.0; 8]);
         let report = env.debug_run(&mut doc, &mut node, 4).expect("debugs");
-        let fu_val = report.frames[0]
-            .values
-            .iter()
-            .find(|(l, _)| l.contains(".u0.out"))
-            .unwrap();
+        let fu_val = report.frames[0].values.iter().find(|(l, _)| l.contains(".u0.out")).unwrap();
         assert_eq!(fu_val.1, 30.0, "3.0 x 10 visible at the unit's output pad");
     }
 }

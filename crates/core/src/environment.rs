@@ -115,10 +115,7 @@ pub fn auto_layout(ed: &mut Editor, pipeline: nsc_diagram::PipelineId) {
     let ids: Vec<_> = d.icons().map(|i| i.id).collect();
     let placed: Vec<_> = {
         let layout = ed.doc.layout(pipeline);
-        ids.iter()
-            .filter(|id| layout.is_none_or(|l| l.position(**id).is_none()))
-            .copied()
-            .collect()
+        ids.iter().filter(|id| layout.is_none_or(|l| l.position(**id).is_none())).copied().collect()
     };
     let (x0, y0) = (nsc_editor::DRAW_X0 + 3, nsc_editor::DRAW_Y0 + 1);
     for (i, id) in placed.into_iter().enumerate() {
@@ -172,9 +169,8 @@ mod tests {
         // Generate (binds unbound icons) -> execute -> check.
         let mut node = env.node();
         node.mem.plane_mut(PlaneId(0)).write_slice(0, &[1.0, -2.0, 3.0]);
-        let (out, stats) = env
-            .execute(&mut doc, &mut node, &RunOptions::default())
-            .expect("executes");
+        let (out, stats) =
+            env.execute(&mut doc, &mut node, &RunOptions::default()).expect("executes");
         let diags = env.check(&doc);
         assert!(!nsc_checker::diag::has_errors(&diags), "{diags:?}");
         assert_eq!(out.program.len(), 1);

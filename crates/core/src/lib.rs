@@ -23,5 +23,5 @@
 pub mod debugger;
 pub mod environment;
 
-pub use debugger::{DebugFrame, DebugReport};
-pub use environment::VisualEnvironment;
+pub use self::debugger::{DebugFrame, DebugReport};
+pub use self::environment::VisualEnvironment;

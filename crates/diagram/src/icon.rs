@@ -215,11 +215,8 @@ mod tests {
 
     #[test]
     fn bypassed_doublet_exposes_one_units_pads() {
-        let kind = IconKind::Als {
-            kind: AlsKind::Doublet,
-            mode: DoubletMode::BypassSecond,
-            als: None,
-        };
+        let kind =
+            IconKind::Als { kind: AlsKind::Doublet, mode: DoubletMode::BypassSecond, als: None };
         let pads = kind.pads(4);
         assert_eq!(pads.len(), 3);
         assert!(pads.iter().all(|p| match p {
@@ -257,11 +254,8 @@ mod tests {
     fn palette_labels_match_figure_4_and_5() {
         assert_eq!(IconKind::als(AlsKind::Singlet).palette_label(), "SINGLET");
         assert_eq!(IconKind::als(AlsKind::Doublet).palette_label(), "DOUBLET");
-        let bypass = IconKind::Als {
-            kind: AlsKind::Doublet,
-            mode: DoubletMode::BypassFirst,
-            als: None,
-        };
+        let bypass =
+            IconKind::Als { kind: AlsKind::Doublet, mode: DoubletMode::BypassFirst, als: None };
         assert_eq!(bypass.palette_label(), "DOUBLET/1");
         assert_eq!(IconKind::als(AlsKind::Triplet).palette_label(), "TRIPLET");
         assert_eq!(IconKind::memory().palette_label(), "MEMORY");

@@ -34,8 +34,10 @@ pub mod icon;
 pub mod ids;
 pub mod pipeline;
 
-pub use attrs::{CaptureMode, DmaAttrs, FuAssign, InputSpec};
-pub use document::{ControlNode, ConvergenceCond, Declarations, DiagramLayout, Document, VarDecl};
-pub use icon::{Icon, IconKind, PadDir, PadRef};
-pub use ids::{ConnId, IconId, PipelineId, Point};
-pub use pipeline::{Connection, PadLoc, PipelineDiagram};
+pub use self::attrs::{CaptureMode, DmaAttrs, FuAssign, InputSpec};
+pub use self::document::{
+    ControlNode, ConvergenceCond, Declarations, DiagramLayout, Document, VarDecl,
+};
+pub use self::icon::{Icon, IconKind, PadDir, PadRef};
+pub use self::ids::{ConnId, IconId, PipelineId, Point};
+pub use self::pipeline::{Connection, PadLoc, PipelineDiagram};

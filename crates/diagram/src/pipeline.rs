@@ -295,9 +295,7 @@ impl PipelineDiagram {
 
     /// All (icon, position, assignment) triples.
     pub fn fu_assigns(&self) -> impl Iterator<Item = (IconId, u8, &FuAssign)> {
-        self.fu_assigns
-            .iter()
-            .flat_map(|(icon, m)| m.iter().map(move |(pos, a)| (*icon, *pos, a)))
+        self.fu_assigns.iter().flat_map(|(icon, m)| m.iter().map(move |(pos, a)| (*icon, *pos, a)))
     }
 
     // ------------------------------------------------------------------
@@ -430,7 +428,10 @@ mod tests {
         let mut d = diagram();
         let t = d.add_icon(IconKind::als(AlsKind::Triplet));
         assert!(d.assign_fu(t, 2, FuAssign::binary(FuOp::Mul)).is_ok());
-        assert_eq!(d.assign_fu(t, 3, FuAssign::binary(FuOp::Mul)), Err(DiagramError::NoSuchUnit(t, 3)));
+        assert_eq!(
+            d.assign_fu(t, 3, FuAssign::binary(FuOp::Mul)),
+            Err(DiagramError::NoSuchUnit(t, 3))
+        );
         let m = d.add_icon(IconKind::memory());
         assert!(matches!(
             d.assign_fu(m, 0, FuAssign::binary(FuOp::Mul)),

@@ -273,8 +273,7 @@ impl Editor {
             }
         }
         self.snapshot();
-        match self.doc.pipeline_mut(self.current).expect("pipeline").assign_fu(icon, pos, assign)
-        {
+        match self.doc.pipeline_mut(self.current).expect("pipeline").assign_fu(icon, pos, assign) {
             Ok(()) => {
                 self.after_edit(&format!("programmed {icon}.u{pos}: {}", assign.op.mnemonic()));
                 true
@@ -475,8 +474,7 @@ impl Editor {
                 Hit::Icon(icon) => {
                     let layout = self.doc.layout(self.current).expect("layout");
                     let pos = layout.position(icon).unwrap_or_default();
-                    self.mode =
-                        Mode::DraggingIcon { icon, grab: Point::new(x - pos.x, y - pos.y) };
+                    self.mode = Mode::DraggingIcon { icon, grab: Point::new(x - pos.x, y - pos.y) };
                 }
                 Hit::Empty => {}
             },
@@ -548,11 +546,8 @@ impl Editor {
             }
             Mode::OpMenu { icon, pos, ops } => {
                 if let Some(&op) = ops.get(i) {
-                    let assign = if op.arity() == 1 {
-                        FuAssign::unary(op)
-                    } else {
-                        FuAssign::binary(op)
-                    };
+                    let assign =
+                        if op.arity() == 1 { FuAssign::unary(op) } else { FuAssign::binary(op) };
                     self.assign_fu(icon, pos, assign);
                 } else {
                     self.message = "no such menu entry".into();
@@ -573,18 +568,13 @@ impl Editor {
             )
         });
         if touches_storage {
-            self.mode = Mode::DmaForm {
-                conn,
-                fields: Default::default(),
-                active: 0,
-            };
+            self.mode = Mode::DmaForm { conn, fields: Default::default(), active: 0 };
             self.message = "DMA sub-window: plane/cache, variable, offset, stride, count".into();
         }
     }
 
     fn submit_form(&mut self) {
-        if let Mode::DmaForm { conn, fields, .. } = std::mem::replace(&mut self.mode, Mode::Idle)
-        {
+        if let Mode::DmaForm { conn, fields, .. } = std::mem::replace(&mut self.mode, Mode::Idle) {
             // Fields: number, variable, offset, stride, count.
             let number: Option<u8> = fields[0].trim().parse().ok();
             let variable = (!fields[1].trim().is_empty()).then(|| fields[1].trim().to_string());
@@ -692,7 +682,7 @@ impl Editor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::geometry::{WIN_W, MSG_H};
+    use crate::geometry::{MSG_H, WIN_W};
     use nsc_arch::{AlsKind, InPort, PlaneId};
 
     fn editor() -> Editor {

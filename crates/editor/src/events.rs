@@ -44,11 +44,9 @@ impl PaletteEntry {
         match self {
             PaletteEntry::Singlet => IconKind::als(AlsKind::Singlet),
             PaletteEntry::Doublet => IconKind::als(AlsKind::Doublet),
-            PaletteEntry::DoubletBypass => IconKind::Als {
-                kind: AlsKind::Doublet,
-                mode: DoubletMode::BypassSecond,
-                als: None,
-            },
+            PaletteEntry::DoubletBypass => {
+                IconKind::Als { kind: AlsKind::Doublet, mode: DoubletMode::BypassSecond, als: None }
+            }
             PaletteEntry::Triplet => IconKind::als(AlsKind::Triplet),
             PaletteEntry::Memory => IconKind::memory(),
             PaletteEntry::Cache => IconKind::cache(),

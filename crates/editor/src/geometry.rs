@@ -143,10 +143,7 @@ fn draw_row(kind: AlsKind, mode: DoubletMode, pos: u8) -> Option<i32> {
 
 /// All pads of an icon with their offsets (for hit testing and drawing).
 pub fn pads_with_offsets(kind: &IconKind) -> Vec<(PadRef, Point)> {
-    kind.pads(4)
-        .into_iter()
-        .filter_map(|p| pad_offset(kind, p).map(|o| (p, o)))
-        .collect()
+    kind.pads(4).into_iter().filter_map(|p| pad_offset(kind, p).map(|o| (p, o))).collect()
 }
 
 #[cfg(test)]
@@ -171,11 +168,7 @@ mod tests {
 
     #[test]
     fn bypassed_doublet_draws_one_unit() {
-        let k = IconKind::Als {
-            kind: AlsKind::Doublet,
-            mode: DoubletMode::BypassFirst,
-            als: None,
-        };
+        let k = IconKind::Als { kind: AlsKind::Doublet, mode: DoubletMode::BypassFirst, als: None };
         assert_eq!(metrics(&k).h, 3);
         // The single active unit (pos 1) draws at row 0.
         assert_eq!(
@@ -194,8 +187,7 @@ mod tests {
             IconKind::sdu(),
         ] {
             let pads = pads_with_offsets(&kind);
-            let set: std::collections::HashSet<_> =
-                pads.iter().map(|(_, p)| (p.x, p.y)).collect();
+            let set: std::collections::HashSet<_> = pads.iter().map(|(_, p)| (p.x, p.y)).collect();
             assert_eq!(set.len(), pads.len(), "overlapping pads on {kind:?}");
         }
     }

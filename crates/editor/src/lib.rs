@@ -28,8 +28,8 @@ pub mod geometry;
 pub mod render;
 pub mod session;
 
-pub use editor::{Editor, EffortMeter, Mode};
-pub use events::{Button, Event, PaletteEntry};
-pub use geometry::{IconMetrics, WindowLayout, DRAW_X0, DRAW_Y0, WIN_H, WIN_W};
-pub use render::{render_ascii, render_svg};
-pub use session::{Session, Snapshot};
+pub use self::editor::{Editor, EffortMeter, Mode};
+pub use self::events::{Button, Event, PaletteEntry};
+pub use self::geometry::{IconMetrics, WindowLayout, DRAW_X0, DRAW_Y0, WIN_H, WIN_W};
+pub use self::render::{render_ascii, render_svg};
+pub use self::session::{Session, Snapshot};

@@ -4,9 +4,7 @@
 
 use crate::editor::{Editor, Mode};
 use crate::events::{Button, PaletteEntry};
-use crate::geometry::{
-    self, WindowLayout, DRAW_Y0, LEFT_W, MSG_H, PANEL_W, WIN_H, WIN_W,
-};
+use crate::geometry::{self, WindowLayout, DRAW_Y0, LEFT_W, MSG_H, PANEL_W, WIN_H, WIN_W};
 use nsc_diagram::{IconKind, Point};
 
 /// Render the full window as ASCII art (one string, `WIN_H` lines).
@@ -122,7 +120,7 @@ fn diagram(c: &mut Canvas, ed: &Editor) {
                 for (slot, pos) in geometry::active_positions(kind, mode).iter().enumerate() {
                     let y0 = at.y + slot as i32 * 4;
                     let b = unit_border(&icon.kind, *pos);
-                    let border: String = std::iter::repeat(b).take(7).collect();
+                    let border: String = std::iter::repeat_n(b, 7).collect();
                     c.text(at.x + 1, y0, &format!("+{border}+"));
                     let label = d
                         .fu_assign(icon.id, *pos)
@@ -133,13 +131,11 @@ fn diagram(c: &mut Canvas, ed: &Editor) {
                 }
             }
             IconKind::Memory { plane } => {
-                let label =
-                    plane.map(|p| p.to_string()).unwrap_or_else(|| "MEM ?".to_string());
+                let label = plane.map(|p| p.to_string()).unwrap_or_else(|| "MEM ?".to_string());
                 storage_box(c, at, &label);
             }
             IconKind::Cache { cache } => {
-                let label =
-                    cache.map(|x| x.to_string()).unwrap_or_else(|| "DC ?".to_string());
+                let label = cache.map(|x| x.to_string()).unwrap_or_else(|| "DC ?".to_string());
                 storage_box(c, at, &label);
             }
             IconKind::Sdu { sdu } => {
@@ -226,7 +222,11 @@ fn overlays(c: &mut Canvas, ed: &Editor) {
         ),
         Mode::OpMenu { icon, pos, ops } => (
             format!("operation for {icon}.u{pos}:"),
-            ops.iter().take(14).enumerate().map(|(i, o)| format!("{i}) {}", o.mnemonic())).collect(),
+            ops.iter()
+                .take(14)
+                .enumerate()
+                .map(|(i, o)| format!("{i}) {}", o.mnemonic()))
+                .collect(),
         ),
         Mode::DmaForm { fields, active, .. } => (
             "DMA parameters".to_string(),
@@ -243,12 +243,8 @@ fn overlays(c: &mut Canvas, ed: &Editor) {
     };
     let x0 = LEFT_W + 3;
     let y0 = DRAW_Y0 + 1;
-    let w = entries
-        .iter()
-        .map(String::len)
-        .chain(std::iter::once(title.len()))
-        .max()
-        .unwrap_or(10) as i32
+    let w = entries.iter().map(String::len).chain(std::iter::once(title.len())).max().unwrap_or(10)
+        as i32
         + 2;
     for (row, line) in std::iter::once(&title).chain(entries.iter()).enumerate() {
         let y = y0 + row as i32;
@@ -281,10 +277,7 @@ pub fn render_svg(ed: &Editor) -> String {
         if line.trim().is_empty() {
             continue;
         }
-        let escaped = line
-            .replace('&', "&amp;")
-            .replace('<', "&lt;")
-            .replace('>', "&gt;");
+        let escaped = line.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;");
         out.push_str(&format!(
             "<text x=\"0\" y=\"{}\" xml:space=\"preserve\">{}</text>\n",
             (row + 1) * chh as usize,
@@ -304,16 +297,12 @@ mod tests {
 
     fn editor_with_icons() -> Editor {
         let mut ed = Editor::new(Checker::nsc_1988(), "render-test");
-        let mem =
-            ed.place_icon(IconKind::Memory { plane: Some(PlaneId(2)) }, Point::new(22, 6));
+        let mem = ed.place_icon(IconKind::Memory { plane: Some(PlaneId(2)) }, Point::new(22, 6));
         let als = ed.place_icon(IconKind::als(AlsKind::Triplet), Point::new(45, 4));
         ed.assign_fu(als, 0, FuAssign::binary(FuOp::Add));
         ed.connect(
             nsc_diagram::PadLoc::new(mem, PadRef::Io),
-            nsc_diagram::PadLoc::new(
-                als,
-                PadRef::FuIn { pos: 0, port: nsc_arch::InPort::A },
-            ),
+            nsc_diagram::PadLoc::new(als, PadRef::FuIn { pos: 0, port: nsc_arch::InPort::A }),
         );
         ed
     }

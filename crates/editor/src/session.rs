@@ -92,13 +92,10 @@ mod tests {
         let mut s = Session::new(ed);
         // Drag a memory icon out of the palette (row 4 = MEMORY).
         let py = MSG_H + 1 + 2 * 4;
-        s.feed([
-            Event::MouseDown { x: WIN_W - 8, y: py },
-            Event::MouseMove { x: 30, y: 8 },
-        ])
-        .snap("dragging")
-        .feed([Event::MouseUp { x: 30, y: 8 }])
-        .snap("placed");
+        s.feed([Event::MouseDown { x: WIN_W - 8, y: py }, Event::MouseMove { x: 30, y: 8 }])
+            .snap("dragging")
+            .feed([Event::MouseUp { x: 30, y: 8 }])
+            .snap("placed");
         assert_eq!(s.snapshots.len(), 2);
         assert_eq!(s.events_fed, 3);
         assert!(s.snapshots[1].ascii.contains("MEM ?"));

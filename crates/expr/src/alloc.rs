@@ -32,13 +32,7 @@ impl AllocStrategy {
 
     /// Declare `vars` (plus the output variable) of length `len` each,
     /// reserving plane 15 for the output and scratch.
-    pub fn declare(
-        self,
-        vars: &[String],
-        output: &str,
-        len: u64,
-        planes: usize,
-    ) -> Declarations {
+    pub fn declare(self, vars: &[String], output: &str, len: u64, planes: usize) -> Declarations {
         let mut decls = Declarations::default();
         let usable = planes.saturating_sub(1).max(1); // keep the last plane for output
         for (i, name) in vars.iter().enumerate() {
@@ -86,8 +80,7 @@ mod tests {
     #[test]
     fn round_robin_spreads_planes() {
         let d = AllocStrategy::RoundRobin.declare(&names(4), "y", 100, 16);
-        let planes: Vec<_> =
-            (0..4).map(|i| d.lookup(&format!("v{i}")).unwrap().plane).collect();
+        let planes: Vec<_> = (0..4).map(|i| d.lookup(&format!("v{i}")).unwrap().plane).collect();
         let set: std::collections::HashSet<_> = planes.iter().collect();
         assert_eq!(set.len(), 4, "distinct planes");
     }

@@ -21,6 +21,7 @@ use nsc_checker::Checker;
 use nsc_diagram::{
     ControlNode, DmaAttrs, Document, FuAssign, IconId, IconKind, PadLoc, PadRef, PipelineDiagram,
 };
+use std::collections::btree_map::Entry;
 use std::collections::BTreeMap;
 
 /// Mapping cost accounting.
@@ -57,12 +58,15 @@ pub fn compile_expr(
     let mut staged: BTreeMap<String, CacheId> = BTreeMap::new();
     for name in &vars {
         let plane = doc.decls.lookup(name).expect("declared").plane;
-        if port_owner.contains_key(&plane.0) {
-            let cache = CacheId(staged.len() as u8);
-            assert!(kb.valid_cache(cache), "more conflicting variables than caches");
-            staged.insert(name.clone(), cache);
-        } else {
-            port_owner.insert(plane.0, name.clone());
+        match port_owner.entry(plane.0) {
+            Entry::Occupied(_) => {
+                let cache = CacheId(staged.len() as u8);
+                assert!(kb.valid_cache(cache), "more conflicting variables than caches");
+                staged.insert(name.clone(), cache);
+            }
+            Entry::Vacant(slot) => {
+                slot.insert(name.clone());
+            }
         }
     }
 

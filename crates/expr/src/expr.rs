@@ -23,16 +23,19 @@ impl Expr {
     }
 
     /// `self + rhs`.
+    #[allow(clippy::should_implement_trait)] // DSL builder; by-value Expr, not ops::Add
     pub fn add(self, rhs: Expr) -> Expr {
         Expr::Binary(FuOp::Add, Box::new(self), Box::new(rhs))
     }
 
     /// `self - rhs`.
+    #[allow(clippy::should_implement_trait)] // DSL builder; by-value Expr, not ops::Sub
     pub fn sub(self, rhs: Expr) -> Expr {
         Expr::Binary(FuOp::Sub, Box::new(self), Box::new(rhs))
     }
 
     /// `self * rhs`.
+    #[allow(clippy::should_implement_trait)] // DSL builder; by-value Expr, not ops::Mul
     pub fn mul(self, rhs: Expr) -> Expr {
         Expr::Binary(FuOp::Mul, Box::new(self), Box::new(rhs))
     }

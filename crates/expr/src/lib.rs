@@ -23,6 +23,6 @@ pub mod alloc;
 pub mod compile;
 pub mod expr;
 
-pub use alloc::AllocStrategy;
-pub use compile::{compile_expr, CompileStats};
-pub use expr::Expr;
+pub use self::alloc::AllocStrategy;
+pub use self::compile::{compile_expr, CompileStats};
+pub use self::expr::Expr;

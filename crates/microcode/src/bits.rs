@@ -58,7 +58,7 @@ impl BitWriter {
 
     /// Append a signed value in `width`-bit two's complement.
     pub fn write_signed(&mut self, value: i64, width: u32) {
-        assert!(width >= 1 && width <= 64);
+        assert!((1..=64).contains(&width));
         if width < 64 {
             let min = -(1i64 << (width - 1));
             let max = (1i64 << (width - 1)) - 1;

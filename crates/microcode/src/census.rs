@@ -141,10 +141,7 @@ mod tests {
         let census = Census::of_machine(&kb);
         let bits = census.total_bits();
         // "a few thousand bits of information per instruction"
-        assert!(
-            (2000..10000).contains(&bits),
-            "{bits} bits is not 'a few thousand'"
-        );
+        assert!((2000..10000).contains(&bits), "{bits} bits is not 'a few thousand'");
     }
 
     #[test]

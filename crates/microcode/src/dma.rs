@@ -253,9 +253,9 @@ mod tests {
 
     #[test]
     fn plane_addresses_cover_a_full_plane() {
-        // 24-bit word addresses address 16 Mi words = 128 MB. The paper's
-        // plane size must be addressable.
-        assert!(1u64 << 24 >= 16 * 1024 * 1024);
+        // 24-bit word addresses reach 16 Mi words = 128 MB: exactly the
+        // paper's plane size, with no wasted address bits.
+        assert_eq!(1u64 << 24, 16 * 1024 * 1024);
     }
 
     #[test]

@@ -38,12 +38,12 @@ pub mod sdu_field;
 pub mod seq;
 pub mod switch_table;
 
-pub use bits::{BitReader, BitWriter};
-pub use census::{Census, FieldGroup};
-pub use dma::{CacheDmaField, PlaneDmaField, WriteMode};
-pub use fu_field::{FuField, FuInputSel};
-pub use instr::MicroInstruction;
-pub use program::{MicroProgram, ProgramBuilder};
-pub use sdu_field::{SduField, SduTapField};
-pub use seq::{CmpKind, CondBranch, SeqCtl, SequencerField};
-pub use switch_table::SwitchTable;
+pub use self::bits::{BitReader, BitWriter};
+pub use self::census::{Census, FieldGroup};
+pub use self::dma::{CacheDmaField, PlaneDmaField, WriteMode};
+pub use self::fu_field::{FuField, FuInputSel};
+pub use self::instr::MicroInstruction;
+pub use self::program::{MicroProgram, ProgramBuilder};
+pub use self::sdu_field::{SduField, SduTapField};
+pub use self::seq::{CmpKind, CondBranch, SeqCtl, SequencerField};
+pub use self::switch_table::SwitchTable;

@@ -112,12 +112,8 @@ impl MicroProgram {
             }
             for (i, s) in ins.sdus.iter().enumerate() {
                 if s.enabled {
-                    let taps: Vec<String> = s
-                        .taps
-                        .iter()
-                        .filter(|t| t.enabled)
-                        .map(|t| t.delay.to_string())
-                        .collect();
+                    let taps: Vec<String> =
+                        s.taps.iter().filter(|t| t.enabled).map(|t| t.delay.to_string()).collect();
                     out.push_str(&format!("  SDU{i}  delays: {}\n", taps.join(",")));
                 }
             }

@@ -172,8 +172,9 @@ mod tests {
         t.route(&kb, SourceRef::Fu(FuId(4)), SinkRef::PlaneWrite(PlaneId(2)));
         let pairs: Vec<_> = t.iter_routes(&kb).collect();
         assert_eq!(pairs.len(), 2);
-        assert!(pairs
-            .contains(&(SinkRef::FuIn(FuId(4), InPort::B), SourceRef::PlaneRead(PlaneId(1)))));
+        assert!(
+            pairs.contains(&(SinkRef::FuIn(FuId(4), InPort::B), SourceRef::PlaneRead(PlaneId(1))))
+        );
         assert!(pairs.contains(&(SinkRef::PlaneWrite(PlaneId(2)), SourceRef::Fu(FuId(4)))));
     }
 

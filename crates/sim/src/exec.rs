@@ -295,10 +295,7 @@ pub fn execute_instruction(
     // the lockstep loop
     // ------------------------------------------------------------------
     let max_count = reads.iter().map(|r| r.count).max().unwrap_or(0);
-    let drain_bound: u64 = sdus
-        .iter()
-        .map(|s| s.ring.len() as u64)
-        .sum::<u64>()
+    let drain_bound: u64 = sdus.iter().map(|s| s.ring.len() as u64).sum::<u64>()
         + fus.iter().map(|f| f.pipe.len() as u64 + 70).sum::<u64>()
         + 16;
     let hard_cap = max_count + drain_bound + 1024;
@@ -415,9 +412,8 @@ pub fn execute_instruction(
         if reads_done {
             cycles_after_reads += 1;
         }
-        let streams_done = writes
-            .iter()
-            .all(|w| w.mode != WriteMode::Stream || w.written >= w.count);
+        let streams_done =
+            writes.iter().all(|w| w.mode != WriteMode::Stream || w.written >= w.count);
         let lastonly_present = writes.iter().any(|w| w.mode == WriteMode::LastOnly);
         if streams_done && reads_done && (!lastonly_present || cycles_after_reads > drain_bound) {
             completed = true;
@@ -521,8 +517,8 @@ mod tests {
 
         execute_instruction(&kb, &ins, &mut mem, &mut counters).expect("runs");
         let out = mem.planes[1].read_vec(0, 50);
-        for i in 0..50 {
-            assert_eq!(out[i], 3.0 * i as f64);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, 3.0 * i as f64);
         }
         assert_eq!(counters.flops, 50);
     }

@@ -29,8 +29,8 @@ pub mod memory;
 pub mod node;
 pub mod system;
 
-pub use counters::PerfCounters;
-pub use exec::{ExecError, SourceTrace};
-pub use memory::{DataCache, MemoryPlane, NodeMemory};
-pub use node::{HaltReason, NodeSim, RunOptions, RunStats};
-pub use system::NscSystem;
+pub use self::counters::PerfCounters;
+pub use self::exec::{ExecError, SourceTrace};
+pub use self::memory::{DataCache, MemoryPlane, NodeMemory};
+pub use self::node::{HaltReason, NodeSim, RunOptions, RunStats};
+pub use self::system::NscSystem;

@@ -49,10 +49,8 @@ impl MemoryPlane {
     #[inline]
     pub fn write(&mut self, addr: u64, value: f64) {
         assert!(addr < self.words, "plane write at {addr} beyond {} words", self.words);
-        let page = self
-            .pages
-            .entry(addr / PAGE_WORDS)
-            .or_insert_with(|| vec![0.0; PAGE_WORDS as usize]);
+        let page =
+            self.pages.entry(addr / PAGE_WORDS).or_insert_with(|| vec![0.0; PAGE_WORDS as usize]);
         page[(addr % PAGE_WORDS) as usize] = value;
     }
 

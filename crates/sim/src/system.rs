@@ -67,6 +67,7 @@ impl NscSystem {
 
     /// Transfer `len` words from a plane of one node to a plane of another,
     /// charging the e-cube route cost. Returns the message time in ns.
+    #[allow(clippy::too_many_arguments)] // one argument per route endpoint coordinate
     pub fn exchange(
         &mut self,
         from: NodeId,

@@ -50,16 +50,15 @@ fn main() {
     .feed([Event::MouseUp { x: DRAW_X0 + 26, y: 6 }]); // triplet u0.inA pad
 
     // Figure 9: the DMA pop-up sub-window appears for storage wires.
-    s.snap("fig9 popup subwindow for specifying the memory connection")
-        .feed([
-            Event::Text("0".into()), // plane number
-            Event::NextField,
-            Event::NextField,
-            Event::Text("10000".into()), // offset, as in the paper's figure
-            Event::NextField,
-            Event::Text("1".into()), // stride
-            Event::SubmitForm,
-        ]);
+    s.snap("fig9 popup subwindow for specifying the memory connection").feed([
+        Event::Text("0".into()), // plane number
+        Event::NextField,
+        Event::NextField,
+        Event::Text("10000".into()), // offset, as in the paper's figure
+        Event::NextField,
+        Event::Text("1".into()), // stride
+        Event::SubmitForm,
+    ]);
 
     // Figure 10: programming a functional unit from the pop-up menu.
     s.feed([Event::MouseDown { x: DRAW_X0 + 29, y: 6 }]) // unit 0 box

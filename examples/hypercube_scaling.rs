@@ -33,11 +33,7 @@ fn saturated_program(kb: &KnowledgeBase, count: u32) -> nsc::microcode::MicroPro
                 const_slot: 0,
                 preload: Some(1.000001),
             };
-            let src = if i == 0 {
-                SourceRef::PlaneRead(read)
-            } else {
-                SourceRef::Fu(fus[i - 1])
-            };
+            let src = if i == 0 { SourceRef::PlaneRead(read) } else { SourceRef::Fu(fus[i - 1]) };
             ins.switch.route(kb, src, SinkRef::FuIn(fu, InPort::A));
         }
         ins.switch.route(kb, SourceRef::Fu(fus[7]), SinkRef::PlaneWrite(write));
@@ -57,8 +53,11 @@ fn main() {
         cfg.fu_count(),
         cfg.clock_hz / 1_000_000
     );
-    println!("64-node system: {:.2} GFLOPS peak, {} GB memory (paper: 40 GFLOPS, 128 GB)\n",
-        cfg.system_peak_gflops(64), cfg.system_memory_gb(64));
+    println!(
+        "64-node system: {:.2} GFLOPS peak, {} GB memory (paper: 40 GFLOPS, 128 GB)\n",
+        cfg.system_peak_gflops(64),
+        cfg.system_memory_gb(64)
+    );
 
     let count = 65_536u32;
     let prog = saturated_program(&kb, count);
@@ -89,11 +88,10 @@ fn main() {
             }
         }
         let clock = cfg.clock_hz;
-        let compute_s = (0..nodes)
-            .map(|i| sys.node(NodeId(i as u16)).counters.cycles)
-            .max()
-            .unwrap_or(0) as f64
-            / clock as f64;
+        let compute_s =
+            (0..nodes).map(|i| sys.node(NodeId(i as u16)).counters.cycles).max().unwrap_or(0)
+                as f64
+                / clock as f64;
         let total_s = compute_s + slowest_ns as f64 * 1e-9;
         let flops: u64 = (0..nodes).map(|i| sys.node(NodeId(i as u16)).counters.flops).sum();
         let mflops = flops as f64 / total_s / 1e6;

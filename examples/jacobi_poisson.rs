@@ -42,7 +42,10 @@ fn main() {
     let (u0, f, exact) = manufactured_problem(n);
     let mut node = env.node();
     let run = run_jacobi_on_node(&mut node, &u0, &f, tol, 5000, JacobiVariant::Full);
-    println!("\nconverged: {} after {} sweeps, residual {:.3e}", run.converged, run.sweeps, run.residual);
+    println!(
+        "\nconverged: {} after {} sweeps, residual {:.3e}",
+        run.converged, run.sweeps, run.residual
+    );
     println!(
         "simulated: {} cycles = {:.3} ms at 20 MHz, {:.1} MFLOPS achieved (peak 640)",
         run.counters.cycles,
@@ -57,12 +60,7 @@ fn main() {
         jacobi_sweep_host(&mut host);
     }
     let host_u = host.current();
-    let identical = run
-        .u
-        .data
-        .iter()
-        .zip(&host_u.data)
-        .all(|(a, b)| a.to_bits() == b.to_bits());
+    let identical = run.u.data.iter().zip(&host_u.data).all(|(a, b)| a.to_bits() == b.to_bits());
     println!("bit-for-bit match with host mirror over {} points: {identical}", host_u.len());
     assert!(identical);
 }

@@ -15,8 +15,12 @@ use nsc::sim::RunOptions;
 
 fn main() {
     let env = VisualEnvironment::nsc_1988();
-    println!("machine: {} — {} FUs, peak {} MFLOPS", env.kb().config().name,
-        env.kb().config().fu_count(), env.kb().config().peak_mflops());
+    println!(
+        "machine: {} — {} FUs, peak {} MFLOPS",
+        env.kb().config().name,
+        env.kb().config().fu_count(),
+        env.kb().config().peak_mflops()
+    );
 
     // --- edit (paper §5) ---
     let mut ed = env.editor("quickstart");

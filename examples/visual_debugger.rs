@@ -76,11 +76,12 @@ fn main() {
     node.mem.plane_mut(PlaneId(0)).write_slice(0, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 3.0]);
     let report = env.debug_run(&mut doc, &mut node, 8).expect("debug run");
     println!("{}", report.render());
+    println!("final y: {:?}", node.mem.plane(PlaneId(2)).read_vec(0, 8));
     println!(
-        "final y: {:?}",
-        node.mem.plane(PlaneId(2)).read_vec(0, 8)
+        "{} instruction(s) executed, {} frame(s) captured",
+        report.executed,
+        report.frames.len()
     );
-    println!("{} instruction(s) executed, {} frame(s) captured", report.executed, report.frames.len());
     // Last observed unit value in pipeline 2: sqrt(3^2)+1 = 4.
     let last = report.frames.last().unwrap();
     assert!(last.values.iter().any(|(_, v)| *v == 4.0), "{:?}", last.values);

@@ -2,11 +2,10 @@
 //! host mirror bit-for-bit on *random* problems, not just the manufactured
 //! one — and saved documents must round-trip losslessly.
 
-use nsc::cfd::{
-    build_jacobi_document, host::jacobi_sweep_host, host::JacobiHostState, nsc_run,
-    JacobiVariant,
-};
 use nsc::cfd::Grid3;
+use nsc::cfd::{
+    build_jacobi_document, host::jacobi_sweep_host, host::JacobiHostState, nsc_run, JacobiVariant,
+};
 use nsc::env::VisualEnvironment;
 use nsc::sim::{NodeSim, RunOptions};
 use proptest::prelude::*;

@@ -1,0 +1,115 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The container image has no network access to crates.io, so this vendored
+//! crate provides exactly the surface the workspace uses: a growable byte
+//! buffer ([`BytesMut`]) and the [`BufMut`] write trait. It is not a
+//! re-implementation of the real crate's zero-copy machinery — just enough
+//! for `nsc-microcode`'s MSB-first bit packer.
+
+use std::ops::{Deref, DerefMut};
+
+/// A growable, uniquely-owned byte buffer backed by a `Vec<u8>`.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty buffer with space for `cap` bytes.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut { inner: Vec::with_capacity(cap) }
+    }
+
+    /// Bytes currently in the buffer.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Copy the contents out as a plain vector.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.inner.clone()
+    }
+
+    /// Clear the buffer, keeping capacity.
+    pub fn clear(&mut self) {
+        self.inner.clear()
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.inner
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(v: Vec<u8>) -> Self {
+        BytesMut { inner: v }
+    }
+}
+
+impl From<BytesMut> for Vec<u8> {
+    fn from(b: BytesMut) -> Self {
+        b.inner
+    }
+}
+
+/// Append-style writes, as in the real `bytes::BufMut`.
+pub trait BufMut {
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Append a slice of bytes.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.inner.push(v);
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_index_roundtrip() {
+        let mut b = BytesMut::new();
+        b.put_u8(0xA0);
+        b.put_u8(0x00);
+        let last = b.len() - 1;
+        b[last] |= 0x0F;
+        assert_eq!(b.to_vec(), vec![0xA0, 0x0F]);
+    }
+}

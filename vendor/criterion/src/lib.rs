@@ -1,0 +1,183 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Provides the API surface the workspace's `harness = false` benches use —
+//! [`Criterion::bench_function`], [`Criterion::bench_with_input`],
+//! [`BenchmarkId`], [`Bencher::iter`], [`black_box`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — with plain wall-clock
+//! timing instead of criterion's statistical machinery. Each benchmark runs
+//! a short warm-up, then `sample_size` timed samples, and prints the mean,
+//! min and max time per iteration.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::Instant;
+
+/// Prevent the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// A benchmark identifier: function name plus an input parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, as in the real crate.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", name.into(), parameter) }
+    }
+}
+
+/// Per-iteration timing collector handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Nanoseconds per iteration, one entry per sample.
+    ns_per_iter: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time `f`, running one warm-up plus `sample_size` measured samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        hint::black_box(f());
+        self.ns_per_iter.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            hint::black_box(f());
+            self.ns_per_iter.push(start.elapsed().as_nanos() as f64);
+        }
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Set how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    fn run(&mut self, label: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher { samples: self.sample_size, ns_per_iter: Vec::new() };
+        f(&mut b);
+        report(label, &b.ns_per_iter);
+    }
+
+    /// Run one benchmark closure under `id`.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.to_string();
+        self.run(&label, f);
+        self
+    }
+
+    /// Run one benchmark closure with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = id.label.clone();
+        self.run(&label, |b| f(b, input));
+        self
+    }
+}
+
+fn report(label: &str, ns: &[f64]) {
+    if ns.is_empty() {
+        println!("{label:<40} (no samples)");
+        return;
+    }
+    let mean = ns.iter().sum::<f64>() / ns.len() as f64;
+    let min = ns.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = ns.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    println!(
+        "{label:<40} mean {:>12} min {:>12} max {:>12} ({} samples)",
+        fmt_ns(mean),
+        fmt_ns(min),
+        fmt_ns(max),
+        ns.len()
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Define a group of benchmark targets, optionally with a configured
+/// [`Criterion`] (`name = ..; config = ..; targets = ..` form).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generate `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(c: &mut Criterion) {
+        c.bench_function("square_sum", |b| b.iter(|| (0..100u64).map(|x| x * x).sum::<u64>()));
+        c.bench_with_input(BenchmarkId::new("param", 7), &7u64, |b, &n| {
+            b.iter(|| black_box(n) * 2)
+        });
+    }
+
+    criterion_group! {
+        name = smoke;
+        config = Criterion::default().sample_size(3);
+        targets = target
+    }
+
+    #[test]
+    fn groups_run() {
+        smoke();
+    }
+}

@@ -1,0 +1,59 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only [`thread::scope`] is provided, implemented on top of
+//! `std::thread::scope` (stable since Rust 1.63). The API shape matches
+//! crossbeam's: the spawn closure receives the scope again (so threads can
+//! spawn siblings), and `scope` returns a `Result` whose error carries a
+//! child-thread panic payload. Because std's scope re-raises child panics
+//! while joining, the `Err` branch is in practice unreachable here — a
+//! child panic propagates as a panic, which is an acceptable strengthening
+//! for this workspace's "run one program per node" use.
+
+pub mod thread {
+    use std::any::Any;
+    use std::thread as stdthread;
+
+    /// A scope handle mirroring `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope stdthread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. As in crossbeam, the closure receives the
+        /// scope so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> stdthread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let handle = Scope { inner: self.inner };
+            self.inner.spawn(move || f(&handle))
+        }
+    }
+
+    /// Create a scope in which borrowed-data threads can be spawned; all
+    /// threads are joined before `scope` returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(stdthread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_fill_borrowed_slots() {
+        let mut slots = vec![0u32; 4];
+        crate::thread::scope(|scope| {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                scope.spawn(move |_| {
+                    *slot = i as u32 + 1;
+                });
+            }
+        })
+        .expect("no panics");
+        assert_eq!(slots, vec![1, 2, 3, 4]);
+    }
+}

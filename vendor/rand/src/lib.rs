@@ -1,0 +1,167 @@
+//! Offline stand-in for the `rand` crate (0.9-style API surface).
+//!
+//! The workspace uses random values only for test/bench problem setup, so
+//! this vendored crate provides a small deterministic generator rather than
+//! the full rand ecosystem: [`Rng::random_range`] over half-open ranges,
+//! [`SeedableRng::seed_from_u64`], and [`rngs::StdRng`] (splitmix64 — not
+//! cryptographic, statistically fine for filling grids with test data).
+
+use std::ops::Range;
+
+/// Types that can be drawn uniformly from a half-open range.
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    /// Draw one value in `[range.start, range.end)`.
+    fn sample_from<R: Rng + ?Sized>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_from<R: Rng + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty range");
+                let width = (range.end as i128 - range.start as i128) as u128;
+                let r = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % width;
+                (range.start as i128 + r as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_from<R: Rng + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "empty range");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let v = range.start + (range.end - range.start) * unit;
+        // Rounding can land exactly on `end`; keep the bound exclusive.
+        if v >= range.end {
+            range.end.next_down()
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_from<R: Rng + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+        let v = f64::sample_from(rng, range.start as f64..range.end as f64) as f32;
+        if v >= range.end {
+            range.end.next_down()
+        } else {
+            v
+        }
+    }
+}
+
+/// The random-value interface (the subset of `rand::Rng` this workspace uses).
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform draw from `[range.start, range.end)`.
+    fn random_range<T: SampleUniform>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_from(self, range)
+    }
+
+    /// A random value of a simple type (`bool`, integers, `f64` in `[0,1)`).
+    fn random<T: Random>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::random(self)
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types [`Rng::random`] can produce.
+pub trait Random: Sized {
+    /// Draw one value.
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Random for bool {
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Random for u64 {
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Random for f64 {
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is fully determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    /// Deterministic splitmix64 generator, stand-in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl super::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            StdRng { state }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds_and_are_deterministic() {
+        let mut a = rngs::StdRng::seed_from_u64(42);
+        let mut b = rngs::StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let x: f64 = a.random_range(-4.0..4.0);
+            assert!((-4.0..4.0).contains(&x));
+            assert_eq!(x, b.random_range(-4.0..4.0));
+            let n: i64 = a.random_range(-5..7);
+            assert!((-5..7).contains(&n));
+            b.next_u64();
+            b.next_u64();
+        }
+    }
+
+    #[test]
+    fn full_i64_range_does_not_overflow() {
+        let mut rng = rngs::StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let _: i64 = rng.random_range(i64::MIN..i64::MAX);
+        }
+    }
+}

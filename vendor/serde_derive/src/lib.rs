@@ -1,0 +1,384 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates `Serialize`/`Deserialize` impls for the Value-tree model of the
+//! vendored `serde` shim. Because the image has no crates.io access, this is
+//! written against the raw `proc_macro` API — no `syn`/`quote`. The parser
+//! therefore recognizes exactly the shapes this workspace uses:
+//!
+//! * non-generic structs (named, tuple, unit) and enums (unit, tuple and
+//!   struct variants);
+//! * the `#[serde(transparent)]` container attribute;
+//! * doc comments and other attributes (skipped).
+//!
+//! Generic containers are rejected with a compile error naming the type, so
+//! an unsupported use fails loudly rather than mis-serializing.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+struct Input {
+    name: String,
+    transparent: bool,
+    kind: Kind,
+}
+
+enum Kind {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+/// Derive `serde::Serialize` (Value-tree shim edition).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_input(input);
+    gen_serialize(&item).parse().expect("serde shim: generated Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize` (Value-tree shim edition).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_input(input);
+    gen_deserialize(&item).parse().expect("serde shim: generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn ident_of(t: &TokenTree) -> Option<String> {
+    match t {
+        TokenTree::Ident(id) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+/// Skip `#[...]` attribute pairs starting at `i`; returns the new index and
+/// whether a `#[serde(transparent)]` was seen.
+fn skip_attrs(toks: &[TokenTree], mut i: usize) -> (usize, bool) {
+    let mut transparent = false;
+    while i + 1 < toks.len() {
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let TokenTree::Group(g) = &toks[i + 1] {
+                    let body = g.stream().to_string();
+                    let compact: String = body.chars().filter(|c| !c.is_whitespace()).collect();
+                    if compact.starts_with("serde(") && compact.contains("transparent") {
+                        transparent = true;
+                    }
+                }
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    (i, transparent)
+}
+
+/// Skip a `pub` / `pub(...)` visibility marker starting at `i`.
+fn skip_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = toks.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+fn parse_input(ts: TokenStream) -> Input {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let (mut i, transparent) = skip_attrs(&toks, 0);
+    i = skip_vis(&toks, i);
+    let kw = ident_of(&toks[i]).expect("serde shim: expected `struct` or `enum`");
+    i += 1;
+    let name = ident_of(&toks[i]).expect("serde shim: expected type name");
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde shim derive does not support generic type `{name}`");
+        }
+    }
+    let kind = match kw.as_str() {
+        "struct" => Kind::Struct(match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Fields::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Fields::Tuple(split_top_level(g).len())
+            }
+            _ => Fields::Unit,
+        }),
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g))
+            }
+            _ => panic!("serde shim: enum `{name}` has no body"),
+        },
+        other => panic!("serde shim: cannot derive for `{other}` items"),
+    };
+    Input { name, transparent, kind }
+}
+
+/// Split a group's tokens on top-level commas, tracking `<...>` nesting so
+/// commas inside generic arguments do not split (groups are already atomic).
+fn split_top_level(g: &Group) -> Vec<Vec<TokenTree>> {
+    let mut out: Vec<Vec<TokenTree>> = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle: i32 = 0;
+    // A joint '-' immediately before '>' makes it an `->` arrow (e.g. in a
+    // `fn(u8) -> u8` field type), not a closing angle bracket.
+    let mut prev_joint_minus = false;
+    for t in g.stream() {
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' if !prev_joint_minus => angle -= 1,
+                ',' if angle == 0 => {
+                    prev_joint_minus = false;
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+            prev_joint_minus = p.as_char() == '-' && p.spacing() == proc_macro::Spacing::Joint;
+        } else {
+            prev_joint_minus = false;
+        }
+        cur.push(t);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn parse_named_fields(g: &Group) -> Vec<String> {
+    split_top_level(g)
+        .into_iter()
+        .filter(|seg| !seg.is_empty())
+        .map(|seg| {
+            let (mut i, _) = skip_attrs(&seg, 0);
+            i = skip_vis(&seg, i);
+            ident_of(&seg[i]).expect("serde shim: expected field name")
+        })
+        .collect()
+}
+
+fn parse_variants(g: &Group) -> Vec<Variant> {
+    split_top_level(g)
+        .into_iter()
+        .filter(|seg| !seg.is_empty())
+        .map(|seg| {
+            let (i, _) = skip_attrs(&seg, 0);
+            let name = ident_of(&seg[i]).expect("serde shim: expected variant name");
+            let fields = match seg.get(i + 1) {
+                Some(TokenTree::Group(vg)) if vg.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(split_top_level(vg).len())
+                }
+                Some(TokenTree::Group(vg)) if vg.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(vg))
+                }
+                _ => Fields::Unit,
+            };
+            Variant { name, fields }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (rendered as source text, then re-parsed)
+// ---------------------------------------------------------------------------
+
+const S: &str = "::serde::Serialize::to_value";
+const D: &str = "::serde::Deserialize::from_value";
+
+fn named_object_expr(fields: &[String], accessor: impl Fn(&str) -> String) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| format!("(::std::string::String::from(\"{f}\"), {S}(&{a}))", a = accessor(f)))
+        .collect();
+    format!("::serde::Value::Object(::std::vec![{}])", entries.join(", "))
+}
+
+fn gen_serialize(item: &Input) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(Fields::Named(fields)) => {
+            if item.transparent && fields.len() == 1 {
+                format!("{S}(&self.{})", fields[0])
+            } else {
+                named_object_expr(fields, |f| format!("self.{f}"))
+            }
+        }
+        Kind::Struct(Fields::Tuple(1)) => format!("{S}(&self.0)"),
+        Kind::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n).map(|i| format!("{S}(&self.{i})")).collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Kind::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    let tag = format!("::std::string::String::from(\"{vn}\")");
+                    match &v.fields {
+                        Fields::Unit => {
+                            format!("{name}::{vn} => ::serde::Value::Str({tag}),")
+                        }
+                        Fields::Tuple(1) => format!(
+                            "{name}::{vn}(__f0) => ::serde::Value::Object(::std::vec![({tag}, \
+                             {S}(__f0))]),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> =
+                                binds.iter().map(|b| format!("{S}({b})")).collect();
+                            format!(
+                                "{name}::{vn}({bl}) => ::serde::Value::Object(::std::vec![({tag}, \
+                                 ::serde::Value::Array(::std::vec![{il}]))]),",
+                                bl = binds.join(", "),
+                                il = items.join(", ")
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let obj = named_object_expr(fields, |f| format!("(*{f})"));
+                            format!(
+                                "{name}::{vn} {{ {fl} }} => ::serde::Value::Object(::std::vec![\
+                                 ({tag}, {obj})]),",
+                                fl = fields.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived] #[allow(clippy::all, unused_variables)] \
+         impl ::serde::Serialize for {name} {{ \
+         fn to_value(&self) -> ::serde::Value {{ {body} }} }}"
+    )
+}
+
+fn named_construct_expr(ty_label: &str, path: &str, fields: &[String], src: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| format!("{f}: {D}(::serde::get_field({src}, \"{f}\", \"{ty_label}\")?)?"))
+        .collect();
+    format!("{path} {{ {} }}", inits.join(", "))
+}
+
+fn tuple_construct_expr(ty_label: &str, path: &str, n: usize, src: &str) -> String {
+    let elems: Vec<String> = (0..n)
+        .map(|i| {
+            format!(
+                "{D}(__a.get({i}).ok_or_else(|| ::serde::Error::expected(\
+                 \"array of {n} elements\", \"{ty_label}\", {src}))?)?"
+            )
+        })
+        .collect();
+    format!(
+        "{{ let __a = {src}.as_array().ok_or_else(|| \
+         ::serde::Error::expected(\"array\", \"{ty_label}\", {src}))?; \
+         {path}({el}) }}",
+        el = elems.join(", ")
+    )
+}
+
+fn gen_deserialize(item: &Input) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(Fields::Named(fields)) => {
+            if item.transparent && fields.len() == 1 {
+                format!("::std::result::Result::Ok({name} {{ {f}: {D}(__v)? }})", f = fields[0])
+            } else {
+                format!(
+                    "::std::result::Result::Ok({e})",
+                    e = named_construct_expr(name, name, fields, "__v")
+                )
+            }
+        }
+        Kind::Struct(Fields::Tuple(1)) => {
+            format!("::std::result::Result::Ok({name}({D}(__v)?))")
+        }
+        Kind::Struct(Fields::Tuple(n)) => {
+            format!(
+                "::std::result::Result::Ok({e})",
+                e = tuple_construct_expr(name, name, *n, "__v")
+            )
+        }
+        Kind::Struct(Fields::Unit) => format!(
+            "match __v {{ ::serde::Value::Null => ::std::result::Result::Ok({name}), \
+             __other => ::std::result::Result::Err(::serde::Error::expected(\
+             \"null\", \"{name}\", __other)) }}"
+        ),
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    format!("\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),", vn = v.name)
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| !matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    let vn = &v.name;
+                    let label = format!("{name}::{vn}");
+                    let expr = match &v.fields {
+                        Fields::Tuple(1) => format!("{name}::{vn}({D}(__inner)?)"),
+                        Fields::Tuple(n) => {
+                            tuple_construct_expr(&label, &format!("{name}::{vn}"), *n, "__inner")
+                        }
+                        Fields::Named(fields) => named_construct_expr(
+                            &label,
+                            &format!("{name}::{vn}"),
+                            fields,
+                            "__inner",
+                        ),
+                        Fields::Unit => unreachable!(),
+                    };
+                    format!("\"{vn}\" => ::std::result::Result::Ok({expr}),")
+                })
+                .collect();
+            format!(
+                "match __v {{ \
+                 ::serde::Value::Str(__s) => match __s.as_str() {{ \
+                 {unit} \
+                 __other => ::std::result::Result::Err(::serde::Error::msg(::std::format!(\
+                 \"unknown unit variant `{{}}` of {name}\", __other))) }}, \
+                 __tagged => {{ \
+                 let (__tag, __inner) = ::serde::enum_parts(__tagged, \"{name}\")?; \
+                 match __tag {{ \
+                 {data} \
+                 __other => ::std::result::Result::Err(::serde::Error::msg(::std::format!(\
+                 \"unknown variant `{{}}` of {name}\", __other))) }} }} }}",
+                unit = unit_arms.join(" "),
+                data = data_arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived] #[allow(clippy::all, unused_variables)] \
+         impl ::serde::Deserialize for {name} {{ \
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ \
+         {body} }} }}"
+    )
+}
