@@ -1,7 +1,7 @@
 //! The physical layout of one node: which FU lives in which ALS.
 //!
 //! [`NodeLayout`] is derived deterministically from a
-//! [`MachineConfig`](crate::MachineConfig): ALSs are numbered with triplets
+//! [`MachineConfig`]: ALSs are numbered with triplets
 //! first, then doublets, then singlets, and functional units are numbered
 //! densely in chain order within each ALS. The editor, checker, codegen and
 //! simulator all resolve FU/ALS relationships through this one table.

@@ -9,7 +9,8 @@ use nsc_sim::NodeSim;
 fn report_convergence() {
     let (u0, f, _) = manufactured_problem(12);
     let mut node = NodeSim::nsc_1988();
-    let run = run_jacobi_on_node(&mut node, &u0, &f, 1e-7, 3000, JacobiVariant::Full);
+    let run = run_jacobi_on_node(&mut node, &u0, &f, 1e-7, 3000, JacobiVariant::Full)
+        .expect("jacobi runs");
     eprintln!(
         "jacobi 12^3: converged={} sweeps={} residual={:.3e} achieved={:.1} MFLOPS",
         run.converged, run.sweeps, run.residual, run.mflops
@@ -23,7 +24,7 @@ fn bench(c: &mut Criterion) {
         c.bench_with_input(BenchmarkId::new("jacobi_sweep_pair", n), &n, |b, _| {
             b.iter(|| {
                 let mut node = NodeSim::nsc_1988();
-                run_jacobi_on_node(&mut node, &u0, &f, 0.0, 1, JacobiVariant::Full)
+                run_jacobi_on_node(&mut node, &u0, &f, 0.0, 1, JacobiVariant::Full).unwrap()
             })
         });
     }

@@ -29,7 +29,7 @@ fn report() {
     let kb = env.kb();
     let census = Census::of_machine(kb);
     let mut doc = build_jacobi_document(16, 1e-6, 1000, JacobiVariant::Full);
-    let out = env.generate(&mut doc).expect("generates");
+    let out = env.session().compile(&mut doc).expect("compiles").output;
     let decisions = decision_count(&doc);
     let bits = out.program.total_bits(kb);
     let leaves = census.total_leaves() * out.program.len();
@@ -68,7 +68,7 @@ fn bench(c: &mut Criterion) {
     c.bench_function("build_and_generate_jacobi_8", |b| {
         b.iter(|| {
             let mut doc = build_jacobi_document(8, 1e-6, 100, JacobiVariant::Full);
-            env.generate(&mut doc).unwrap().program.len()
+            env.session().compile(&mut doc).unwrap().program().len()
         })
     });
 }

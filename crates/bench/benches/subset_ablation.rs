@@ -23,7 +23,7 @@ fn report() {
     ] {
         let kb = KnowledgeBase::new(MachineConfig::nsc_1988().subset(subset));
         let mut node = NodeSim::new(kb);
-        let run = run_jacobi_on_node(&mut node, &u0, &f, 0.0, 1, variant);
+        let run = run_jacobi_on_node(&mut node, &u0, &f, 0.0, 1, variant).expect("runs");
         if base == 0 {
             base = run.counters.cycles;
         }
@@ -42,7 +42,7 @@ fn report() {
         let env = nsc_core::VisualEnvironment::nsc_1988();
         let kb = KnowledgeBase::nsc_1988();
         let mut doc = build_chebyshev_document(4096, &coeffs, stages);
-        let out = env.generate(&mut doc).unwrap();
+        let out = env.session().compile(&mut doc).unwrap().output;
         let mut node = NodeSim::new(kb);
         // x in plane 0
         let xs: Vec<f64> = (0..4096).map(|i| (i % 17) as f64 * 0.1 - 0.8).collect();
@@ -66,7 +66,10 @@ fn bench(c: &mut Criterion) {
     c.bench_function("jacobi_pair_full_6", |b| {
         b.iter(|| {
             let mut node = NodeSim::nsc_1988();
-            run_jacobi_on_node(&mut node, &u0, &f, 0.0, 1, JacobiVariant::Full).counters.cycles
+            run_jacobi_on_node(&mut node, &u0, &f, 0.0, 1, JacobiVariant::Full)
+                .unwrap()
+                .counters
+                .cycles
         })
     });
 }

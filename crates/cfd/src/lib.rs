@@ -21,17 +21,25 @@
 //!   no-SDU variant (array copies in extra planes, §3's "multiple copies
 //!   of arrays"), the subset-model variant, and a compute-bound Chebyshev
 //!   kernel for the T4 ablation;
-//! * [`nsc_run`] — glue that loads a problem into a simulated node, runs
-//!   the generated microcode, and compares against the host reference.
+//! * [`nsc_run`] — glue that loads a problem into a simulated node,
+//!   compiles the document through `nsc_core::Session`, runs the
+//!   generated microcode and compares against the host reference —
+//!   returning `nsc_core::NscError` at every fallible stage;
+//! * [`workloads`] — the solver entry points packaged as
+//!   `nsc_core::Workload` implementations (Jacobi on the NSC, host SOR,
+//!   multigrid with NSC-priced smoothing) for batch harnesses and
+//!   benchmarks.
 
 pub mod diagrams;
 pub mod grid;
 pub mod host;
 pub mod multigrid;
 pub mod nsc_run;
+pub mod workloads;
 
 pub use self::diagrams::{build_chebyshev_document, build_jacobi_document, JacobiVariant};
 pub use self::grid::{Grid3, PaddedField};
 pub use self::host::{jacobi_sweep_host, residual_linf, sor_sweep_host, JacobiHostState};
 pub use self::multigrid::{vcycle, MgOptions, MgStats};
-pub use self::nsc_run::{load_problem, prepare, run_jacobi_on_node, JacobiRun};
+pub use self::nsc_run::{load_problem, prepare, run_jacobi, run_jacobi_on_node, JacobiRun};
+pub use self::workloads::{JacobiWorkload, MultigridRun, MultigridWorkload, SorRun, SorWorkload};

@@ -1,5 +1,9 @@
 //! Running the Jacobi document on the simulated NSC and checking it
 //! against the host mirror.
+//!
+//! Every entry point is fallible: bind, check, generation and execution
+//! failures propagate as [`NscError`] instead of panicking, so solver
+//! drivers can be batched, retried and reported on.
 
 use crate::diagrams::{
     build_jacobi_document, JacobiGeometry, JacobiVariant, PLANE_COPY0, PLANE_G, PLANE_MASK,
@@ -7,10 +11,10 @@ use crate::diagrams::{
 };
 use crate::grid::Grid3;
 use crate::host::JacobiHostState;
-use nsc_checker::Checker;
-use nsc_codegen::{generate, GenOutput};
+use nsc_codegen::GenOutput;
+use nsc_core::{NscError, Session};
 use nsc_diagram::Document;
-use nsc_sim::{HaltReason, NodeSim, PerfCounters, RunOptions};
+use nsc_sim::{NodeSim, PerfCounters, RunOptions};
 
 /// Outcome of a simulated Jacobi solve.
 #[derive(Debug, Clone)]
@@ -44,19 +48,13 @@ pub fn load_problem(node: &mut NodeSim, state: &JacobiHostState, variant: Jacobi
 }
 
 /// Bind, check and generate microcode for a document on this node's
-/// machine. Panics on checker errors (callers build correct documents).
-pub fn prepare(node: &NodeSim, doc: &mut Document) -> GenOutput {
-    let checker = Checker::new(node.kb.clone());
-    let decls = doc.decls.clone();
-    let ids: Vec<_> = doc.pipelines().iter().map(|p| p.id).collect();
-    for id in ids {
-        let diags = checker.auto_bind(doc.pipeline_mut(id).unwrap(), &decls);
-        assert!(diags.is_empty(), "auto-bind failed: {diags:?}");
-    }
-    generate(&node.kb, doc).expect("document generates")
+/// machine.
+pub fn prepare(node: &NodeSim, doc: &mut Document) -> Result<GenOutput, NscError> {
+    Session::from_kb(node.kb.clone()).compile(doc).map(|c| c.output)
 }
 
-/// Solve the `n^3` manufactured problem on a simulated node.
+/// Solve the `n^3` manufactured problem on a simulated node, compiling
+/// against the node's own machine description.
 pub fn run_jacobi_on_node(
     node: &mut NodeSim,
     u0: &Grid3,
@@ -64,35 +62,64 @@ pub fn run_jacobi_on_node(
     tol: f64,
     max_pairs: u32,
     variant: JacobiVariant,
-) -> JacobiRun {
+) -> Result<JacobiRun, NscError> {
+    run_jacobi(&Session::from_kb(node.kb.clone()), node, u0, f, tol, max_pairs, variant)
+}
+
+/// Solve the `n^3` manufactured problem: compile the Jacobi document
+/// through `session`, execute it on `node`.
+pub fn run_jacobi(
+    session: &Session,
+    node: &mut NodeSim,
+    u0: &Grid3,
+    f: &Grid3,
+    tol: f64,
+    max_pairs: u32,
+    variant: JacobiVariant,
+) -> Result<JacobiRun, NscError> {
+    if u0.nx != u0.ny || u0.nx != u0.nz {
+        return Err(NscError::Workload(format!(
+            "the Jacobi document wants a cubic grid, got {}x{}x{}",
+            u0.nx, u0.ny, u0.nz
+        )));
+    }
+    if (u0.nx, u0.ny, u0.nz) != (f.nx, f.ny, f.nz) {
+        return Err(NscError::Workload(format!(
+            "iterate is {}x{}x{} but the right-hand side is {}x{}x{}",
+            u0.nx, u0.ny, u0.nz, f.nx, f.ny, f.nz
+        )));
+    }
     let n = u0.nx;
     let state = JacobiHostState::new(u0, f);
     load_problem(node, &state, variant);
     let mut doc = build_jacobi_document(n, tol, max_pairs, variant);
-    let out = prepare(node, &mut doc);
+    let compiled = session.compile(&mut doc)?;
+    // A convergence loop that outruns this budget is a runaway: the
+    // document's own max_pairs counter should always halt it first, so
+    // CompiledProgram::run reporting NscError::MaxInstructions is the
+    // wanted behaviour.
     let opts = RunOptions { max_instructions: 10_000_000, ..Default::default() };
-    let stats = node.run_program(&out.program, &opts).expect("program runs");
-    assert_ne!(stats.halted, HaltReason::MaxInstructions, "runaway program");
+    let report = compiled.run(node, &opts)?;
 
     let instrs_per_pair = match variant {
         JacobiVariant::NoSdu => 6,
         _ => 2,
     };
-    let pairs = (stats.executed - 1) / instrs_per_pair; // minus loop header
+    let pairs = (report.stats.executed - 1) / instrs_per_pair; // minus loop header
     let residual = node.mem.cache(RESIDUAL_CACHE).read(0, 0);
     let geo = JacobiGeometry::cube(n);
     // The loop body ends on the odd sweep, so the result is in plane u0.
     let words = node.mem.plane(PLANE_U0).read_vec(0, geo.padded as u64);
     let padded = crate::grid::PaddedField { front: geo.plane, back: geo.plane, words };
     let u = padded.to_grid(n, n, n);
-    JacobiRun {
+    Ok(JacobiRun {
         u,
         residual,
         sweeps: pairs * 2,
         converged: residual < tol,
-        counters: node.counters,
-        mflops: node.counters.mflops(node.kb.config().clock_hz),
-    }
+        counters: report.counters,
+        mflops: report.mflops,
+    })
 }
 
 #[cfg(test)]
@@ -108,7 +135,8 @@ mod tests {
         let (u0, f, _) = manufactured_problem(n);
         // Run exactly 3 pairs on the NSC (tolerance 0 never converges).
         let mut node = NodeSim::nsc_1988();
-        let run = run_jacobi_on_node(&mut node, &u0, &f, 0.0, 3, JacobiVariant::Full);
+        let run =
+            run_jacobi_on_node(&mut node, &u0, &f, 0.0, 3, JacobiVariant::Full).expect("runs");
         assert_eq!(run.sweeps, 6);
         assert!(!run.converged);
         // Host mirror: 6 sweeps.
@@ -129,7 +157,8 @@ mod tests {
         let n = 6;
         let (u0, f, exact) = manufactured_problem(n);
         let mut node = NodeSim::nsc_1988();
-        let run = run_jacobi_on_node(&mut node, &u0, &f, 1e-9, 2000, JacobiVariant::Full);
+        let run =
+            run_jacobi_on_node(&mut node, &u0, &f, 1e-9, 2000, JacobiVariant::Full).expect("runs");
         assert!(run.converged, "residual {}", run.residual);
         assert!(run.residual < 1e-9);
         // Converged answer is within discretization error of the exact
@@ -143,10 +172,12 @@ mod tests {
         let n = 6;
         let (u0, f, _) = manufactured_problem(n);
         let mut full_node = NodeSim::nsc_1988();
-        let full = run_jacobi_on_node(&mut full_node, &u0, &f, 0.0, 2, JacobiVariant::Full);
+        let full =
+            run_jacobi_on_node(&mut full_node, &u0, &f, 0.0, 2, JacobiVariant::Full).expect("runs");
         let kb = KnowledgeBase::new(MachineConfig::nsc_1988().subset(SubsetModel::NoSdu));
         let mut nosdu_node = NodeSim::new(kb);
-        let nosdu = run_jacobi_on_node(&mut nosdu_node, &u0, &f, 0.0, 2, JacobiVariant::NoSdu);
+        let nosdu = run_jacobi_on_node(&mut nosdu_node, &u0, &f, 0.0, 2, JacobiVariant::NoSdu)
+            .expect("runs");
         for (a, b) in full.u.data.iter().zip(&nosdu.u.data) {
             assert_eq!(a.to_bits(), b.to_bits(), "same arithmetic, same results");
         }
@@ -164,7 +195,8 @@ mod tests {
         let (u0, f, _) = manufactured_problem(n);
         let kb = KnowledgeBase::new(MachineConfig::nsc_1988().subset(SubsetModel::SingletsOnly));
         let mut node = NodeSim::new(kb);
-        let run = run_jacobi_on_node(&mut node, &u0, &f, 0.0, 2, JacobiVariant::SingletsOnly);
+        let run = run_jacobi_on_node(&mut node, &u0, &f, 0.0, 2, JacobiVariant::SingletsOnly)
+            .expect("runs");
         let mut host = JacobiHostState::new(&u0, &f);
         for _ in 0..4 {
             jacobi_sweep_host(&mut host);
@@ -182,7 +214,8 @@ mod tests {
         let n = 6;
         let (u0, f, _) = manufactured_problem(n);
         let mut node = NodeSim::nsc_1988();
-        let run = run_jacobi_on_node(&mut node, &u0, &f, 0.0, 1, JacobiVariant::Full);
+        let run =
+            run_jacobi_on_node(&mut node, &u0, &f, 0.0, 1, JacobiVariant::Full).expect("runs");
         let geo = JacobiGeometry::cube(n);
         // Streams run over the padded length; invalid slots produce no
         // flops for units fed by warm-up, but units fed by always-valid

@@ -36,7 +36,15 @@ pub fn generate(kb: &KnowledgeBase, doc: &Document) -> Result<GenOutput, GenErro
             diags.into_iter().filter(|d| d.severity == nsc_checker::Severity::Error).collect(),
         ));
     }
+    generate_prechecked(kb, doc)
+}
 
+/// Generate microcode for a document the caller has *already* passed
+/// through the whole-document global check. Skipping the redundant
+/// re-check matters to drivers that compile in bulk; on an unchecked
+/// document the lowering may surface errors in degraded form or panic,
+/// so only call this with a clean check in hand.
+pub fn generate_prechecked(kb: &KnowledgeBase, doc: &Document) -> Result<GenOutput, GenError> {
     // Lower every pipeline that the control flow references (or all, in
     // order, when no control flow is specified).
     let control = match &doc.control {

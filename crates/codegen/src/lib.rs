@@ -10,10 +10,10 @@
 //! And §5: "The microcode generator would later derive switch settings by
 //! interrogating the connection tables built by the graphical editor."
 //!
-//! Lowering one pipeline diagram to one [`MicroInstruction`] involves:
+//! Lowering one pipeline diagram to one [`MicroInstruction`](nsc_microcode::MicroInstruction) involves:
 //!
 //! 1. re-running the checker globally (refusing on any error);
-//! 2. resolving every icon's physical binding and every unit's [`FuId`];
+//! 2. resolving every icon's physical binding and every unit's [`FuId`](nsc_arch::FuId);
 //! 3. deriving the switch program from the connection table;
 //! 4. **timing analysis**: computing each stream's *transport lag* (pipeline
 //!    depths crossed) separately from its *intended lag* (stencil tap
@@ -34,7 +34,7 @@ pub mod control;
 pub mod lower;
 pub mod pseudo;
 
-pub use self::control::{generate, GenOutput};
+pub use self::control::{generate, generate_prechecked, GenOutput};
 pub use self::lower::{lower_pipeline, InstrMap, LoweredPipeline};
 pub use self::pseudo::emit_pseudocode;
 

@@ -13,8 +13,8 @@
 //! generator's instruction maps.
 
 use crate::environment::VisualEnvironment;
+use crate::error::NscError;
 use nsc_arch::SourceRef;
-use nsc_codegen::GenError;
 use nsc_diagram::{Document, IconKind, PipelineId};
 use nsc_sim::{NodeSim, RunOptions};
 
@@ -65,12 +65,11 @@ impl VisualEnvironment {
         doc: &mut Document,
         node: &mut NodeSim,
         max_frames: usize,
-    ) -> Result<DebugReport, GenError> {
-        let out = self.generate(doc)?;
+    ) -> Result<DebugReport, NscError> {
+        let compiled = self.session().compile(doc)?;
+        let out = &compiled.output;
         let opts = RunOptions { trace: true, trace_cap: max_frames, ..Default::default() };
-        let stats = node
-            .run_program(&out.program, &opts)
-            .map_err(|e| GenError::Unsupported(format!("execution failed: {e}")))?;
+        let stats = compiled.run(node, &opts)?.stats;
 
         let renders: std::collections::BTreeMap<String, String> =
             self.display_document(doc).into_iter().collect();

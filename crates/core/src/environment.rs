@@ -1,8 +1,17 @@
 //! The Figure 3 integration: editor ↔ checker ↔ generator ↔ machine.
+//!
+//! [`VisualEnvironment`] owns the knowledge base and hands out the
+//! interactive pieces (checker-connected editors, diagram renders). The
+//! compile-and-run half now lives in the typed stage pipeline of
+//! [`Session`] / [`CompiledProgram`](crate::CompiledProgram); the old
+//! `generate` / `execute` entry points remain as thin deprecated shims
+//! over it.
 
+use crate::error::NscError;
+use crate::session::Session;
 use nsc_arch::{KnowledgeBase, MachineConfig};
 use nsc_checker::{Checker, Diagnostic};
-use nsc_codegen::{generate, GenError, GenOutput};
+use nsc_codegen::{GenError, GenOutput};
 use nsc_diagram::Document;
 use nsc_editor::Editor;
 use nsc_sim::{NodeSim, RunOptions, RunStats};
@@ -50,19 +59,33 @@ impl VisualEnvironment {
         self.checker().check_document(doc)
     }
 
+    /// A compile-and-run [`Session`] over this machine — the typed stage
+    /// pipeline (bind → check → generate → run).
+    pub fn session(&self) -> Session {
+        Session::from_kb(self.kb.clone())
+    }
+
     /// Bind unbound icons, then generate microcode.
+    ///
+    /// Deprecated shim: bind and check failures are folded back into
+    /// [`GenError::CheckFailed`] to preserve the old signature. Use
+    /// [`Session::compile`], which reports each stage distinctly.
+    #[deprecated(since = "0.1.0", note = "use VisualEnvironment::session() + Session::compile")]
     pub fn generate(&self, doc: &mut Document) -> Result<GenOutput, GenError> {
-        let checker = self.checker();
-        let decls = doc.decls.clone();
-        let ids: Vec<_> = doc.pipelines().iter().map(|p| p.id).collect();
-        let mut bind_diags = Vec::new();
-        for id in ids {
-            bind_diags.extend(checker.auto_bind(doc.pipeline_mut(id).unwrap(), &decls));
-        }
-        if !bind_diags.is_empty() {
-            return Err(GenError::CheckFailed(bind_diags));
-        }
-        generate(&self.kb, doc)
+        self.session().compile(doc).map(|c| c.output).map_err(|e| match e {
+            NscError::BindFailed(d) => GenError::CheckFailed(d.into_vec()),
+            // The old path reported only the errors of a failed global
+            // check; drop the warnings the session keeps alongside them.
+            NscError::CheckFailed(d) => GenError::CheckFailed(
+                d.into_vec()
+                    .into_iter()
+                    .filter(|d| d.severity == nsc_checker::Severity::Error)
+                    .collect(),
+            ),
+            NscError::Gen(g) => g,
+            // compile() only emits the three variants above.
+            other => GenError::Unsupported(other.to_string()),
+        })
     }
 
     /// A fresh simulated node for this machine.
@@ -71,17 +94,25 @@ impl VisualEnvironment {
     }
 
     /// Generate and execute a document on a node (the full Figure 3 pass).
+    ///
+    /// Deprecated shim over [`Session::compile`] +
+    /// [`CompiledProgram::run`](crate::CompiledProgram::run). Simulator
+    /// failures surface as their own [`NscError`] variants (never folded
+    /// into [`GenError`]), and tripping the instruction-budget guard is an
+    /// error rather than a silent [`HaltReason`](nsc_sim::HaltReason).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use VisualEnvironment::session() + Session::compile + CompiledProgram::run"
+    )]
     pub fn execute(
         &self,
         doc: &mut Document,
         node: &mut NodeSim,
         opts: &RunOptions,
-    ) -> Result<(GenOutput, RunStats), GenError> {
-        let out = self.generate(doc)?;
-        let stats = node
-            .run_program(&out.program, opts)
-            .map_err(|e| GenError::Unsupported(format!("execution failed: {e}")))?;
-        Ok((out, stats))
+    ) -> Result<(GenOutput, RunStats), NscError> {
+        let compiled = self.session().compile(doc)?;
+        let report = compiled.run(node, opts)?;
+        Ok((compiled.output, report.stats))
     }
 
     /// Render every pipeline of a document (the §6 "back end to a
@@ -166,15 +197,17 @@ mod tests {
     fn figure_3_flow_end_to_end() {
         let env = VisualEnvironment::nsc_1988();
         let mut doc = small_doc(&env);
-        // Generate (binds unbound icons) -> execute -> check.
+        // Compile (binds unbound icons) -> run -> check.
+        let session = env.session();
         let mut node = env.node();
         node.mem.plane_mut(PlaneId(0)).write_slice(0, &[1.0, -2.0, 3.0]);
-        let (out, stats) =
-            env.execute(&mut doc, &mut node, &RunOptions::default()).expect("executes");
+        let compiled = session.compile(&mut doc).expect("compiles");
+        let report = compiled.run(&mut node, &RunOptions::default()).expect("runs");
         let diags = env.check(&doc);
         assert!(!nsc_checker::diag::has_errors(&diags), "{diags:?}");
-        assert_eq!(out.program.len(), 1);
-        assert_eq!(stats.halted, HaltReason::Halt);
+        assert_eq!(compiled.program().len(), 1);
+        assert_eq!(report.stats.halted, HaltReason::Halt);
+        assert!(report.counters.cycles > 0 && report.counters.flops > 0);
         assert_eq!(node.mem.plane(PlaneId(1)).read_vec(100, 3), vec![-1.0, 2.0, -3.0]);
     }
 
@@ -186,7 +219,30 @@ mod tests {
         for _ in 0..5 {
             doc.pipeline_mut(pid).unwrap().add_icon(IconKind::als(AlsKind::Triplet));
         }
-        assert!(matches!(env.generate(&mut doc), Err(GenError::CheckFailed(_))));
+        assert!(matches!(env.session().compile(&mut doc), Err(NscError::BindFailed(_))));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_drive_the_pipeline() {
+        // The old entry points stay alive for one release: generate folds
+        // bind failures into GenError::CheckFailed, execute delegates to
+        // the session but reports errors as NscError.
+        let env = VisualEnvironment::nsc_1988();
+        let mut unbindable = Document::new("too-many");
+        let pid = unbindable.add_pipeline("p");
+        for _ in 0..5 {
+            unbindable.pipeline_mut(pid).unwrap().add_icon(IconKind::als(AlsKind::Triplet));
+        }
+        assert!(matches!(env.generate(&mut unbindable), Err(GenError::CheckFailed(_))));
+
+        let mut doc = small_doc(&env);
+        let mut node = env.node();
+        node.mem.plane_mut(PlaneId(0)).write_slice(0, &[1.0, -2.0, 3.0]);
+        let (out, stats) =
+            env.execute(&mut doc, &mut node, &RunOptions::default()).expect("executes");
+        assert_eq!(out.program.len(), 1);
+        assert_eq!(stats.halted, HaltReason::Halt);
     }
 
     #[test]
@@ -212,9 +268,9 @@ mod tests {
         let env_b = VisualEnvironment::new(revised);
         let mut doc_a = small_doc(&env_a);
         let mut doc_b = doc_a.clone();
-        let out_a = env_a.generate(&mut doc_a).expect("1988 generates");
-        let out_b = env_b.generate(&mut doc_b).expect("1989 generates");
-        assert_eq!(out_a.program.len(), out_b.program.len());
-        assert_eq!(out_b.program.machine, "NSC (1989 revision)");
+        let out_a = env_a.session().compile(&mut doc_a).expect("1988 compiles");
+        let out_b = env_b.session().compile(&mut doc_b).expect("1989 compiles");
+        assert_eq!(out_a.program().len(), out_b.program().len());
+        assert_eq!(out_b.program().machine, "NSC (1989 revision)");
     }
 }

@@ -1,0 +1,230 @@
+//! The one error type of the compile-and-run pipeline.
+//!
+//! Every stage of the Figure 3 loop — diagram construction, auto-binding,
+//! the whole-document check, microcode generation, and execution on the
+//! simulated machine — reports through [`NscError`], so callers chain the
+//! stages with `?` and inspect failures through one `match`. Each variant
+//! wraps the producing crate's own error type and exposes it through
+//! [`std::error::Error::source`], so generic error reporters can walk the
+//! chain down to the original diagnostic.
+//!
+//! The `From` conversions for every producing crate's error type live here
+//! rather than in the producing crates: `nsc-diagram`, `nsc-checker`,
+//! `nsc-codegen` and `nsc-sim` all sit *below* `nsc-core` in the
+//! dependency graph, so the orphan rule places the impls with `NscError`
+//! itself.
+
+use nsc_checker::Diagnostic;
+use nsc_codegen::GenError;
+use nsc_diagram::DiagramError;
+use nsc_sim::ExecError;
+use std::error::Error;
+use std::fmt;
+
+/// A batch of checker diagnostics packaged as an error source.
+///
+/// `Vec<Diagnostic>` cannot itself implement [`std::error::Error`], so the
+/// [`NscError::BindFailed`] and [`NscError::CheckFailed`] variants wrap
+/// this newtype, which renders every finding and participates in the
+/// `source()` chain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiagnosticSet(Vec<Diagnostic>);
+
+impl DiagnosticSet {
+    /// Package a batch of diagnostics.
+    pub fn new(diags: Vec<Diagnostic>) -> Self {
+        DiagnosticSet(diags)
+    }
+
+    /// The findings.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.0
+    }
+
+    /// Unwrap the findings.
+    pub fn into_vec(self) -> Vec<Diagnostic> {
+        self.0
+    }
+
+    /// Number of findings.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl fmt::Display for DiagnosticSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} finding(s)", self.0.len())?;
+        for d in &self.0 {
+            write!(f, "\n  {d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Error for DiagnosticSet {}
+
+/// Everything that can go wrong between an edited document and a completed
+/// run on the simulated machine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NscError {
+    /// A structural diagram mutation was rejected (`nsc-diagram`).
+    Diagram(DiagramError),
+    /// Auto-binding could not place every icon on a physical resource.
+    BindFailed(DiagnosticSet),
+    /// The whole-document global check found rule violations.
+    CheckFailed(DiagnosticSet),
+    /// The microcode generator refused the document (`nsc-codegen`).
+    Gen(GenError),
+    /// The simulator reported an execution failure (`nsc-sim`).
+    Exec(ExecError),
+    /// The instruction-budget guard tripped: the program is a runaway (or
+    /// the caller's [`nsc_sim::RunOptions::max_instructions`] is too small
+    /// for it).
+    MaxInstructions {
+        /// Instructions executed before the guard tripped.
+        executed: u64,
+        /// The configured budget.
+        limit: u64,
+    },
+    /// A failure attributed to one document of a batch; the underlying
+    /// error is the `source()`.
+    Batch {
+        /// Index of the failing document in the submitted batch.
+        doc: usize,
+        /// What went wrong with it.
+        source: Box<NscError>,
+    },
+    /// A batch was submitted with documents but no nodes to run them on.
+    EmptyPool,
+    /// A batch worker thread panicked. Unreachable with the std-backed
+    /// scoped-thread pool (child panics propagate), kept so the driver has
+    /// no panicking path of its own.
+    WorkerPanic,
+    /// A workload's own preconditions failed (mismatched grids, bad
+    /// parameters) before any document was built.
+    Workload(String),
+}
+
+impl NscError {
+    /// Wrap an error as a per-document batch failure.
+    pub fn in_batch(doc: usize, source: NscError) -> Self {
+        NscError::Batch { doc, source: Box::new(source) }
+    }
+
+    /// Auto-bind diagnostics as an error.
+    pub fn bind_failed(diags: Vec<Diagnostic>) -> Self {
+        NscError::BindFailed(DiagnosticSet::new(diags))
+    }
+
+    /// Global-check diagnostics as an error.
+    pub fn check_failed(diags: Vec<Diagnostic>) -> Self {
+        NscError::CheckFailed(DiagnosticSet::new(diags))
+    }
+}
+
+impl fmt::Display for NscError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NscError::Diagram(e) => write!(f, "diagram edit rejected: {e}"),
+            NscError::BindFailed(d) => write!(f, "auto-bind failed: {d}"),
+            NscError::CheckFailed(d) => write!(f, "global check failed: {d}"),
+            NscError::Gen(e) => write!(f, "microcode generation failed: {e}"),
+            NscError::Exec(e) => write!(f, "execution failed: {e}"),
+            NscError::MaxInstructions { executed, limit } => {
+                write!(f, "instruction budget exhausted: {executed} executed (limit {limit})")
+            }
+            NscError::Batch { doc, source } => write!(f, "batch document {doc}: {source}"),
+            NscError::EmptyPool => write!(f, "batch submitted with no nodes to run on"),
+            NscError::WorkerPanic => write!(f, "a batch worker thread panicked"),
+            NscError::Workload(msg) => write!(f, "workload rejected: {msg}"),
+        }
+    }
+}
+
+impl Error for NscError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NscError::Diagram(e) => Some(e),
+            NscError::BindFailed(d) | NscError::CheckFailed(d) => Some(d),
+            NscError::Gen(e) => Some(e),
+            NscError::Exec(e) => Some(e),
+            NscError::Batch { source, .. } => Some(source.as_ref()),
+            NscError::MaxInstructions { .. }
+            | NscError::EmptyPool
+            | NscError::WorkerPanic
+            | NscError::Workload(_) => None,
+        }
+    }
+}
+
+impl From<DiagramError> for NscError {
+    fn from(e: DiagramError) -> Self {
+        NscError::Diagram(e)
+    }
+}
+
+impl From<GenError> for NscError {
+    fn from(e: GenError) -> Self {
+        NscError::Gen(e)
+    }
+}
+
+impl From<ExecError> for NscError {
+    fn from(e: ExecError) -> Self {
+        NscError::Exec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsc_checker::{RuleCode, Subject};
+    use nsc_diagram::IconId;
+
+    #[test]
+    fn sources_chain_to_the_producing_crates_error() {
+        let e: NscError = GenError::EmptyProgram.into();
+        let src = e.source().expect("gen errors chain");
+        assert!(src.downcast_ref::<GenError>().is_some());
+
+        let e: NscError = DiagramError::NoSuchIcon(IconId(3)).into();
+        assert!(e.source().unwrap().downcast_ref::<DiagramError>().is_some());
+
+        let e: NscError = ExecError::BadProgram("x".into()).into();
+        assert!(e.source().unwrap().downcast_ref::<ExecError>().is_some());
+
+        let diag = Diagnostic::error(RuleCode::UnboundIcon, Subject::Document, "unbound");
+        let e = NscError::bind_failed(vec![diag]);
+        let set = e.source().unwrap().downcast_ref::<DiagnosticSet>().expect("diagnostic set");
+        assert_eq!(set.len(), 1);
+
+        assert!(NscError::MaxInstructions { executed: 7, limit: 7 }.source().is_none());
+    }
+
+    #[test]
+    fn batch_errors_chain_to_the_per_document_failure() {
+        let inner = NscError::from(GenError::EmptyProgram);
+        let e = NscError::in_batch(4, inner);
+        assert!(e.to_string().contains("batch document 4"));
+        let level1 = e.source().unwrap().downcast_ref::<NscError>().unwrap();
+        assert!(matches!(level1, NscError::Gen(GenError::EmptyProgram)));
+        assert!(level1.source().unwrap().downcast_ref::<GenError>().is_some());
+    }
+
+    #[test]
+    fn display_carries_each_finding() {
+        let diags = vec![
+            Diagnostic::error(RuleCode::UnboundIcon, Subject::Document, "icon A unbound"),
+            Diagnostic::error(RuleCode::UnboundIcon, Subject::Document, "icon B unbound"),
+        ];
+        let msg = NscError::check_failed(diags).to_string();
+        assert!(msg.contains("2 finding(s)"));
+        assert!(msg.contains("icon A unbound") && msg.contains("icon B unbound"));
+    }
+}

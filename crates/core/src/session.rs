@@ -1,0 +1,298 @@
+//! The typed stage pipeline: `Session` → `CompiledProgram` → `RunReport`.
+//!
+//! The paper's Figure 3 loop (editor ↔ checker ↔ generator ↔ machine) is
+//! driven here as explicit, inspectable, *fallible* stages:
+//!
+//! 1. [`Session::auto_bind`] — place every unbound icon on a physical
+//!    resource (the checker's binder);
+//! 2. [`Session::check`] — the generator-time "thorough check of global
+//!    constraints" over the whole document;
+//! 3. [`Session::codegen`] — lower the diagrams to microcode.
+//!
+//! [`Session::compile`] chains all three into a [`CompiledProgram`], and
+//! [`CompiledProgram::run`] executes it on a [`NodeSim`], returning a
+//! [`RunReport`] with per-run [`PerfCounters`]. Every failure anywhere in
+//! the pipeline is an [`NscError`].
+//!
+//! [`Session::run_batch`] is the batch driver: it compiles many documents
+//! and executes them across a pool of nodes on crossbeam scoped threads,
+//! aggregating the per-run counters — the substrate for serving many
+//! concurrent workloads on one simulated machine park.
+
+use crate::error::NscError;
+use nsc_arch::{KnowledgeBase, MachineConfig};
+use nsc_checker::{diag, Checker, Diagnostic};
+use nsc_codegen::GenOutput;
+use nsc_diagram::Document;
+use nsc_microcode::MicroProgram;
+use nsc_sim::{HaltReason, NodeSim, PerfCounters, RunOptions, RunStats};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A compile-and-run session over one machine configuration.
+///
+/// Cheap to construct (one knowledge-base clone, reused by every stage)
+/// and freely cloneable; every stage takes `&self`, so one session can
+/// compile documents from many threads.
+#[derive(Debug, Clone)]
+pub struct Session {
+    checker: Checker,
+}
+
+impl Session {
+    /// A session for a machine configuration.
+    pub fn new(cfg: MachineConfig) -> Self {
+        Self::from_kb(KnowledgeBase::new(cfg))
+    }
+
+    /// A session over an existing knowledge base.
+    pub fn from_kb(kb: KnowledgeBase) -> Self {
+        Session { checker: Checker::new(kb) }
+    }
+
+    /// A session for the published 1988 machine.
+    pub fn nsc_1988() -> Self {
+        Self::from_kb(KnowledgeBase::nsc_1988())
+    }
+
+    /// The knowledge base.
+    pub fn kb(&self) -> &KnowledgeBase {
+        self.checker.kb()
+    }
+
+    /// The checker every stage consults.
+    pub fn checker(&self) -> &Checker {
+        &self.checker
+    }
+
+    /// A fresh simulated node for this machine.
+    pub fn node(&self) -> NodeSim {
+        NodeSim::new(self.kb().clone())
+    }
+
+    /// Stage 1: bind every unbound icon in every pipeline to a free
+    /// physical resource. Fails with [`NscError::BindFailed`] when the
+    /// machine cannot host the document.
+    pub fn auto_bind(&self, doc: &mut Document) -> Result<(), NscError> {
+        let decls = doc.decls.clone();
+        let ids: Vec<_> = doc.pipelines().iter().map(|p| p.id).collect();
+        let mut diags = Vec::new();
+        for id in ids {
+            diags.extend(self.checker.auto_bind(doc.pipeline_mut(id).expect("listed id"), &decls));
+        }
+        if diags.is_empty() {
+            Ok(())
+        } else {
+            Err(NscError::bind_failed(diags))
+        }
+    }
+
+    /// Stage 2: the whole-document global check. Returns the surviving
+    /// warnings on success; fails with [`NscError::CheckFailed`] when any
+    /// finding is an error.
+    pub fn check(&self, doc: &Document) -> Result<Vec<Diagnostic>, NscError> {
+        let diags = self.checker.check_document(doc);
+        if diag::has_errors(&diags) {
+            Err(NscError::check_failed(diags))
+        } else {
+            Ok(diags)
+        }
+    }
+
+    /// Stage 3: lower the (bound, checked) document to microcode.
+    pub fn codegen(&self, doc: &Document) -> Result<GenOutput, NscError> {
+        Ok(nsc_codegen::generate(self.kb(), doc)?)
+    }
+
+    /// The full front half of the Figure 3 loop: bind, check, generate.
+    ///
+    /// The document is mutated in place by binding (exactly what the
+    /// interactive environment does before generation). The global check
+    /// runs exactly once: generation reuses this stage's verdict instead
+    /// of re-checking internally.
+    pub fn compile(&self, doc: &mut Document) -> Result<CompiledProgram, NscError> {
+        self.auto_bind(doc)?;
+        let warnings = self.check(doc)?;
+        let output = nsc_codegen::generate_prechecked(self.kb(), doc)?;
+        Ok(CompiledProgram { output, warnings })
+    }
+
+    /// Compile many documents and execute them across a pool of nodes.
+    ///
+    /// Document `i` runs on node `i % nodes.len()`; each node executes its
+    /// queue in submission order on its own scoped thread, so distinct
+    /// nodes run concurrently while one node's programs never interleave.
+    ///
+    /// A *compile* failure aborts before anything executes, leaving every
+    /// node untouched. A *runtime* failure cancels the not-yet-started
+    /// remainder of the batch (programs already in flight on other nodes
+    /// finish their run), and the lowest-indexed failure is reported as
+    /// [`NscError::Batch`]; nodes that completed work before the
+    /// cancellation keep their memory and counters, so reuse the pool
+    /// after an error only if the documents write disjoint state. On
+    /// success the [`BatchReport`] carries one [`RunReport`] per document
+    /// plus pool-level aggregate counters.
+    pub fn run_batch(
+        &self,
+        docs: &mut [Document],
+        nodes: &mut [NodeSim],
+        opts: &RunOptions,
+    ) -> Result<BatchReport, NscError> {
+        if docs.is_empty() {
+            return Ok(BatchReport::default());
+        }
+        if nodes.is_empty() {
+            return Err(NscError::EmptyPool);
+        }
+        let compiled = docs
+            .iter_mut()
+            .enumerate()
+            .map(|(i, d)| self.compile(d).map_err(|e| NscError::in_batch(i, e)))
+            .collect::<Result<Vec<_>, _>>()?;
+
+        // Deal (index, program, result slot) triples round-robin into one
+        // work queue per node.
+        let lanes = nodes.len();
+        let mut slots: Vec<Option<Result<RunReport, NscError>>> =
+            compiled.iter().map(|_| None).collect();
+        let mut queues: Vec<Vec<(usize, &CompiledProgram, &mut Option<_>)>> =
+            (0..lanes).map(|_| Vec::new()).collect();
+        for (i, (prog, slot)) in compiled.iter().zip(slots.iter_mut()).enumerate() {
+            queues[i % lanes].push((i, prog, slot));
+        }
+        let cancelled = AtomicBool::new(false);
+        let scope_ok = crossbeam::thread::scope(|scope| {
+            for (node, queue) in nodes.iter_mut().zip(queues) {
+                let cancelled = &cancelled;
+                scope.spawn(move |_| {
+                    for (i, prog, slot) in queue {
+                        if cancelled.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let run = prog.run(node, opts).map_err(|e| NscError::in_batch(i, e));
+                        if run.is_err() {
+                            cancelled.store(true, Ordering::Relaxed);
+                        }
+                        *slot = Some(run);
+                    }
+                });
+            }
+        })
+        .is_ok();
+        if !scope_ok {
+            return Err(NscError::WorkerPanic);
+        }
+
+        // Surface the lowest-indexed failure; a `None` slot means the
+        // cancellation skipped that document, which is only reachable
+        // when some earlier slot holds the causing error.
+        if cancelled.load(Ordering::Relaxed) {
+            for slot in &slots {
+                if let Some(Err(e)) = slot {
+                    return Err(e.clone());
+                }
+            }
+            return Err(NscError::WorkerPanic);
+        }
+
+        let mut report = BatchReport::default();
+        let mut lane_totals = vec![PerfCounters::default(); lanes];
+        for (i, slot) in slots.into_iter().enumerate() {
+            let run = slot.unwrap_or(Err(NscError::WorkerPanic))?;
+            lane_totals[i % lanes].accumulate(&run.counters);
+            report.runs.push(run);
+        }
+        // A node's queue runs sequentially (counters accumulate); the
+        // nodes themselves overlap in time (counters absorb).
+        for lane in &lane_totals {
+            report.total.absorb(lane);
+        }
+        report.nodes_used = lanes.min(report.runs.len());
+        Ok(report)
+    }
+}
+
+/// A document that made it through bind, check and generate.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    /// The generator's output: executable microcode plus per-instruction
+    /// diagram back-references.
+    pub output: GenOutput,
+    /// Non-fatal findings from the global check.
+    pub warnings: Vec<Diagnostic>,
+}
+
+impl CompiledProgram {
+    /// The executable microcode.
+    pub fn program(&self) -> &MicroProgram {
+        &self.output.program
+    }
+
+    /// Execute on a node.
+    ///
+    /// Tripping the [`RunOptions::max_instructions`] guard is reported as
+    /// [`NscError::MaxInstructions`] — a compiled document that exhausts
+    /// its budget is a runaway, not a completed run. (The raw
+    /// [`NodeSim::run_program`] API still reports the guard as an ordinary
+    /// [`HaltReason`] for callers that probe budgets deliberately.)
+    pub fn run(&self, node: &mut NodeSim, opts: &RunOptions) -> Result<RunReport, NscError> {
+        let before = node.counters;
+        let stats = node.run_program(&self.output.program, opts)?;
+        if stats.halted == HaltReason::MaxInstructions {
+            return Err(NscError::MaxInstructions {
+                executed: stats.executed,
+                limit: opts.max_instructions,
+            });
+        }
+        let counters = node.counters.since(&before);
+        let mflops = counters.mflops(node.kb.config().clock_hz);
+        Ok(RunReport { stats, counters, mflops })
+    }
+}
+
+/// Outcome of one program run through the typed pipeline.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The simulator's halt reason, instruction count and traces.
+    pub stats: RunStats,
+    /// Counters accumulated by *this* run (not the node's lifetime).
+    pub counters: PerfCounters,
+    /// Achieved MFLOPS of this run at the node's clock.
+    pub mflops: f64,
+}
+
+/// Outcome of a [`Session::run_batch`] call.
+#[derive(Debug, Clone, Default)]
+pub struct BatchReport {
+    /// Per-document reports, in submission order.
+    pub runs: Vec<RunReport>,
+    /// Pool-level aggregate: work sums across all runs; elapsed cycles are
+    /// the busiest node's total (nodes overlap in time).
+    pub total: PerfCounters,
+    /// Nodes that actually received work.
+    pub nodes_used: usize,
+}
+
+impl BatchReport {
+    /// Aggregate achieved MFLOPS of the pool at a clock rate.
+    pub fn mflops(&self, clock_hz: u64) -> f64 {
+        self.total.mflops(clock_hz)
+    }
+}
+
+/// A reusable problem that knows how to run itself through a [`Session`].
+///
+/// Solver front ends (`nsc-cfd`'s Jacobi, SOR and multigrid drivers)
+/// implement this so that benchmarks, examples and batch harnesses can
+/// treat "a workload" uniformly: build documents, compile them through the
+/// session, execute on the node, and report — returning `Err` instead of
+/// panicking at every stage.
+pub trait Workload {
+    /// What a completed run reports.
+    type Report;
+
+    /// Human-readable name for logs and batch summaries.
+    fn name(&self) -> String;
+
+    /// Execute the workload through `session` on `node`.
+    fn execute(&self, session: &Session, node: &mut NodeSim) -> Result<Self::Report, NscError>;
+}

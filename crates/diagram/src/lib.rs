@@ -40,4 +40,4 @@ pub use self::document::{
 };
 pub use self::icon::{Icon, IconKind, PadDir, PadRef};
 pub use self::ids::{ConnId, IconId, PipelineId, Point};
-pub use self::pipeline::{Connection, PadLoc, PipelineDiagram};
+pub use self::pipeline::{Connection, DiagramError, PadLoc, PipelineDiagram, MAX_SDU_TAPS};

@@ -55,6 +55,11 @@ pub struct Connection {
     pub dma: Option<DmaAttrs>,
 }
 
+/// Structural cap on shift/delay taps per unit. [`PipelineDiagram`] pads
+/// and tap programming never exceed it; the checker narrows further to the
+/// machine's actual taps-per-unit.
+pub const MAX_SDU_TAPS: usize = 8;
+
 /// Structural errors raised by diagram mutations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DiagramError {
@@ -70,6 +75,14 @@ pub enum DiagramError {
     NoSuchConnection(ConnId),
     /// The referenced unit position is not active on this ALS icon.
     NoSuchUnit(IconId, u8),
+    /// More shift/delay tap delays than the structural cap of
+    /// [`MAX_SDU_TAPS`].
+    TooManyTaps {
+        /// The SDU icon being programmed.
+        icon: IconId,
+        /// How many taps the caller asked for.
+        requested: usize,
+    },
 }
 
 impl fmt::Display for DiagramError {
@@ -81,6 +94,9 @@ impl fmt::Display for DiagramError {
             DiagramError::NotASink(p) => write!(f, "wires cannot end at {p}"),
             DiagramError::NoSuchConnection(c) => write!(f, "no such connection: {c}"),
             DiagramError::NoSuchUnit(i, pos) => write!(f, "no active unit {pos} on {i}"),
+            DiagramError::TooManyTaps { icon, requested } => {
+                write!(f, "{icon} asked for {requested} taps; the structural cap is {MAX_SDU_TAPS}")
+            }
         }
     }
 }
@@ -175,9 +191,9 @@ impl PipelineDiagram {
             }
             (IconKind::Memory { .. }, PadRef::Io) | (IconKind::Cache { .. }, PadRef::Io) => true,
             (IconKind::Sdu { .. }, PadRef::SduIn) => true,
-            // Structural cap of 8 taps; the checker narrows to the machine's
-            // actual taps-per-unit.
-            (IconKind::Sdu { .. }, PadRef::SduTap { tap }) => tap < 8,
+            // Structural cap; the checker narrows to the machine's actual
+            // taps-per-unit.
+            (IconKind::Sdu { .. }, PadRef::SduTap { tap }) => (tap as usize) < MAX_SDU_TAPS,
             _ => false,
         }
     }
@@ -302,8 +318,13 @@ impl PipelineDiagram {
     // shift/delay programming
     // ------------------------------------------------------------------
 
-    /// Program the tap delays of an SDU icon.
+    /// Program the tap delays of an SDU icon. Rejects more than
+    /// [`MAX_SDU_TAPS`] delays — the same structural cap [`Self::has_pad`]
+    /// enforces on tap pads.
     pub fn set_sdu_taps(&mut self, icon: IconId, delays: Vec<u16>) -> Result<(), DiagramError> {
+        if delays.len() > MAX_SDU_TAPS {
+            return Err(DiagramError::TooManyTaps { icon, requested: delays.len() });
+        }
         match self.icons.get(&icon) {
             Some(ic) if matches!(ic.kind, IconKind::Sdu { .. }) => {
                 self.sdu_taps.insert(icon, delays);
@@ -475,6 +496,19 @@ mod tests {
         assert_eq!(d.sdu_taps(sdu), &[0, 63, 4095]);
         assert!(d.set_sdu_taps(mem, vec![1]).is_err());
         assert_eq!(d.sdu_taps(mem), &[] as &[u16]);
+    }
+
+    #[test]
+    fn tap_count_respects_the_structural_cap() {
+        let mut d = diagram();
+        let sdu = d.add_icon(IconKind::sdu());
+        // Exactly at the cap is fine; one over is rejected, consistent
+        // with has_pad's `tap < MAX_SDU_TAPS` rule.
+        assert!(d.set_sdu_taps(sdu, (0..MAX_SDU_TAPS as u16).collect()).is_ok());
+        let err = d.set_sdu_taps(sdu, (0..=MAX_SDU_TAPS as u16).collect()).unwrap_err();
+        assert_eq!(err, DiagramError::TooManyTaps { icon: sdu, requested: MAX_SDU_TAPS + 1 });
+        assert_eq!(d.sdu_taps(sdu).len(), MAX_SDU_TAPS, "prior programming survives");
+        assert!(!d.has_pad(PadLoc::new(sdu, PadRef::SduTap { tap: MAX_SDU_TAPS as u8 })));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! The FLONET crossbar is configured per instruction by giving every sink
 //! port (each FU operand input, cache write, plane write and SDU input) the
 //! code of the source driving it, or "unrouted". The microcode generator
-//! "derive[s] switch settings by interrogating the connection tables built
+//! "derive\[s\] switch settings by interrogating the connection tables built
 //! by the graphical editor" (paper §5) — the result lands here.
 
 use crate::bits::{BitReader, BitUnderflow, BitWriter};

@@ -45,6 +45,34 @@ impl PerfCounters {
         self.mflops(clock_hz) / peak_mflops
     }
 
+    /// The counters accumulated since an earlier snapshot of the same
+    /// node — per-run deltas for drivers that reuse a node across runs.
+    pub fn since(&self, earlier: &PerfCounters) -> PerfCounters {
+        PerfCounters {
+            cycles: self.cycles.saturating_sub(earlier.cycles),
+            instructions: self.instructions.saturating_sub(earlier.instructions),
+            flops: self.flops.saturating_sub(earlier.flops),
+            elements_streamed: self.elements_streamed.saturating_sub(earlier.elements_streamed),
+            elements_stored: self.elements_stored.saturating_sub(earlier.elements_stored),
+            completion_interrupts: self
+                .completion_interrupts
+                .saturating_sub(earlier.completion_interrupts),
+            exceptions: self.exceptions.saturating_sub(earlier.exceptions),
+        }
+    }
+
+    /// Merge counters of *sequential* work on the same node: everything
+    /// sums, including elapsed cycles.
+    pub fn accumulate(&mut self, other: &PerfCounters) {
+        self.cycles += other.cycles;
+        self.instructions += other.instructions;
+        self.flops += other.flops;
+        self.elements_streamed += other.elements_streamed;
+        self.elements_stored += other.elements_stored;
+        self.completion_interrupts += other.completion_interrupts;
+        self.exceptions += other.exceptions;
+    }
+
     /// Merge another node's counters (for system totals).
     pub fn absorb(&mut self, other: &PerfCounters) {
         self.cycles = self.cycles.max(other.cycles); // parallel nodes overlap
@@ -73,6 +101,25 @@ mod tests {
     #[test]
     fn zero_cycles_is_zero_mflops() {
         assert_eq!(PerfCounters::default().mflops(20_000_000), 0.0);
+    }
+
+    #[test]
+    fn since_returns_the_per_run_delta() {
+        let before = PerfCounters { cycles: 100, flops: 50, instructions: 2, ..Default::default() };
+        let after = PerfCounters { cycles: 180, flops: 90, instructions: 5, ..Default::default() };
+        let delta = after.since(&before);
+        assert_eq!(delta.cycles, 80);
+        assert_eq!(delta.flops, 40);
+        assert_eq!(delta.instructions, 3);
+        assert_eq!(before.since(&after).cycles, 0, "reversed snapshots saturate");
+    }
+
+    #[test]
+    fn accumulate_sums_sequential_time() {
+        let mut a = PerfCounters { cycles: 100, flops: 50, ..Default::default() };
+        a.accumulate(&PerfCounters { cycles: 120, flops: 70, ..Default::default() });
+        assert_eq!(a.cycles, 220, "sequential runs: elapsed time adds");
+        assert_eq!(a.flops, 120);
     }
 
     #[test]

@@ -12,9 +12,9 @@ use nsc::cfd::{
     host::JacobiHostState, nsc_run::run_jacobi_on_node, JacobiVariant,
 };
 use nsc::codegen::emit_pseudocode;
-use nsc::env::VisualEnvironment;
+use nsc::env::{NscError, VisualEnvironment};
 
-fn main() {
+fn main() -> Result<(), NscError> {
     let n = 16;
     let tol = 1e-7;
     let env = VisualEnvironment::nsc_1988();
@@ -22,7 +22,7 @@ fn main() {
 
     // Figure 11: the completed pipeline diagram.
     let mut doc = build_jacobi_document(n, tol, 5000, JacobiVariant::Full);
-    let gen = env.generate(&mut doc).expect("jacobi generates");
+    let compiled = env.session().compile(&mut doc)?;
     std::fs::create_dir_all("out").ok();
     for (name, art) in env.display_document(&doc) {
         if name.contains("even") {
@@ -34,14 +34,14 @@ fn main() {
     std::fs::write("out/fig2_semantic_pseudocode.txt", emit_pseudocode(&doc)).ok();
     println!(
         "program: {} instruction(s), {} bits of microcode each",
-        gen.program.len(),
+        compiled.program().len(),
         nsc::microcode::MicroInstruction::encoded_bits(env.kb())
     );
 
     // Execute to convergence on the simulated node.
     let (u0, f, exact) = manufactured_problem(n);
     let mut node = env.node();
-    let run = run_jacobi_on_node(&mut node, &u0, &f, tol, 5000, JacobiVariant::Full);
+    let run = run_jacobi_on_node(&mut node, &u0, &f, tol, 5000, JacobiVariant::Full)?;
     println!(
         "\nconverged: {} after {} sweeps, residual {:.3e}",
         run.converged, run.sweeps, run.residual
@@ -63,4 +63,5 @@ fn main() {
     let identical = run.u.data.iter().zip(&host_u.data).all(|(a, b)| a.to_bits() == b.to_bits());
     println!("bit-for-bit match with host mirror over {} points: {identical}", host_u.len());
     assert!(identical);
+    Ok(())
 }

@@ -9,12 +9,12 @@
 //! Run with: `cargo run --release --example multigrid`
 
 use nsc::cfd::{
-    grid::manufactured_problem, host::jacobi_sweep_host, host::JacobiHostState,
-    nsc_run::run_jacobi_on_node, vcycle, JacobiVariant, MgOptions,
+    grid::manufactured_problem, host::jacobi_sweep_host, host::JacobiHostState, MgOptions,
+    MultigridWorkload,
 };
-use nsc::env::VisualEnvironment;
+use nsc::env::{NscError, Session, Workload};
 
-fn main() {
+fn main() -> Result<(), NscError> {
     let n = 17; // 2^4 + 1 for clean coarsening
     let tol = 1e-7;
     println!("-lap(u) = f on a {n}^3 grid, residual tolerance {tol:e}\n");
@@ -30,9 +30,15 @@ fn main() {
         }
     }
 
-    // Host: multigrid V-cycles.
-    let (mut u, f2, _) = manufactured_problem(n);
-    let stats = vcycle(&mut u, &f2, tol, 50, &MgOptions::default());
+    // Multigrid as a Workload: host V-cycles plus the NSC-simulated
+    // smoothing kernel, driven through the typed Session pipeline.
+    let (u0, f2, _) = manufactured_problem(n);
+    let session = Session::nsc_1988();
+    let mut node = session.node();
+    let workload = MultigridWorkload { u0, f: f2, tol, max_cycles: 50, opts: MgOptions::default() };
+    println!("workload: {}", workload.name());
+    let run = workload.execute(&session, &mut node)?;
+    let stats = &run.stats;
 
     println!("method                    iterations   fine-grid-equivalent sweeps");
     println!("point Jacobi              {jacobi_sweeps:>10}   {jacobi_sweeps:>10}");
@@ -43,22 +49,20 @@ fn main() {
     let speedup = jacobi_sweeps as f64 / stats.fine_equivalent_sweeps;
     println!("multigrid work advantage: {speedup:.0}x fewer fine-grid sweeps\n");
 
-    // NSC-simulated: time per Jacobi sweep pair on a 16^3 subgrid (the
-    // smoothing kernel multigrid would run on the machine).
-    let env = VisualEnvironment::nsc_1988();
-    let (u0s, fs, _) = manufactured_problem(16);
-    let mut node = env.node();
-    let run = run_jacobi_on_node(&mut node, &u0s, &fs, 0.0, 2, JacobiVariant::Full);
-    let per_sweep = run.counters.seconds(20_000_000) / run.sweeps as f64;
+    // NSC-simulated: time per Jacobi sweep pair of the smoothing kernel
+    // multigrid would run on the machine (measured by the workload).
+    let per_sweep = run.smoothing.counters.seconds(20_000_000) / run.smoothing.sweeps.max(1) as f64;
     println!(
-        "simulated NSC smoothing cost (16^3): {:.3} ms/sweep at {:.0} MFLOPS",
+        "simulated NSC smoothing cost ({n}^3): {:.3} ms/sweep at {:.0} MFLOPS",
         per_sweep * 1e3,
-        run.mflops
+        run.smoothing.mflops
     );
     println!(
         "=> estimated time to tolerance: Jacobi {:.1} ms vs multigrid ~{:.1} ms",
         jacobi_sweeps as f64 * per_sweep * 1e3,
-        stats.fine_equivalent_sweeps * per_sweep * 1e3
+        run.est_seconds * 1e3
     );
     assert!(speedup > 5.0, "multigrid must win decisively");
+    assert!(run.converged, "V-cycles reach the tolerance");
+    Ok(())
 }

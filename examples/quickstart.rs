@@ -10,10 +10,10 @@
 use nsc::arch::{AlsKind, FuOp, InPort, PlaneId};
 use nsc::codegen::emit_pseudocode;
 use nsc::diagram::{DmaAttrs, FuAssign, IconKind, PadLoc, PadRef, Point};
-use nsc::env::VisualEnvironment;
+use nsc::env::{NscError, VisualEnvironment};
 use nsc::sim::RunOptions;
 
-fn main() {
+fn main() -> Result<(), NscError> {
     let env = VisualEnvironment::nsc_1988();
     println!(
         "machine: {} — {} FUs, peak {} MFLOPS",
@@ -48,28 +48,31 @@ fn main() {
     println!("\n--- the diagram (what the user sees) ---");
     println!("{}", nsc::editor::render_ascii(&ed));
 
-    // --- check + generate (paper §4) ---
+    // --- compile: bind + check + generate, as one fallible stage (§4) ---
+    let session = env.session();
     let mut doc = ed.doc.clone();
-    let out = env.generate(&mut doc).expect("generates");
+    let compiled = session.compile(&mut doc)?;
     println!("--- pseudo-code (the 1988 prototype's output) ---");
     println!("{}", emit_pseudocode(&doc));
     println!("--- microcode disassembly (what the prototype could not yet emit) ---");
-    println!("{}", out.program.disassemble(env.kb()));
+    println!("{}", compiled.program().disassemble(session.kb()));
 
     // --- execute on the simulated NSC ---
-    let mut node = env.node();
+    let mut node = session.node();
     let input: Vec<f64> = (0..16).map(|i| (i as f64) - 8.0).collect();
     node.mem.plane_mut(PlaneId(0)).write_slice(0, &input);
-    let stats = node.run_program(&out.program, &RunOptions::default()).expect("runs");
+    let report = compiled.run(&mut node, &RunOptions::default())?;
     let result = node.mem.plane(PlaneId(1)).read_vec(0, 16);
     println!("input : {input:?}");
     println!("output: {result:?}");
     println!(
-        "executed {} instruction(s) in {} cycles ({:.1} us simulated)",
-        stats.executed,
-        node.counters.cycles,
-        node.counters.seconds(env.kb().config().clock_hz) * 1e6
+        "executed {} instruction(s) in {} cycles ({:.1} us simulated) at {:.1} MFLOPS",
+        report.stats.executed,
+        report.counters.cycles,
+        report.counters.seconds(session.kb().config().clock_hz) * 1e6,
+        report.mflops
     );
     assert!(result.iter().zip(&input).all(|(y, x)| *y == 2.0 * x.abs()));
     println!("verified: y = 2*|x| on every element");
+    Ok(())
 }

@@ -9,9 +9,9 @@
 
 use nsc::arch::{AlsKind, FuOp, InPort, PlaneId};
 use nsc::diagram::{DmaAttrs, FuAssign, IconKind, PadLoc, PadRef, Point};
-use nsc::env::VisualEnvironment;
+use nsc::env::{NscError, VisualEnvironment};
 
-fn main() {
+fn main() -> Result<(), NscError> {
     let env = VisualEnvironment::nsc_1988();
 
     // Pipeline 1: t = x^2 ; pipeline 2: y = sqrt(t) + 1
@@ -74,7 +74,7 @@ fn main() {
 
     let mut node = env.node();
     node.mem.plane_mut(PlaneId(0)).write_slice(0, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 3.0]);
-    let report = env.debug_run(&mut doc, &mut node, 8).expect("debug run");
+    let report = env.debug_run(&mut doc, &mut node, 8)?;
     println!("{}", report.render());
     println!("final y: {:?}", node.mem.plane(PlaneId(2)).read_vec(0, 8));
     println!(
@@ -85,4 +85,5 @@ fn main() {
     // Last observed unit value in pipeline 2: sqrt(3^2)+1 = 4.
     let last = report.frames.last().unwrap();
     assert!(last.values.iter().any(|(_, v)| *v == 4.0), "{:?}", last.values);
+    Ok(())
 }

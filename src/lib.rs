@@ -17,7 +17,7 @@
 //! | [`sim`] | `nsc-sim` | cycle-level node simulator + hypercube system |
 //! | [`expr`] | `nsc-expr` | the §3 compilation/allocation problem |
 //! | [`cfd`] | `nsc-cfd` | 3-D Poisson Jacobi (Equation 1), SOR, multigrid |
-//! | [`env`] | `nsc-core` | the integrated environment + visual debugger |
+//! | [`mod@env`] | `nsc-core` | the integrated environment, the `Session` compile-and-run pipeline + visual debugger |
 //!
 //! See `README.md` for the quickstart, `DESIGN.md` for the system
 //! inventory, and `EXPERIMENTS.md` for the paper-versus-measured record.

@@ -1,0 +1,104 @@
+//! `Session::run_batch`: many compiled documents executed across a pool
+//! of nodes in one call, with per-run reports and aggregated counters —
+//! the acceptance gate for the batch session driver.
+
+use nsc::arch::PlaneId;
+use nsc::diagram::Document;
+use nsc::env::{NscError, Session};
+use nsc::sim::RunOptions;
+
+mod common;
+use common::scale_doc;
+
+#[test]
+fn five_documents_run_across_two_nodes_in_one_call() {
+    let session = Session::nsc_1988();
+    // Document i multiplies by (i+1) and writes to its own address.
+    let mut docs: Vec<Document> =
+        (0..5).map(|i| scale_doc((i + 1) as f64, 100 * i as u64)).collect();
+    let mut nodes = vec![session.node(), session.node()];
+    for node in &mut nodes {
+        node.mem.plane_mut(PlaneId(0)).write_slice(0, &[1.0, 2.0, 3.0]);
+    }
+
+    let report = session.run_batch(&mut docs, &mut nodes, &RunOptions::default()).expect("batch");
+
+    assert_eq!(report.runs.len(), 5, "one report per document, in order");
+    assert_eq!(report.nodes_used, 2);
+    // Round-robin: document i ran on node i % 2; its output is at its own
+    // address on that node's plane 1.
+    for i in 0..5u64 {
+        let k = (i + 1) as f64;
+        let plane = nodes[(i % 2) as usize].mem.plane(PlaneId(1));
+        assert_eq!(plane.read_vec(100 * i, 3), vec![k, 2.0 * k, 3.0 * k], "document {i} output");
+    }
+    // Aggregation: work sums across all five runs; elapsed cycles are the
+    // busiest node's sequential total, which is less than the grand sum.
+    assert_eq!(report.total.instructions, 5);
+    let work_sum: u64 = report.runs.iter().map(|r| r.counters.flops).sum();
+    assert_eq!(report.total.flops, work_sum);
+    let cycle_sum: u64 = report.runs.iter().map(|r| r.counters.cycles).sum();
+    assert!(report.total.cycles < cycle_sum, "parallel nodes overlap in time");
+    assert!(report.runs.iter().all(|r| r.counters.cycles > 0));
+    assert!(report.mflops(session.kb().config().clock_hz) > 0.0);
+}
+
+#[test]
+fn a_failing_document_aborts_the_batch_with_its_index() {
+    let session = Session::nsc_1988();
+    let mut docs = vec![scale_doc(1.0, 0), scale_doc(2.0, 100), Document::new("empty")];
+    let mut nodes = vec![session.node(), session.node()];
+    let err = session.run_batch(&mut docs, &mut nodes, &RunOptions::default()).unwrap_err();
+    let NscError::Batch { doc, ref source } = err else {
+        panic!("expected Batch, got {err:?}");
+    };
+    assert_eq!(doc, 2, "the empty document is the culprit");
+    assert!(matches!(**source, NscError::Gen(_)));
+}
+
+#[test]
+fn a_runtime_failure_reports_the_lowest_failing_document() {
+    let session = Session::nsc_1988();
+    let mut docs: Vec<Document> = (0..4).map(|i| scale_doc(1.0, 100 * i as u64)).collect();
+    // One node makes the failure order deterministic: its queue runs in
+    // submission order, document 0 trips the zero instruction budget, and
+    // the cancellation skips the other three.
+    let mut nodes = vec![session.node()];
+    let opts = RunOptions { max_instructions: 0, ..Default::default() };
+    let err = session.run_batch(&mut docs, &mut nodes, &opts).unwrap_err();
+    let NscError::Batch { doc, ref source } = err else {
+        panic!("expected Batch, got {err:?}");
+    };
+    assert_eq!(doc, 0);
+    assert!(matches!(**source, NscError::MaxInstructions { .. }));
+    assert_eq!(nodes[0].counters.instructions, 0, "nothing ran to completion");
+}
+
+#[test]
+fn empty_inputs_are_handled_without_threads() {
+    let session = Session::nsc_1988();
+    let report = session
+        .run_batch(&mut [], &mut [session.node()], &RunOptions::default())
+        .expect("empty batch");
+    assert!(report.runs.is_empty());
+    assert_eq!(report.nodes_used, 0);
+
+    let mut docs = vec![scale_doc(1.0, 0)];
+    let err = session.run_batch(&mut docs, &mut [], &RunOptions::default()).unwrap_err();
+    assert!(matches!(err, NscError::EmptyPool));
+}
+
+#[test]
+fn a_pool_larger_than_the_batch_leaves_spare_nodes_idle() {
+    let session = Session::nsc_1988();
+    let mut docs = vec![scale_doc(3.0, 0), scale_doc(4.0, 0)];
+    let mut nodes: Vec<_> = (0..4).map(|_| session.node()).collect();
+    for node in &mut nodes {
+        node.mem.plane_mut(PlaneId(0)).write_slice(0, &[1.0, 1.0, 1.0]);
+    }
+    let report = session.run_batch(&mut docs, &mut nodes, &RunOptions::default()).expect("batch");
+    assert_eq!(report.runs.len(), 2);
+    assert_eq!(report.nodes_used, 2);
+    assert_eq!(nodes[2].counters.instructions, 0, "spare nodes untouched");
+    assert_eq!(nodes[3].counters.instructions, 0);
+}

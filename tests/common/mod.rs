@@ -1,0 +1,29 @@
+//! Shared helpers for the root integration tests.
+
+use nsc::arch::{AlsKind, FuOp, InPort, PlaneId};
+use nsc::diagram::{DmaAttrs, Document, FuAssign, IconKind, PadLoc, PadRef};
+
+/// A tiny runnable document: plane 0 -> (x * k) -> plane 1 at `addr`.
+pub fn scale_doc(k: f64, addr: u64) -> Document {
+    let mut doc = Document::new(format!("scale-x{k}"));
+    let pid = doc.add_pipeline("scale");
+    let d = doc.pipeline_mut(pid).unwrap();
+    d.stream_len = 3;
+    let src = d.add_icon(IconKind::Memory { plane: Some(PlaneId(0)) });
+    let als = d.add_icon(IconKind::als(AlsKind::Singlet));
+    let dst = d.add_icon(IconKind::Memory { plane: Some(PlaneId(1)) });
+    d.connect(
+        PadLoc::new(src, PadRef::Io),
+        PadLoc::new(als, PadRef::FuIn { pos: 0, port: InPort::A }),
+        Some(DmaAttrs::at_address(0)),
+    )
+    .unwrap();
+    d.assign_fu(als, 0, FuAssign::with_const(FuOp::Mul, k)).unwrap();
+    d.connect(
+        PadLoc::new(als, PadRef::FuOut { pos: 0 }),
+        PadLoc::new(dst, PadRef::Io),
+        Some(DmaAttrs::at_address(addr)),
+    )
+    .unwrap();
+    doc
+}

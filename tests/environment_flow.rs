@@ -35,8 +35,10 @@ fn edit_check_generate_execute() {
     let mut doc = ed.doc.clone();
     let mut node = env.node();
     node.mem.plane_mut(PlaneId(0)).write_slice(0, &[4.0, 9.0, 16.0, 25.0]);
-    let (out, stats) = env.execute(&mut doc, &mut node, &RunOptions::default()).expect("runs");
-    assert_eq!(stats.halted, HaltReason::Halt);
+    let compiled = env.session().compile(&mut doc).expect("compiles");
+    let report = compiled.run(&mut node, &RunOptions::default()).expect("runs");
+    let out = &compiled.output;
+    assert_eq!(report.stats.halted, HaltReason::Halt);
     assert_eq!(node.mem.plane(PlaneId(1)).read_vec(0, 4), vec![2.0, 3.0, 4.0, 5.0]);
 
     // Both output representations exist: microcode and pseudo-code.
@@ -68,10 +70,10 @@ fn errors_found_while_editing_also_block_generation() {
 fn saved_documents_reload_and_regenerate_identically() {
     let env = VisualEnvironment::nsc_1988();
     let mut doc = nsc::cfd::build_jacobi_document(6, 1e-6, 50, nsc::cfd::JacobiVariant::Full);
-    let out1 = env.generate(&mut doc).expect("generates");
+    let out1 = env.session().compile(&mut doc).expect("compiles").output;
     // Round-trip through the SAVE format.
     let json = doc.to_json();
     let mut reloaded = nsc::diagram::Document::from_json(&json).expect("parses");
-    let out2 = env.generate(&mut reloaded).expect("regenerates");
+    let out2 = env.session().compile(&mut reloaded).expect("recompiles").output;
     assert_eq!(out1.program.instrs, out2.program.instrs, "identical microcode after reload");
 }

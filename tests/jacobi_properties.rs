@@ -31,7 +31,8 @@ proptest! {
         let n = 5;
         let (u0, f) = random_problem(seed, n);
         let mut node = NodeSim::nsc_1988();
-        let run = nsc_run::run_jacobi_on_node(&mut node, &u0, &f, 0.0, pairs, JacobiVariant::Full);
+        let run =
+            nsc_run::run_jacobi_on_node(&mut node, &u0, &f, 0.0, pairs, JacobiVariant::Full).unwrap();
         let mut host = JacobiHostState::new(&u0, &f);
         for _ in 0..2 * pairs {
             jacobi_sweep_host(&mut host);
@@ -58,7 +59,7 @@ proptest! {
         let _ = seed;
         let env = VisualEnvironment::nsc_1988();
         let mut doc = build_jacobi_document(5, 1e-6, 10, JacobiVariant::Full);
-        let out = env.generate(&mut doc).unwrap();
+        let out = env.session().compile(&mut doc).unwrap().output;
         for ins in &out.program.instrs {
             let bytes = ins.encode(env.kb());
             let back = nsc::microcode::MicroInstruction::decode(env.kb(), &bytes).unwrap();
@@ -74,7 +75,8 @@ fn convergence_loop_is_idempotent_at_the_fixpoint() {
     let (u0, f) = random_problem(7, 6);
     let tol = 1e-10;
     let mut node = NodeSim::nsc_1988();
-    let run = nsc_run::run_jacobi_on_node(&mut node, &u0, &f, tol, 5000, JacobiVariant::Full);
+    let run =
+        nsc_run::run_jacobi_on_node(&mut node, &u0, &f, tol, 5000, JacobiVariant::Full).unwrap();
     assert!(run.converged);
     let mut host = JacobiHostState::new(&run.u, &f);
     let extra = jacobi_sweep_host(&mut host);
@@ -86,7 +88,7 @@ fn run_options_cap_runaway_documents() {
     let env = VisualEnvironment::nsc_1988();
     // tol = 0 never converges; the iteration cap must stop it.
     let mut doc = build_jacobi_document(5, 0.0, 3, JacobiVariant::Full);
-    let out = env.generate(&mut doc).unwrap();
+    let out = env.session().compile(&mut doc).unwrap().output;
     let mut node = env.node();
     let stats = node.run_program(&out.program, &RunOptions::default()).unwrap();
     // header + 3 pairs x 2 sweeps

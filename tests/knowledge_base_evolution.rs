@@ -19,8 +19,8 @@ fn run_on(cfg: MachineConfig) -> Vec<f64> {
     let mut node = NodeSim::new(env.kb().clone());
     nsc_run::load_problem(&mut node, &state, JacobiVariant::Full);
     let mut doc = build_jacobi_document(6, 0.0, 2, JacobiVariant::Full);
-    let out = env.generate(&mut doc).expect("generates");
-    node.run_program(&out.program, &RunOptions::default()).expect("runs");
+    let compiled = env.session().compile(&mut doc).expect("compiles");
+    compiled.run(&mut node, &RunOptions::default()).expect("runs");
     node.mem.plane(nsc::cfd::diagrams::PLANE_U0).read_vec(0, 6 * 6 * 6 + 2 * 36)
 }
 
@@ -54,7 +54,7 @@ fn shrinking_the_machine_is_caught_not_miscompiled() {
     small.sdu.units = 0;
     let env = VisualEnvironment::new(small);
     let mut doc = build_jacobi_document(6, 1e-6, 10, JacobiVariant::Full);
-    assert!(env.generate(&mut doc).is_err());
+    assert!(env.session().compile(&mut doc).is_err());
 }
 
 #[test]

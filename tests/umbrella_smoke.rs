@@ -65,8 +65,8 @@ fn editor_renders_a_placed_icon() {
 fn codegen_emits_pseudocode_for_a_generated_document() {
     let env = VisualEnvironment::nsc_1988();
     let mut doc = nsc::cfd::build_jacobi_document(5, 1e-6, 4, JacobiVariant::Full);
-    let out = env.generate(&mut doc).expect("jacobi document generates");
-    assert!(!out.program.instrs.is_empty());
+    let compiled = env.session().compile(&mut doc).expect("jacobi document compiles");
+    assert!(!compiled.program().instrs.is_empty());
     assert!(emit_pseudocode(&doc).contains("pipeline"));
 }
 
@@ -74,10 +74,11 @@ fn codegen_emits_pseudocode_for_a_generated_document() {
 fn sim_runs_a_generated_program() {
     let env = VisualEnvironment::nsc_1988();
     let mut doc = nsc::cfd::build_jacobi_document(5, 0.0, 1, JacobiVariant::Full);
-    let out = env.generate(&mut doc).expect("generates");
+    let compiled = env.session().compile(&mut doc).expect("compiles");
     let mut node: NodeSim = env.node();
-    let stats = node.run_program(&out.program, &RunOptions::default()).expect("runs");
-    assert!(stats.executed > 0);
+    let report = compiled.run(&mut node, &RunOptions::default()).expect("runs");
+    assert!(report.stats.executed > 0);
+    assert!(report.counters.cycles > 0);
 }
 
 #[test]

@@ -79,7 +79,7 @@ pub mod strategy {
         }
     }
 
-    /// Uniform choice among boxed strategies (the [`prop_oneof!`] backend).
+    /// Uniform choice among boxed strategies (the [`crate::prop_oneof!`] backend).
     pub struct Union<T> {
         options: Vec<BoxedStrategy<T>>,
     }
@@ -238,7 +238,7 @@ pub mod prop {
         use crate::strategy::Strategy;
         use crate::test_runner::TestRng;
 
-        /// Acceptable length specifications for [`vec`].
+        /// Acceptable length specifications for [`vec()`].
         #[derive(Debug, Clone)]
         pub struct SizeRange {
             lo: usize,
