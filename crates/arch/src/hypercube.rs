@@ -108,6 +108,44 @@ impl HypercubeConfig {
     pub fn ring_node(&self, i: usize) -> NodeId {
         NodeId(Self::gray((i % self.nodes()) as u16))
     }
+
+    /// Inverse of [`HypercubeConfig::gray`]: the index whose Gray code is
+    /// `g` (prefix-XOR decode).
+    pub fn gray_inverse(g: u16) -> u16 {
+        let mut i = g;
+        let mut shift = 1;
+        while shift < 16 {
+            i ^= i >> shift;
+            shift <<= 1;
+        }
+        i
+    }
+
+    /// The ring position a node hosts under the Gray embedding — the
+    /// inverse of [`HypercubeConfig::ring_node`].
+    pub fn ring_index(&self, node: NodeId) -> usize {
+        Self::gray_inverse(node.0) as usize
+    }
+
+    /// Split `items` contiguous items into `2^dimension` balanced chunks,
+    /// one per ring position: `(start, len)` pairs in ring order, lengths
+    /// differing by at most one (earlier chunks take the remainder). The
+    /// chunk at ring position `i` lives on [`HypercubeConfig::ring_node`]`(i)`,
+    /// so adjacent chunks sit on physically adjacent nodes — the 1-D
+    /// domain-decomposition layout.
+    pub fn ring_partition(&self, items: usize) -> Vec<(usize, usize)> {
+        let parts = self.nodes();
+        let base = items / parts;
+        let rem = items % parts;
+        let mut out = Vec::with_capacity(parts);
+        let mut start = 0;
+        for i in 0..parts {
+            let len = base + usize::from(i < rem);
+            out.push((start, len));
+            start += len;
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -183,5 +221,33 @@ mod tests {
         let n = 64u16;
         let set: std::collections::HashSet<_> = (0..n).map(HypercubeConfig::gray).collect();
         assert_eq!(set.len(), n as usize);
+    }
+
+    #[test]
+    fn gray_inverse_round_trips() {
+        for i in 0..1024u16 {
+            assert_eq!(HypercubeConfig::gray_inverse(HypercubeConfig::gray(i)), i);
+        }
+        let sys = HypercubeConfig::new(5);
+        for i in 0..sys.nodes() {
+            assert_eq!(sys.ring_index(sys.ring_node(i)), i);
+        }
+    }
+
+    #[test]
+    fn ring_partition_is_balanced_and_covers() {
+        let sys = HypercubeConfig::new(3);
+        let parts = sys.ring_partition(29);
+        assert_eq!(parts.len(), 8);
+        assert_eq!(parts.iter().map(|&(_, l)| l).sum::<usize>(), 29);
+        let (min, max) =
+            parts.iter().fold((usize::MAX, 0), |(lo, hi), &(_, l)| (lo.min(l), hi.max(l)));
+        assert_eq!(max - min, 1, "remainder spread one item at a time");
+        // Contiguous: each chunk starts where the previous ended.
+        let mut next = 0;
+        for &(start, len) in &parts {
+            assert_eq!(start, next);
+            next = start + len;
+        }
     }
 }

@@ -3,6 +3,7 @@
 //! record the residual convergence series.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nsc_bench::sample_size;
 use nsc_cfd::{grid::manufactured_problem, nsc_run::run_jacobi_on_node, JacobiVariant};
 use nsc_sim::NodeSim;
 
@@ -32,7 +33,7 @@ fn bench(c: &mut Criterion) {
 
 criterion_group! {
     name = jacobi;
-    config = Criterion::default().sample_size(10);
+    config = Criterion::default().sample_size(sample_size(10));
     targets = bench
 }
 criterion_main!(jacobi);

@@ -1,0 +1,117 @@
+//! The CI performance-regression gate.
+//!
+//! Measures the *simulated* performance figures (bit-deterministic across
+//! host machines: cycle counters plus the pinned router model), writes
+//! them as JSON, and compares against the committed baseline, failing when
+//! any figure drops more than 20%.
+//!
+//! ```text
+//! perf_gate --write BENCH_baseline.json             # emit current figures
+//! perf_gate --check crates/bench/BENCH_baseline.json [--write out.json]
+//! ```
+
+use nsc_bench::{jacobi_node_mflops, strong_scaling_point, ScalingPoint};
+use serde::{Deserialize, Serialize};
+use std::process::ExitCode;
+
+/// The committed-and-compared figure set.
+#[derive(Debug, Serialize, Deserialize)]
+struct Baseline {
+    /// Serial E10 figure: one ping-pong pair on the 12^3 grid.
+    jacobi_mflops: f64,
+    /// Distributed Jacobi on 64^3, one pair, at 1/2/4/8 nodes.
+    strong_scaling: Vec<ScalingPoint>,
+}
+
+/// Simulated figures never flake, but they may legitimately improve; only
+/// a drop beyond this fraction fails the gate.
+const TOLERATED_DROP: f64 = 0.20;
+
+fn measure() -> Baseline {
+    Baseline {
+        jacobi_mflops: jacobi_node_mflops(12),
+        strong_scaling: (0..=3u32).map(|dim| strong_scaling_point(dim, 64, 1)).collect(),
+    }
+}
+
+fn check(current: &Baseline, baseline: &Baseline) -> Result<(), String> {
+    let mut failures = Vec::new();
+    let mut gate = |name: String, now: f64, then: f64| {
+        let floor = then * (1.0 - TOLERATED_DROP);
+        let verdict = if now >= floor { "ok" } else { "REGRESSED" };
+        eprintln!("  {name:<28} {now:>10.1} MFLOPS (baseline {then:>10.1}, floor {floor:>10.1}) {verdict}");
+        if now < floor {
+            failures.push(name);
+        }
+    };
+    gate("jacobi 12^3 serial".into(), current.jacobi_mflops, baseline.jacobi_mflops);
+    if current.strong_scaling.len() != baseline.strong_scaling.len() {
+        return Err(format!(
+            "baseline shape changed: {} scaling points vs {} in the baseline",
+            current.strong_scaling.len(),
+            baseline.strong_scaling.len()
+        ));
+    }
+    for (c, b) in current.strong_scaling.iter().zip(&baseline.strong_scaling) {
+        if c.nodes != b.nodes {
+            return Err(format!("baseline shape changed: {} vs {} nodes", c.nodes, b.nodes));
+        }
+        gate(
+            format!("distributed 64^3 @ {} nodes", c.nodes),
+            c.aggregate_mflops,
+            b.aggregate_mflops,
+        );
+    }
+    // The acceptance bar is absolute, not relative to the baseline.
+    let one = current.strong_scaling.first().map(|p| p.aggregate_mflops).unwrap_or(0.0);
+    let eight = current.strong_scaling.last().map(|p| p.aggregate_mflops).unwrap_or(0.0);
+    if eight < 4.0 * one {
+        failures.push(format!("8-node scaling {eight:.1} < 4x 1-node {one:.1}"));
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("{} figure(s) regressed: {}", failures.len(), failures.join(", ")))
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut write_path = None;
+    let mut check_path = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--write" => write_path = it.next().cloned(),
+            "--check" => check_path = it.next().cloned(),
+            other => {
+                eprintln!("unknown argument '{other}' (wanted --write <path> / --check <path>)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if write_path.is_none() && check_path.is_none() {
+        eprintln!("usage: perf_gate [--check <baseline.json>] [--write <out.json>]");
+        return ExitCode::FAILURE;
+    }
+
+    eprintln!("measuring simulated performance figures...");
+    let current = measure();
+    let json = serde_json::to_string_pretty(&current).expect("figures serialize");
+    if let Some(path) = &write_path {
+        std::fs::write(path, format!("{json}\n")).expect("baseline written");
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = &check_path {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let baseline: Baseline = serde_json::from_str(&text).expect("baseline parses");
+        eprintln!("checking against {path} (tolerated drop {:.0}%):", TOLERATED_DROP * 100.0);
+        if let Err(msg) = check(&current, &baseline) {
+            eprintln!("FAIL: {msg}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("all figures within tolerance");
+    }
+    ExitCode::SUCCESS
+}

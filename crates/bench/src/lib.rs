@@ -1,1 +1,60 @@
-//! placeholder — implemented later in the build sequence.
+//! Shared measurement helpers for the criterion benches and the CI
+//! performance gate (`perf_gate`).
+//!
+//! Everything here reports **simulated** figures (cycle counters and the
+//! router model), which are bit-deterministic across host machines — that
+//! is what makes the CI regression gate flake-free: a >20% drop in
+//! simulated MFLOPS is a real modelling or codegen regression, never a
+//! noisy runner.
+
+use nsc_cfd::grid::manufactured_problem;
+use nsc_cfd::nsc_run::run_jacobi_on_node;
+use nsc_cfd::{DistributedJacobiWorkload, JacobiVariant};
+use nsc_core::{Session, Workload};
+use nsc_sim::{NodeSim, NscSystem};
+use serde::{Deserialize, Serialize};
+
+/// One strong-scaling measurement.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ScalingPoint {
+    /// Hypercube size.
+    pub nodes: usize,
+    /// Aggregate achieved MFLOPS (compute + halo + reduction time).
+    pub aggregate_mflops: f64,
+    /// Simulated seconds of the run (slowest node).
+    pub simulated_seconds: f64,
+}
+
+/// Run the distributed Jacobi workload for a fixed number of ping-pong
+/// pairs on a `2^dim`-node cube and report the simulated aggregate rate.
+pub fn strong_scaling_point(dim: u32, n: usize, pairs: u32) -> ScalingPoint {
+    let session = Session::nsc_1988();
+    let mut sys = NscSystem::new(nsc_arch::HypercubeConfig::new(dim), session.kb());
+    let (u0, f, _) = manufactured_problem(n);
+    let w = DistributedJacobiWorkload { u0, f, tol: 0.0, max_pairs: pairs };
+    let run = w.execute(&session, &mut sys).expect("distributed jacobi runs");
+    ScalingPoint {
+        nodes: sys.node_count(),
+        aggregate_mflops: run.aggregate_mflops,
+        simulated_seconds: run.simulated_seconds,
+    }
+}
+
+/// Single-node achieved MFLOPS of the serial Jacobi document (one
+/// ping-pong pair on an `n^3` grid) — the E10 figure the gate tracks.
+pub fn jacobi_node_mflops(n: usize) -> f64 {
+    let (u0, f, _) = manufactured_problem(n);
+    let mut node = NodeSim::nsc_1988();
+    run_jacobi_on_node(&mut node, &u0, &f, 0.0, 1, JacobiVariant::Full).expect("jacobi runs").mflops
+}
+
+/// The benches honour `NSC_BENCH_QUICK` (set by the CI gate job) by
+/// cutting the sample count: wall-clock statistics are not what CI
+/// checks, the simulated figures are.
+pub fn sample_size(full: usize) -> usize {
+    if std::env::var_os("NSC_BENCH_QUICK").is_some() {
+        2
+    } else {
+        full
+    }
+}

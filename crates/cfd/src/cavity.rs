@@ -1,0 +1,447 @@
+//! The lid-driven cavity — the first scenario to exercise the distributed
+//! path end-to-end.
+//!
+//! Vorticity–stream-function formulation after Matyka (physics/0407002):
+//! on the unit square with the top lid sliding at speed `lid`,
+//!
+//! 1. solve the stream-function Poisson equation `∇²ψ = -ω`;
+//! 2. rebuild the wall vorticity from the fresh ψ (Thom's formula,
+//!    `ω_w = 2(ψ_w - ψ_in)/h²`, minus `2·lid/h` on the moving lid);
+//! 3. advance the interior vorticity one FTCS step of the transport
+//!    equation `ω_t + u ω_x + v ω_y = (1/Re) ∇²ω`, with `u = ψ_y`,
+//!    `v = -ψ_x` by central differences.
+//!
+//! Step 1 dominates the arithmetic and is where the machine earns its
+//! keep: [`Poisson2dSolver`] strip-partitions the plane across the
+//! hypercube ([`DecomposedGrid`] over rows), compiles the five-point
+//! Jacobi sweep pipeline per node once, and then every time step runs the
+//! compiled sweeps concurrently on real node threads with halo rows moving
+//! through [`NscSystem::exchange`] — identical machinery to the 3-D
+//! [`crate::DistributedJacobiWorkload`], on 2-D documents.
+
+use crate::decomp::DecomposedGrid;
+use crate::diagrams::{
+    build_jacobi2d_sweep_document, Jacobi2dGeometry, PLANE_G, PLANE_MASK, PLANE_U0, PLANE_U1,
+    RESIDUAL_CACHE,
+};
+use crate::distributed::{
+    attribute_node, check_same_machine, compile_pair_per_strip, measure_system_run,
+};
+use crate::grid::{Grid2, PaddedField};
+use nsc_core::{run_compiled_batch, CompiledProgram, NscError, Session, Workload};
+use nsc_sim::{NscSystem, PerfCounters, RunOptions};
+
+/// Outcome of one distributed Poisson solve.
+#[derive(Debug, Clone, Copy)]
+pub struct PoissonSolveStats {
+    /// Ping-pong pairs executed.
+    pub pairs: u64,
+    /// Final global residual (`max |masked update|` of the last sweep).
+    pub residual: f64,
+    /// Whether the tolerance (not the pair cap) ended it.
+    pub converged: bool,
+}
+
+/// A compiled, strip-decomposed 2-D Poisson solver bound to one system:
+/// compile once, solve every time step.
+#[derive(Debug)]
+pub struct Poisson2dSolver {
+    decomp: DecomposedGrid,
+    nx: usize,
+    ny: usize,
+    even: Vec<CompiledProgram>,
+    odd: Vec<CompiledProgram>,
+}
+
+impl Poisson2dSolver {
+    /// Partition an `nx * ny` plane across `system`'s cube, compile each
+    /// node's (even, odd) sweep pair on its row-slab geometry, and load
+    /// the static interior masks.
+    pub fn new(
+        session: &Session,
+        system: &mut NscSystem,
+        nx: usize,
+        ny: usize,
+    ) -> Result<Self, NscError> {
+        check_same_machine(session, system)?;
+        let decomp = DecomposedGrid::strip_1d(nx, ny, system.cube)?;
+        let (even, odd) = compile_pair_per_strip(session, &decomp, |s, parity| {
+            build_jacobi2d_sweep_document(Jacobi2dGeometry::new(nx, s.local_planes()), parity)
+        })?;
+        for s in &decomp.strips {
+            // The mask is static: ghost rows and global walls hold.
+            let local =
+                Grid2 { nx, ny: s.local_planes(), h: 1.0, data: vec![0.0; nx * s.local_planes()] };
+            let mask = PaddedField::aligned2d(&local.interior_mask());
+            system.node_mut(s.node).mem.plane_mut(PLANE_MASK).write_slice(0, &mask.words);
+        }
+        Ok(Poisson2dSolver { decomp, nx, ny, even, odd })
+    }
+
+    /// The decomposition (for reporting and tests).
+    pub fn decomp(&self) -> &DecomposedGrid {
+        &self.decomp
+    }
+
+    /// Solve `∇²u = -f` in place: scatter `u` and the scaled right-hand
+    /// side into the node planes, sweep in ping-pong pairs with halo
+    /// exchanges until `max |update| < tol` (checked once per pair, like
+    /// the serial document) or `max_pairs` is exhausted, then gather the
+    /// iterate back into `u`.
+    pub fn solve(
+        &self,
+        system: &mut NscSystem,
+        u: &mut Grid2,
+        f: &Grid2,
+        tol: f64,
+        max_pairs: u32,
+    ) -> Result<PoissonSolveStats, NscError> {
+        assert_eq!((u.nx, u.ny), (self.nx, self.ny), "solver compiled for another grid");
+        assert_eq!((f.nx, f.ny), (self.nx, self.ny), "right-hand side grid differs");
+        // g = -h²f, as the pipeline computes (sum - g)/4.
+        let h2 = u.h * u.h;
+        let g_global: Vec<f64> = f.data.iter().map(|&v| -h2 * v).collect();
+        let u_slabs = self.decomp.scatter(&u.data);
+        let g_slabs = self.decomp.scatter(&g_global);
+        for (s, (us, gs)) in self.decomp.strips.iter().zip(u_slabs.iter().zip(&g_slabs)) {
+            let rows = s.local_planes();
+            let wrap = |data: &[f64]| Grid2 { nx: self.nx, ny: rows, h: u.h, data: data.to_vec() };
+            let mem = &mut system.node_mut(s.node).mem;
+            let padded_u = PaddedField::stencil2d(&wrap(us));
+            mem.plane_mut(PLANE_U0).write_slice(0, &padded_u.words);
+            mem.plane_mut(PLANE_G).write_slice(0, &PaddedField::aligned2d(&wrap(gs)).words);
+            // Stale pong data from the previous solve must not leak into
+            // this one's pad rows (the data rows are fully rewritten).
+            mem.plane_mut(PLANE_U1).write_slice(0, &padded_u.words);
+        }
+
+        let even_refs: Vec<&CompiledProgram> = self.even.iter().collect();
+        let odd_refs: Vec<&CompiledProgram> = self.odd.iter().collect();
+        let opts = RunOptions::default();
+        let mut pairs = 0u64;
+        let mut residual = f64::INFINITY;
+        let mut converged = false;
+        while pairs < u64::from(max_pairs) && !converged {
+            run_compiled_batch(&even_refs, system.nodes_mut(), &opts).map_err(attribute_node)?;
+            self.decomp.halo_exchange(system, PLANE_U1, 1);
+            run_compiled_batch(&odd_refs, system.nodes_mut(), &opts).map_err(attribute_node)?;
+            self.decomp.halo_exchange(system, PLANE_U0, 1);
+            let (r, _) = system.global_max_cache_scalar(RESIDUAL_CACHE, 0);
+            residual = r;
+            pairs += 1;
+            converged = residual < tol;
+        }
+
+        let pw = self.decomp.plane_words;
+        let locals: Vec<Vec<f64>> = self
+            .decomp
+            .strips
+            .iter()
+            .map(|s| {
+                system
+                    .node(s.node)
+                    .mem
+                    .plane(PLANE_U0)
+                    .read_vec(pw as u64, (s.local_planes() * pw) as u64)
+            })
+            .collect();
+        u.data = self.decomp.gather(&locals);
+        Ok(PoissonSolveStats { pairs, residual, converged })
+    }
+}
+
+/// Outcome of a cavity run.
+#[derive(Debug, Clone)]
+pub struct CavityRun {
+    /// Final stream function.
+    pub psi: Grid2,
+    /// Final vorticity.
+    pub omega: Grid2,
+    /// x-velocity `u = ψ_y` (lid value on the top wall).
+    pub u: Grid2,
+    /// y-velocity `v = -ψ_x`.
+    pub v: Grid2,
+    /// Time steps taken.
+    pub steps: usize,
+    /// Total ping-pong pairs across all Poisson solves.
+    pub psi_pairs: u64,
+    /// Residual of the last Poisson solve.
+    pub last_residual: f64,
+    /// Per-node counter deltas for the whole run, indexed by node.
+    pub per_node: Vec<PerfCounters>,
+    /// System aggregate: work summed, elapsed overlapped.
+    pub total: PerfCounters,
+    /// Simulated seconds (slowest node, compute + communication).
+    pub simulated_seconds: f64,
+    /// Aggregate achieved MFLOPS across the system.
+    pub aggregate_mflops: f64,
+}
+
+/// The lid-driven cavity workload on an `n x n` grid.
+#[derive(Debug, Clone)]
+pub struct CavityWorkload {
+    /// Grid points per side.
+    pub n: usize,
+    /// Reynolds number (lid speed and cavity size are the scales).
+    pub re: f64,
+    /// Lid speed along +x on the top wall.
+    pub lid: f64,
+    /// Time step (FTCS stability wants `dt ≲ h²·Re/4`).
+    pub dt: f64,
+    /// Time steps to advance.
+    pub steps: usize,
+    /// Stream-function solve tolerance.
+    pub psi_tol: f64,
+    /// Cap on ping-pong pairs per stream-function solve.
+    pub psi_max_pairs: u32,
+}
+
+impl CavityWorkload {
+    /// A small, FTCS-stable default problem.
+    pub fn new(n: usize, re: f64, steps: usize) -> Self {
+        let h = 1.0 / (n as f64 - 1.0);
+        CavityWorkload {
+            n,
+            re,
+            lid: 1.0,
+            dt: 0.2 * (h * h * re / 4.0).min(0.5 * h),
+            steps,
+            psi_tol: 1e-8,
+            psi_max_pairs: 20_000,
+        }
+    }
+
+    /// Thom's wall-vorticity update from the current stream function.
+    fn wall_vorticity(&self, omega: &mut Grid2, psi: &Grid2) {
+        let n = self.n;
+        let h = psi.h;
+        let h2 = h * h;
+        for i in 0..n {
+            // Bottom (j = 0) and top lid (j = n-1).
+            *omega.at_mut(i, 0) = 2.0 * (psi.at(i, 0) - psi.at(i, 1)) / h2;
+            *omega.at_mut(i, n - 1) =
+                2.0 * (psi.at(i, n - 1) - psi.at(i, n - 2)) / h2 - 2.0 * self.lid / h;
+        }
+        for j in 0..n {
+            // Left (i = 0) and right (i = n-1) walls.
+            *omega.at_mut(0, j) = 2.0 * (psi.at(0, j) - psi.at(1, j)) / h2;
+            *omega.at_mut(n - 1, j) = 2.0 * (psi.at(n - 1, j) - psi.at(n - 2, j)) / h2;
+        }
+    }
+
+    /// One FTCS step of the vorticity transport equation.
+    fn advect_diffuse(&self, omega: &Grid2, psi: &Grid2) -> Grid2 {
+        let n = self.n;
+        let h = psi.h;
+        let mut out = omega.clone();
+        for j in 1..n - 1 {
+            for i in 1..n - 1 {
+                let u = (psi.at(i, j + 1) - psi.at(i, j - 1)) / (2.0 * h);
+                let v = -(psi.at(i + 1, j) - psi.at(i - 1, j)) / (2.0 * h);
+                let wx = (omega.at(i + 1, j) - omega.at(i - 1, j)) / (2.0 * h);
+                let wy = (omega.at(i, j + 1) - omega.at(i, j - 1)) / (2.0 * h);
+                let lap = (omega.at(i + 1, j)
+                    + omega.at(i - 1, j)
+                    + omega.at(i, j + 1)
+                    + omega.at(i, j - 1)
+                    - 4.0 * omega.at(i, j))
+                    / (h * h);
+                *out.at_mut(i, j) = omega.at(i, j) + self.dt * (-u * wx - v * wy + lap / self.re);
+            }
+        }
+        out
+    }
+
+    /// Central-difference velocities from the stream function; the top
+    /// wall carries the lid speed.
+    pub fn velocities(&self, psi: &Grid2) -> (Grid2, Grid2) {
+        let n = self.n;
+        let h = psi.h;
+        let mut u = Grid2::new(n, n);
+        let mut v = Grid2::new(n, n);
+        for j in 1..n - 1 {
+            for i in 1..n - 1 {
+                *u.at_mut(i, j) = (psi.at(i, j + 1) - psi.at(i, j - 1)) / (2.0 * h);
+                *v.at_mut(i, j) = -(psi.at(i + 1, j) - psi.at(i - 1, j)) / (2.0 * h);
+            }
+        }
+        for i in 1..n - 1 {
+            *u.at_mut(i, n - 1) = self.lid;
+        }
+        (u, v)
+    }
+}
+
+impl Workload<NscSystem> for CavityWorkload {
+    type Report = CavityRun;
+
+    fn name(&self) -> String {
+        format!("lid-driven cavity {}x{} Re={}", self.n, self.n, self.re)
+    }
+
+    fn execute(&self, session: &Session, system: &mut NscSystem) -> Result<CavityRun, NscError> {
+        if self.n < 5 {
+            return Err(NscError::Workload(format!(
+                "cavity wants at least a 5x5 grid, got {}",
+                self.n
+            )));
+        }
+        if self.re <= 0.0 || self.dt <= 0.0 || !self.re.is_finite() || !self.dt.is_finite() {
+            return Err(NscError::Workload(format!(
+                "cavity wants re > 0 and dt > 0, got re={} dt={}",
+                self.re, self.dt
+            )));
+        }
+        let solver = Poisson2dSolver::new(session, system, self.n, self.n)?;
+        let before: Vec<PerfCounters> = system.nodes().iter().map(|n| n.counters).collect();
+
+        let mut psi = Grid2::new(self.n, self.n);
+        let mut omega = Grid2::new(self.n, self.n);
+        let mut psi_pairs = 0u64;
+        let mut last_residual = f64::INFINITY;
+        for step in 0..self.steps {
+            // ∇²ψ = -ω, warm-started from the previous step's ψ.
+            let stats = solver.solve(system, &mut psi, &omega, self.psi_tol, self.psi_max_pairs)?;
+            psi_pairs += stats.pairs;
+            last_residual = stats.residual;
+            if !stats.converged {
+                // Advancing the vorticity on an unconverged ψ silently
+                // corrupts the flow field; fail loudly instead.
+                return Err(NscError::Workload(format!(
+                    "stream-function solve at step {step} stalled: residual {} after {} pairs \
+                     (raise psi_max_pairs or loosen psi_tol {})",
+                    stats.residual, stats.pairs, self.psi_tol
+                )));
+            }
+            self.wall_vorticity(&mut omega, &psi);
+            omega = self.advect_diffuse(&omega, &psi);
+            if !omega.linf().is_finite() {
+                return Err(NscError::Workload(format!(
+                    "vorticity diverged (dt={} too large for Re={}, h={})",
+                    self.dt, self.re, psi.h
+                )));
+            }
+        }
+
+        let m = measure_system_run(system, &before);
+        let (u, v) = self.velocities(&psi);
+        Ok(CavityRun {
+            psi,
+            omega,
+            u,
+            v,
+            steps: self.steps,
+            psi_pairs,
+            last_residual,
+            per_node: m.per_node,
+            total: m.total,
+            simulated_seconds: m.simulated_seconds,
+            aggregate_mflops: m.aggregate_mflops,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::{jacobi2d_sweep_host, Jacobi2dHostState};
+    use nsc_arch::HypercubeConfig;
+
+    fn system(dim: u32, session: &Session) -> NscSystem {
+        NscSystem::new(HypercubeConfig::new(dim), session.kb())
+    }
+
+    #[test]
+    fn distributed_poisson2d_matches_the_host_mirror_bit_for_bit() {
+        // Fixed sweep count, tol 0: every sweep must agree exactly with
+        // the 2-D host mirror across a 4-node decomposition.
+        let n = 11;
+        let mut u0 = Grid2::new(n, n);
+        let mut f = Grid2::new(n, n);
+        for j in 0..n {
+            for i in 0..n {
+                *f.at_mut(i, j) = ((i * 3 + j * 7) % 5) as f64 - 2.0;
+                if !u0.is_boundary(i, j) {
+                    *u0.at_mut(i, j) = (i as f64 - j as f64) * 0.125;
+                }
+            }
+        }
+        let session = Session::nsc_1988();
+        let mut sys = system(2, &session);
+        let solver = Poisson2dSolver::new(&session, &mut sys, n, n).expect("compiles");
+        let mut u = u0.clone();
+        let stats = solver.solve(&mut sys, &mut u, &f, 0.0, 4).expect("solves");
+        assert_eq!(stats.pairs, 4);
+
+        let mut host = Jacobi2dHostState::new(&u0, &f);
+        let mut res = 0.0;
+        for _ in 0..8 {
+            res = jacobi2d_sweep_host(&mut host);
+        }
+        let host_u = host.current();
+        for (a, b) in u.data.iter().zip(&host_u.data) {
+            assert_eq!(a.to_bits(), b.to_bits(), "2-D distributed sweep must match the mirror");
+        }
+        assert_eq!(stats.residual.to_bits(), res.to_bits());
+    }
+
+    #[test]
+    fn cavity_spins_up_a_single_clockwise_vortex() {
+        let session = Session::nsc_1988();
+        let mut sys = system(1, &session);
+        let mut w = CavityWorkload::new(9, 10.0, 30);
+        w.psi_tol = 1e-6;
+        let run = w.execute(&session, &mut sys).expect("runs");
+        // ψ = 0 on all walls; the lid drags fluid into one vortex whose
+        // stream function is single-signed (negative for a +x lid with
+        // u = ψ_y: ψ must dip below the wall value inside).
+        let psi = &run.psi;
+        for i in 0..9 {
+            assert_eq!(psi.at(i, 0), 0.0);
+            assert_eq!(psi.at(i, 8), 0.0);
+        }
+        let min = psi.data.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = psi.data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(min < -1e-4, "a vortex must form (min ψ = {min})");
+        assert!(max <= 1e-6, "primary vortex is single-signed at Re=10 ({max})");
+        // Velocity under the lid follows the lid; the return flow below
+        // the vortex centre runs the other way.
+        assert!(run.u.at(4, 7) > 0.0);
+        assert!(run.u.at(4, 2) < 0.0, "return flow ({})", run.u.at(4, 2));
+        assert!(run.psi_pairs > 0 && run.aggregate_mflops > 0.0);
+        assert!(run.per_node.iter().all(|c| c.flops > 0), "every node computed");
+    }
+
+    #[test]
+    fn cavity_is_bit_identical_across_cube_sizes() {
+        // The decomposition must not change the physics: 1 node vs 4
+        // nodes, same ψ and ω to the last bit.
+        let session = Session::nsc_1988();
+        let mut w = CavityWorkload::new(9, 50.0, 4);
+        w.psi_tol = 1e-6;
+        let mut sys1 = system(0, &session);
+        let mut sys4 = system(2, &session);
+        let a = w.execute(&session, &mut sys1).expect("1-node run");
+        let b = w.execute(&session, &mut sys4).expect("4-node run");
+        for (x, y) in a.psi.data.iter().zip(&b.psi.data) {
+            assert_eq!(x.to_bits(), y.to_bits(), "ψ differs across decompositions");
+        }
+        for (x, y) in a.omega.data.iter().zip(&b.omega.data) {
+            assert_eq!(x.to_bits(), y.to_bits(), "ω differs across decompositions");
+        }
+        assert_eq!(a.psi_pairs, b.psi_pairs, "identical convergence history");
+        // The 4-node run paid for its halos.
+        assert!(b.total.comm_ns > 0 && a.total.comm_ns == 0);
+    }
+
+    #[test]
+    fn cavity_rejects_bad_parameters() {
+        let session = Session::nsc_1988();
+        let mut sys = system(0, &session);
+        let mut w = CavityWorkload::new(9, 10.0, 1);
+        w.dt = 0.0;
+        assert!(matches!(w.execute(&session, &mut sys), Err(NscError::Workload(_))));
+        let tiny = CavityWorkload::new(4, 10.0, 1);
+        assert!(matches!(tiny.execute(&session, &mut sys), Err(NscError::Workload(_))));
+    }
+}

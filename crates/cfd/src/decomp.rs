@@ -1,0 +1,306 @@
+//! 1-D strip domain decomposition of solver grids onto the hypercube.
+//!
+//! A grid is split along its slowest axis into contiguous *strips* of
+//! "planes" (xy-planes of `nx*ny` words for a 3-D grid, rows of `nx` words
+//! for a 2-D one — the decomposition only cares about the plane size).
+//! Strip `i` lives on [`HypercubeConfig::ring_node`]`(i)`, so the Gray
+//! embedding puts adjacent strips on physically adjacent nodes and every
+//! halo message crosses exactly one link.
+//!
+//! Each interior strip boundary carries one *ghost plane* on each side: a
+//! node's local slab is its owned planes plus the neighbouring boundary
+//! planes, refreshed by [`DecomposedGrid::halo_exchange`] between sweeps.
+//! The ghost planes land exactly where the NSC's stencil-padded memory
+//! layout already reserves halo storage, so a decomposed Jacobi sweep is
+//! the *same pipeline diagram* as the serial one, on slab geometry — and
+//! bit-identical to the serial sweep on the points a node owns.
+
+use nsc_arch::{HypercubeConfig, NodeId, PlaneId};
+use nsc_core::NscError;
+use nsc_sim::NscSystem;
+
+/// One node's strip of the decomposition.
+#[derive(Debug, Clone, Copy)]
+pub struct Strip {
+    /// Position along the decomposed axis (= Gray-ring position).
+    pub ring_pos: usize,
+    /// The hypercube node hosting this strip.
+    pub node: NodeId,
+    /// First owned plane (global index).
+    pub start: usize,
+    /// Number of owned planes.
+    pub len: usize,
+    /// Whether the local slab carries a ghost plane below (every strip but
+    /// the first; the first strip's lowest plane is the domain boundary).
+    pub lo_ghost: bool,
+    /// Whether the local slab carries a ghost plane above.
+    pub hi_ghost: bool,
+}
+
+impl Strip {
+    /// Global index of the lowest plane in the local slab (ghost included).
+    pub fn local_start(&self) -> usize {
+        self.start - usize::from(self.lo_ghost)
+    }
+
+    /// Planes in the local slab: owned plus ghosts.
+    pub fn local_planes(&self) -> usize {
+        self.len + usize::from(self.lo_ghost) + usize::from(self.hi_ghost)
+    }
+
+    /// Local slab index of global plane `z`.
+    pub fn local_index(&self, z: usize) -> usize {
+        debug_assert!(z >= self.local_start() && z < self.local_start() + self.local_planes());
+        z - self.local_start()
+    }
+}
+
+/// A solver grid partitioned into strips across a hypercube.
+#[derive(Debug, Clone)]
+pub struct DecomposedGrid {
+    /// Words per plane along the decomposed axis.
+    pub plane_words: usize,
+    /// Global planes along the decomposed axis.
+    pub n_planes: usize,
+    /// The cube the strips live on.
+    pub cube: HypercubeConfig,
+    /// One strip per ring position, in ring (= global plane) order.
+    pub strips: Vec<Strip>,
+}
+
+impl DecomposedGrid {
+    /// Partition `n_planes` planes of `plane_words` words each across the
+    /// nodes of `cube`, balanced to within one plane. Fails when the grid
+    /// is too small for every node's local slab (owned planes + ghosts) to
+    /// hold the three planes a stencil sweep needs.
+    pub fn strip_1d(
+        plane_words: usize,
+        n_planes: usize,
+        cube: HypercubeConfig,
+    ) -> Result<Self, NscError> {
+        let parts = cube.ring_partition(n_planes);
+        let last = parts.len() - 1;
+        let mut sizes: Vec<usize> = parts.iter().map(|&(_, len)| len).collect();
+        // The boundary strips have only one ghost plane, so they need two
+        // owned planes where an interior strip gets by with one. The
+        // balanced split spreads the remainder from the front; move a
+        // plane from the fattest eligible donor when an edge came up
+        // short (min 2 for an edge donor, 1 for an interior one).
+        for edge in [last, 0] {
+            if last > 0 && sizes[edge] < 2 {
+                let donor = (0..sizes.len())
+                    .filter(|&i| i != edge)
+                    .filter(|&i| sizes[i] > if i == 0 || i == last { 2 } else { 1 })
+                    .max_by_key(|&i| sizes[i]);
+                if let Some(d) = donor {
+                    sizes[d] -= 1;
+                    sizes[edge] += 1;
+                }
+            }
+        }
+        let mut start = 0;
+        let strips: Vec<Strip> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &len)| {
+                let s = Strip {
+                    ring_pos: i,
+                    node: cube.ring_node(i),
+                    start,
+                    len,
+                    lo_ghost: i > 0,
+                    hi_ghost: i < last,
+                };
+                start += len;
+                s
+            })
+            .collect();
+        if let Some(thin) = strips.iter().find(|s| s.local_planes() < 3) {
+            return Err(NscError::Workload(format!(
+                "strip decomposition too thin: {} planes across {} nodes leaves node {} with a \
+                 {}-plane slab (a stencil sweep needs 3)",
+                n_planes,
+                cube.nodes(),
+                thin.node,
+                thin.local_planes()
+            )));
+        }
+        Ok(DecomposedGrid { plane_words, n_planes, cube, strips })
+    }
+
+    /// Word offset of local plane `local` inside a plane-memory array laid
+    /// out with `front_pad` pad planes before the slab data (1 for the
+    /// stencil layout, 2 for the aligned layout).
+    pub fn word_offset(&self, front_pad: usize, local: usize) -> u64 {
+        ((front_pad + local) * self.plane_words) as u64
+    }
+
+    /// Split a flat global field (plane-major, `n_planes * plane_words`
+    /// words) into per-strip local slabs, ghost planes included.
+    pub fn scatter(&self, words: &[f64]) -> Vec<Vec<f64>> {
+        assert_eq!(words.len(), self.n_planes * self.plane_words, "global field size");
+        self.strips
+            .iter()
+            .map(|s| {
+                let lo = s.local_start() * self.plane_words;
+                let hi = lo + s.local_planes() * self.plane_words;
+                words[lo..hi].to_vec()
+            })
+            .collect()
+    }
+
+    /// Reassemble a global field from per-strip local slabs, taking only
+    /// the planes each strip owns (ghosts are dropped).
+    pub fn gather(&self, locals: &[Vec<f64>]) -> Vec<f64> {
+        assert_eq!(locals.len(), self.strips.len(), "one slab per strip");
+        let pw = self.plane_words;
+        let mut out = vec![0.0; self.n_planes * pw];
+        for (s, local) in self.strips.iter().zip(locals) {
+            assert_eq!(local.len(), s.local_planes() * pw, "slab size of strip {}", s.ring_pos);
+            let from = s.local_index(s.start) * pw;
+            out[s.start * pw..(s.start + s.len) * pw]
+                .copy_from_slice(&local[from..from + s.len * pw]);
+        }
+        out
+    }
+
+    /// The halo-exchange step: every interior strip boundary swaps its two
+    /// adjacent planes as one full-duplex *sendrecv* through
+    /// [`NscSystem::exchange_bidirectional`] — a's top owned plane fills
+    /// b's low ghost while b's bottom owned plane fills a's high ghost —
+    /// charging the e-cube route cost to the endpoints'
+    /// [`nsc_sim::PerfCounters`]. `plane` is the node memory plane holding
+    /// the field, laid out with `front_pad` pad planes before the slab
+    /// (1 = stencil layout).
+    ///
+    /// Returns the slowest per-node communication time of the step in
+    /// nanoseconds (sendrecvs between disjoint node pairs overlap).
+    pub fn halo_exchange(&self, system: &mut NscSystem, plane: PlaneId, front_pad: usize) -> u64 {
+        let mut per_node = vec![0u64; self.strips.len()];
+        for i in 0..self.strips.len().saturating_sub(1) {
+            let (a, b) = (self.strips[i], self.strips[i + 1]);
+            let ns = system.exchange_bidirectional(
+                a.node,
+                plane,
+                self.word_offset(front_pad, a.local_index(a.start + a.len - 1)),
+                self.word_offset(front_pad, a.local_planes() - 1),
+                b.node,
+                plane,
+                self.word_offset(front_pad, b.local_index(b.start)),
+                self.word_offset(front_pad, 0),
+                self.plane_words as u64,
+            );
+            per_node[i] += ns;
+            per_node[i + 1] += ns;
+        }
+        per_node.into_iter().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsc_arch::{KnowledgeBase, MachineConfig};
+
+    fn system(dim: u32) -> NscSystem {
+        let kb = KnowledgeBase::new(MachineConfig::test_small());
+        NscSystem::new(HypercubeConfig::new(dim), &kb)
+    }
+
+    #[test]
+    fn strips_cover_the_grid_contiguously_on_adjacent_nodes() {
+        let cube = HypercubeConfig::new(3);
+        let d = DecomposedGrid::strip_1d(25, 21, cube).expect("decomposes");
+        assert_eq!(d.strips.len(), 8);
+        assert_eq!(d.strips.iter().map(|s| s.len).sum::<usize>(), 21);
+        let mut next = 0;
+        for w in d.strips.windows(2) {
+            assert_eq!(cube.hops(w[0].node, w[1].node), 1, "adjacent strips, adjacent nodes");
+        }
+        for s in &d.strips {
+            assert_eq!(s.start, next);
+            next += s.len;
+            assert!(s.local_planes() >= 3);
+            assert_eq!(s.lo_ghost, s.ring_pos > 0);
+            assert_eq!(s.hi_ghost, s.ring_pos < 7);
+        }
+    }
+
+    #[test]
+    fn edge_strips_borrow_planes_to_stay_sweepable() {
+        // 11 planes, 8 nodes: the balanced split leaves the last strip one
+        // plane; an interior strip donates so both edges own two.
+        let cube = HypercubeConfig::new(3);
+        for planes in [10, 11, 12] {
+            let d = DecomposedGrid::strip_1d(4, planes, cube).expect("decomposes");
+            assert_eq!(d.strips.iter().map(|s| s.len).sum::<usize>(), planes);
+            assert!(d.strips.iter().all(|s| s.local_planes() >= 3), "{planes} planes");
+            let mut next = 0;
+            for s in &d.strips {
+                assert_eq!(s.start, next, "still contiguous");
+                next += s.len;
+            }
+        }
+    }
+
+    #[test]
+    fn too_thin_grids_are_rejected_with_the_node_named() {
+        let cube = HypercubeConfig::new(3);
+        let err = DecomposedGrid::strip_1d(16, 8, cube).expect_err("1-plane edge strips");
+        assert!(matches!(err, NscError::Workload(_)), "{err}");
+        assert!(err.to_string().contains("3"), "{err}");
+    }
+
+    #[test]
+    fn scatter_gather_round_trips_and_overlaps_ghosts() {
+        let cube = HypercubeConfig::new(2);
+        let d = DecomposedGrid::strip_1d(3, 10, cube).expect("decomposes");
+        let global: Vec<f64> = (0..30).map(|x| x as f64).collect();
+        let locals = d.scatter(&global);
+        // Middle strips see one ghost plane on each side.
+        let s1 = d.strips[1];
+        assert_eq!(locals[1].len(), s1.local_planes() * 3);
+        assert_eq!(locals[1][0], (s1.local_start() * 3) as f64, "low ghost holds the neighbour");
+        assert_eq!(d.gather(&locals), global);
+    }
+
+    #[test]
+    fn halo_exchange_fills_ghost_planes_and_charges_the_router() {
+        let mut sys = system(2); // 4 nodes
+        let pw = 4usize;
+        let d = DecomposedGrid::strip_1d(pw, 9, sys.cube).expect("decomposes");
+        // Stencil-style layout (front pad 1): write each strip's owned
+        // planes with its global plane number; leave ghosts stale at -1.
+        let plane = PlaneId(0);
+        for s in &d.strips {
+            let mut slab = vec![-1.0; (s.local_planes() + 2) * pw];
+            for z in s.start..s.start + s.len {
+                let off = (1 + s.local_index(z)) * pw;
+                slab[off..off + pw].fill(z as f64);
+            }
+            sys.node_mut(s.node).mem.plane_mut(plane).write_slice(0, &slab);
+        }
+        let before = sys.comm_ns;
+        let slowest = d.halo_exchange(&mut sys, plane, 1);
+        // Every ghost plane now holds its neighbour's boundary plane.
+        for s in &d.strips {
+            let mem = sys.node(s.node).mem.plane(plane);
+            if s.lo_ghost {
+                let got = mem.read_vec(d.word_offset(1, 0), pw as u64);
+                assert!(got.iter().all(|&v| v == (s.start - 1) as f64), "{got:?}");
+            }
+            if s.hi_ghost {
+                let got = mem.read_vec(d.word_offset(1, s.local_planes() - 1), pw as u64);
+                assert!(got.iter().all(|&v| v == (s.start + s.len) as f64), "{got:?}");
+            }
+        }
+        // 3 interior boundaries x 2 messages of pw words over 1 hop each;
+        // each boundary's pair overlaps as one full-duplex sendrecv.
+        let msg = sys.cube.router.message_ns(1, pw as u64);
+        assert_eq!(sys.comm_ns - before, 6 * msg, "serialized view counts every message");
+        assert_eq!(slowest, 2 * msg, "middle strips sendrecv on both sides");
+        // Endpoint accounting: the first node only talks to one neighbour.
+        assert_eq!(sys.node(d.strips[0].node).counters.comm_ns, msg);
+        assert_eq!(sys.node(d.strips[1].node).counters.comm_ns, 2 * msg);
+    }
+}

@@ -59,22 +59,34 @@ pub enum JacobiVariant {
 /// Geometry shared by builders and loaders.
 #[derive(Debug, Clone, Copy)]
 pub struct JacobiGeometry {
-    /// Grid points per side.
-    pub n: usize,
-    /// One xy-plane (`n*n`).
+    /// Grid points along x (the fastest axis; sets the north/south tap).
+    pub nx: usize,
+    /// Grid points along y.
+    pub ny: usize,
+    /// Grid points along z (the slowest axis — the one a 1-D strip
+    /// decomposition splits).
+    pub nz: usize,
+    /// One xy-plane (`nx*ny`).
     pub plane: usize,
-    /// Grid points (`n^3`).
+    /// Grid points (`nx*ny*nz`).
     pub points: usize,
-    /// Padded stream length (`n^3 + 2*n*n`).
+    /// Padded stream length (`points + 2*plane`).
     pub padded: usize,
 }
 
 impl JacobiGeometry {
     /// Geometry for an `n^3` grid.
     pub fn cube(n: usize) -> Self {
-        let plane = n * n;
-        let points = n * n * n;
-        JacobiGeometry { n, plane, points, padded: points + 2 * plane }
+        Self::slab(n, n, n)
+    }
+
+    /// Geometry for an `nx * ny * nz` slab — the shape a node owns under a
+    /// 1-D strip decomposition along z (its planes plus one ghost plane on
+    /// each interior side).
+    pub fn slab(nx: usize, ny: usize, nz: usize) -> Self {
+        let plane = nx * ny;
+        let points = plane * nz;
+        JacobiGeometry { nx, ny, nz, plane, points, padded: points + 2 * plane }
     }
 }
 
@@ -128,21 +140,8 @@ fn plan(variant: JacobiVariant) -> UnitPlan {
     }
 }
 
-/// Build the complete Jacobi document for an `n^3` grid.
-///
-/// `tol` and `max_iters` program the convergence loop; the loop body is a
-/// ping-pong pair of sweeps (u0 -> u1 then u1 -> u0), so iterations are
-/// counted in pairs.
-pub fn build_jacobi_document(
-    n: usize,
-    tol: f64,
-    max_iters: u32,
-    variant: JacobiVariant,
-) -> Document {
-    let geo = JacobiGeometry::cube(n);
-    let mut doc = Document::new(format!("jacobi3d-{n}cubed"));
-
-    // Variable declarations (the Figure 5 left region).
+/// Declare the Jacobi working set (the Figure 5 left region).
+fn declare_jacobi_vars(doc: &mut Document, geo: JacobiGeometry, variant: JacobiVariant) {
     let np = geo.padded as u64;
     for (name, plane) in [("u0", PLANE_U0), ("mask", PLANE_MASK), ("g", PLANE_G), ("u1", PLANE_U1)]
     {
@@ -158,6 +157,33 @@ pub fn build_jacobi_document(
             });
         }
     }
+}
+
+/// Build the complete Jacobi document for an `n^3` grid.
+///
+/// `tol` and `max_iters` program the convergence loop; the loop body is a
+/// ping-pong pair of sweeps (u0 -> u1 then u1 -> u0), so iterations are
+/// counted in pairs.
+pub fn build_jacobi_document(
+    n: usize,
+    tol: f64,
+    max_iters: u32,
+    variant: JacobiVariant,
+) -> Document {
+    build_jacobi_slab_document(JacobiGeometry::cube(n), tol, max_iters, variant)
+}
+
+/// Build the Jacobi document for an arbitrary `nx * ny * nz` slab — same
+/// pipelines and convergence loop as [`build_jacobi_document`], on the
+/// local geometry a decomposed node owns.
+pub fn build_jacobi_slab_document(
+    geo: JacobiGeometry,
+    tol: f64,
+    max_iters: u32,
+    variant: JacobiVariant,
+) -> Document {
+    let mut doc = Document::new(format!("jacobi3d-{}x{}x{}", geo.nx, geo.ny, geo.nz));
+    declare_jacobi_vars(&mut doc, geo, variant);
 
     let sweep_a = build_sweep(&mut doc, "point Jacobi sweep (even)", "u0", "u1", geo, variant);
     let sweep_b = build_sweep(&mut doc, "point Jacobi sweep (odd)", "u1", "u0", geo, variant);
@@ -185,6 +211,183 @@ pub fn build_jacobi_document(
         cond: ConvergenceCond { cache: RESIDUAL_CACHE, offset: 0, threshold: tol, max_iters },
         body: Box::new(body),
     });
+    doc
+}
+
+/// Build a *single* Jacobi sweep as its own document: `u0 -> u1` when
+/// `even`, `u1 -> u0` otherwise, with no convergence loop. This is the
+/// unit of work of the distributed solver, which must interleave halo
+/// exchanges between sweeps — the convergence decision moves up to the
+/// system level (a global max-reduction of the per-node residuals).
+pub fn build_jacobi_sweep_document(geo: JacobiGeometry, even: bool) -> Document {
+    let (src, dst, tag) = if even { ("u0", "u1", "even") } else { ("u1", "u0", "odd") };
+    let mut doc = Document::new(format!("jacobi3d-sweep-{tag}-{}x{}x{}", geo.nx, geo.ny, geo.nz));
+    declare_jacobi_vars(&mut doc, geo, JacobiVariant::Full);
+    let sweep = build_sweep(
+        &mut doc,
+        &format!("point Jacobi sweep ({tag})"),
+        src,
+        dst,
+        geo,
+        JacobiVariant::Full,
+    );
+    doc.control = Some(ControlNode::Pipeline(sweep));
+    doc
+}
+
+/// Geometry of a 2-D five-point Jacobi sweep: rows play the role planes
+/// play in 3-D (the pad and the halo unit is one row of `nx` words).
+#[derive(Debug, Clone, Copy)]
+pub struct Jacobi2dGeometry {
+    /// Grid points along x (the fast axis).
+    pub nx: usize,
+    /// Grid points along y (the axis a strip decomposition splits).
+    pub ny: usize,
+    /// One row (`nx`).
+    pub row: usize,
+    /// Grid points (`nx*ny`).
+    pub points: usize,
+    /// Padded stream length (`points + 2*nx`).
+    pub padded: usize,
+}
+
+impl Jacobi2dGeometry {
+    /// Geometry for an `nx * ny` grid (or the row-slab a node owns).
+    pub fn new(nx: usize, ny: usize) -> Self {
+        Jacobi2dGeometry { nx, ny, row: nx, points: nx * ny, padded: nx * ny + 2 * nx }
+    }
+}
+
+/// Build a single 2-D five-point Jacobi sweep document: the plane-Poisson
+/// update `u' = (sum(4 neighbours) - g)/4` with masked boundaries and the
+/// same feedback `max |update|` residual reduction as the 3-D pipeline.
+/// `u0 -> u1` when `even`, `u1 -> u0` otherwise. This is the
+/// stream-function solve of the lid-driven cavity (Matyka,
+/// physics/0407002), built for the full machine only.
+pub fn build_jacobi2d_sweep_document(geo: Jacobi2dGeometry, even: bool) -> Document {
+    let (src, dst, tag) = if even { ("u0", "u1", "even") } else { ("u1", "u0", "odd") };
+    let mut doc = Document::new(format!("jacobi2d-sweep-{tag}-{}x{}", geo.nx, geo.ny));
+    let np = geo.padded as u64;
+    for (name, plane) in [("u0", PLANE_U0), ("mask", PLANE_MASK), ("g", PLANE_G), ("u1", PLANE_U1)]
+    {
+        doc.decls.declare(VarDecl { name: name.into(), plane, base: 0, len: np });
+    }
+
+    let pid = doc.add_pipeline(format!("2-D Jacobi sweep ({tag})"));
+    let h = geo.row as u64;
+    let d = doc.pipeline_mut(pid).unwrap();
+    d.stream_len = geo.padded as u64;
+
+    // Nine compute units on three triplets; the maxabs reduction sits on a
+    // min/max-capable tail unit, as in the 3-D placement.
+    let icons: Vec<IconId> = (0..3).map(|_| d.add_icon(IconKind::als(AlsKind::Triplet))).collect();
+    let slots: [(usize, u8); 9] =
+        [(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2), (2, 0), (2, 1), (2, 2)];
+    let unit = |i: usize| -> (IconId, u8) {
+        let (icon, pos) = slots[i];
+        (icons[icon], pos)
+    };
+    const ADD_NS: usize = 0;
+    const ADD_EW: usize = 1;
+    const ADD_S3: usize = 2;
+    const SUB_G: usize = 3;
+    const MUL14: usize = 4;
+    const SUB_D: usize = 5;
+    const MUL_MASK: usize = 6;
+    const ADD_UNEW: usize = 7;
+    const MAXABS: usize = 8;
+
+    let mem_mask = d.add_icon(IconKind::memory());
+    let mem_g = d.add_icon(IconKind::memory());
+    let mem_out = d.add_icon(IconKind::memory());
+    let cache_res = d.add_icon(IconKind::cache());
+
+    let fu_in = |u: (IconId, u8), port: InPort| PadLoc::new(u.0, PadRef::FuIn { pos: u.1, port });
+    let fu_out = |u: (IconId, u8)| PadLoc::new(u.0, PadRef::FuOut { pos: u.1 });
+
+    // Five u-streams from two shift/delay units, delays relative to the
+    // leading (j+1) row: north 0, east h-1, west h+1; south 2h, centre h
+    // (a delay d taps stream element q+2h-d, as in the 3-D builder).
+    let mem_u = d.add_icon(IconKind::memory());
+    let sdu0 = d.add_icon(IconKind::sdu());
+    let sdu1 = d.add_icon(IconKind::sdu());
+    let hh = h as u16;
+    d.set_sdu_taps(sdu0, vec![0, hh - 1, hh + 1]).unwrap();
+    d.set_sdu_taps(sdu1, vec![2 * hh, hh]).unwrap();
+    for sdu in [sdu0, sdu1] {
+        d.connect(
+            PadLoc::new(mem_u, PadRef::Io),
+            PadLoc::new(sdu, PadRef::SduIn),
+            Some(DmaAttrs::variable(src)),
+        )
+        .unwrap();
+    }
+    let tap = |sdu: IconId, t: u8| PadLoc::new(sdu, PadRef::SduTap { tap: t });
+    d.connect(tap(sdu0, 0), fu_in(unit(ADD_NS), InPort::A), None).unwrap(); // north
+    d.connect(tap(sdu1, 0), fu_in(unit(ADD_NS), InPort::B), None).unwrap(); // south
+    d.connect(tap(sdu0, 1), fu_in(unit(ADD_EW), InPort::A), None).unwrap(); // east
+    d.connect(tap(sdu0, 2), fu_in(unit(ADD_EW), InPort::B), None).unwrap(); // west
+    for sink in [fu_in(unit(SUB_D), InPort::B), fu_in(unit(ADD_UNEW), InPort::A)] {
+        d.connect(tap(sdu1, 1), sink, None).unwrap(); // centre
+    }
+
+    // The arithmetic tree: ((n+s) + (e+w) - g) / 4, masked update.
+    let ops = [
+        (ADD_NS, FuAssign::binary(FuOp::Add)),
+        (ADD_EW, FuAssign::binary(FuOp::Add)),
+        (ADD_S3, FuAssign::binary(FuOp::Add)),
+        (SUB_G, FuAssign::binary(FuOp::Sub)),
+        (MUL14, FuAssign::with_const(FuOp::Mul, 1.0 / 4.0)),
+        (SUB_D, FuAssign::binary(FuOp::Sub)),
+        (MUL_MASK, FuAssign::binary(FuOp::Mul)),
+        (ADD_UNEW, FuAssign::binary(FuOp::Add)),
+        (MAXABS, FuAssign::reduction(FuOp::MaxAbs, 0.0)),
+    ];
+    for (u, assign) in ops {
+        let (icon, pos) = unit(u);
+        d.assign_fu(icon, pos, assign).unwrap();
+    }
+    let wire = |d: &mut PipelineDiagram, from: usize, to: usize, port: InPort| {
+        d.connect(fu_out(unit(from)), fu_in(unit(to), port), None).unwrap();
+    };
+    wire(d, ADD_NS, ADD_S3, InPort::A);
+    wire(d, ADD_EW, ADD_S3, InPort::B);
+    wire(d, ADD_S3, SUB_G, InPort::A);
+    wire(d, SUB_G, MUL14, InPort::A);
+    wire(d, MUL14, SUB_D, InPort::A);
+    wire(d, SUB_D, MUL_MASK, InPort::A);
+    wire(d, MUL_MASK, ADD_UNEW, InPort::B);
+    wire(d, MUL_MASK, MAXABS, InPort::A);
+
+    // Mask and scaled-RHS streams, stored `aligned` (front pad 2h).
+    d.connect(
+        PadLoc::new(mem_g, PadRef::Io),
+        fu_in(unit(SUB_G), InPort::B),
+        Some(DmaAttrs::variable("g")),
+    )
+    .unwrap();
+    d.connect(
+        PadLoc::new(mem_mask, PadRef::Io),
+        fu_in(unit(MUL_MASK), InPort::B),
+        Some(DmaAttrs::variable("mask")),
+    )
+    .unwrap();
+
+    // Stores: the new iterate and the residual scalar.
+    d.connect(
+        fu_out(unit(ADD_UNEW)),
+        PadLoc::new(mem_out, PadRef::Io),
+        Some(DmaAttrs::variable(dst).with_offset(h).with_count(geo.points as u64)),
+    )
+    .unwrap();
+    d.connect(
+        fu_out(unit(MAXABS)),
+        PadLoc::new(cache_res, PadRef::Io),
+        Some(DmaAttrs::at_address(0).last_only()),
+    )
+    .unwrap();
+
+    doc.control = Some(ControlNode::Pipeline(pid));
     doc
 }
 
@@ -246,7 +449,7 @@ fn build_sweep(
             let sdu0 = d.add_icon(IconKind::sdu());
             let sdu1 = d.add_icon(IconKind::sdu());
             // Tap programming: delays relative to the leading (k+1) plane.
-            let nx = geo.n as u16;
+            let nx = geo.nx as u16;
             let hh = h as u16;
             d.set_sdu_taps(sdu0, vec![0, hh - nx, hh - 1, hh + 1]).unwrap();
             d.set_sdu_taps(sdu1, vec![hh + nx, 2 * hh, hh]).unwrap();
@@ -278,7 +481,7 @@ fn build_sweep(
                 d.add_icon(IconKind::als(AlsKind::Doublet)),
             ];
             let stage_units = [(stage[0], 0u8), (stage[0], 1u8), (stage[1], 0u8)];
-            let nx = geo.n as u64;
+            let nx = geo.nx as u64;
             // (variable, base offset, destination)
             let direct = [
                 ("ucopy0", 2 * h, fu_in(unit(ADD_UD), InPort::A)), // up

@@ -1,0 +1,492 @@
+//! Domain-decomposed solvers that spread one problem across the cube.
+//!
+//! [`DistributedJacobiWorkload`] is the paper's running example scaled out:
+//! the grid is strip-partitioned along z ([`DecomposedGrid`]), each node
+//! compiles the *same* Jacobi sweep pipeline on its own slab geometry, the
+//! sweeps run concurrently on real node threads, and ghost planes are
+//! refreshed through [`NscSystem::exchange`] between sweeps. Because the
+//! ghost planes sit exactly where the serial stencil layout keeps its halo
+//! pad, every distributed sweep is **bit-identical** to the serial sweep on
+//! the points a node owns; the convergence decision is a global
+//! max-reduction of the per-node residuals, evaluated once per ping-pong
+//! pair exactly as the serial document's sequencer does.
+//!
+//! [`DistributedSorWorkload`] is the block-SOR counterpart of the host
+//! baseline: each node relaxes its slab with the updated-in-place sweep,
+//! halos still travel through the router (charging the same communication
+//! model), and the blocks converge to the same discrete solution.
+
+use crate::decomp::DecomposedGrid;
+use crate::diagrams::{
+    build_jacobi_sweep_document, JacobiGeometry, JacobiVariant, PLANE_U0, PLANE_U1, RESIDUAL_CACHE,
+};
+use crate::grid::Grid3;
+use crate::host::{sor_sweep_host, JacobiHostState};
+use crate::nsc_run::load_problem;
+use nsc_core::{run_compiled_batch, CompiledProgram, NscError, Session, Workload};
+use nsc_sim::{NscSystem, PerfCounters, RunOptions};
+
+/// Cut the strip's local slab (owned planes plus ghosts) out of a global
+/// grid, keeping the global mesh spacing.
+fn local_slab(decomp: &DecomposedGrid, ring_pos: usize, global: &Grid3) -> Grid3 {
+    let s = decomp.strips[ring_pos];
+    let pw = decomp.plane_words;
+    let lo = s.local_start() * pw;
+    let hi = lo + s.local_planes() * pw;
+    Grid3 {
+        nx: global.nx,
+        ny: global.ny,
+        nz: s.local_planes(),
+        h: global.h,
+        data: global.data[lo..hi].to_vec(),
+    }
+}
+
+/// Refuse a session/system pair describing different machines.
+pub(crate) fn check_same_machine(session: &Session, system: &NscSystem) -> Result<(), NscError> {
+    let node_cfg = system.node(nsc_arch::NodeId(0)).kb.config();
+    if session.kb().config() != node_cfg {
+        return Err(NscError::Workload(format!(
+            "session machine '{}' and system machine '{}' differ",
+            session.kb().config().name,
+            node_cfg.name
+        )));
+    }
+    Ok(())
+}
+
+/// Compile one (even, odd) sweep-program pair per strip, each program
+/// indexed by the node hosting the strip; `build` constructs the document
+/// for a strip and a parity (`true` = even, reading u0).
+///
+/// The document must depend on the strip only through its slab height
+/// (`local_planes()`) — true of both sweep builders — so a balanced
+/// decomposition with at most two distinct heights compiles at most two
+/// pairs and shares them across nodes.
+pub(crate) fn compile_pair_per_strip(
+    session: &Session,
+    decomp: &DecomposedGrid,
+    build: impl Fn(&crate::decomp::Strip, bool) -> nsc_diagram::Document,
+) -> Result<(Vec<CompiledProgram>, Vec<CompiledProgram>), NscError> {
+    let nodes = decomp.strips.len();
+    let mut by_height: std::collections::HashMap<usize, (CompiledProgram, CompiledProgram)> =
+        std::collections::HashMap::new();
+    let mut even = vec![None; nodes];
+    let mut odd = vec![None; nodes];
+    for s in &decomp.strips {
+        let pair = match by_height.entry(s.local_planes()) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let compile = |parity| {
+                    session
+                        .compile(&mut build(s, parity))
+                        .map_err(|err| NscError::on_node(s.node, err))
+                };
+                e.insert((compile(true)?, compile(false)?))
+            }
+        };
+        even[s.node.index()] = Some(pair.0.clone());
+        odd[s.node.index()] = Some(pair.1.clone());
+    }
+    let unwrap = |v: Vec<Option<CompiledProgram>>| {
+        v.into_iter().map(|p| p.expect("one strip per node")).collect()
+    };
+    Ok((unwrap(even), unwrap(odd)))
+}
+
+/// Per-run system metrics derived from a counter snapshot taken before
+/// the run: per-node deltas, their overlap-aware aggregate, and the
+/// achieved rate.
+#[derive(Debug, Clone)]
+pub(crate) struct SystemRunMetrics {
+    pub per_node: Vec<PerfCounters>,
+    pub total: PerfCounters,
+    pub simulated_seconds: f64,
+    pub aggregate_mflops: f64,
+}
+
+pub(crate) fn measure_system_run(system: &NscSystem, before: &[PerfCounters]) -> SystemRunMetrics {
+    let clock = system.node(nsc_arch::NodeId(0)).kb.config().clock_hz;
+    let per_node: Vec<PerfCounters> =
+        system.nodes().iter().zip(before).map(|(n, b)| n.counters.since(b)).collect();
+    let mut total = PerfCounters::default();
+    for c in &per_node {
+        total.absorb(c);
+    }
+    let simulated_seconds = per_node.iter().map(|c| c.seconds_with_comm(clock)).fold(0.0, f64::max);
+    let aggregate_mflops =
+        if simulated_seconds > 0.0 { total.flops as f64 / simulated_seconds / 1e6 } else { 0.0 };
+    SystemRunMetrics { per_node, total, simulated_seconds, aggregate_mflops }
+}
+
+/// Re-attribute a round-robin batch failure to the hypercube node it
+/// happened on (program `i` of a distributed step runs on node `i`).
+pub(crate) fn attribute_node(e: NscError) -> NscError {
+    match e {
+        NscError::Batch { doc, source } => NscError::on_node(nsc_arch::NodeId(doc as u16), *source),
+        other => other,
+    }
+}
+
+/// Outcome of a distributed Jacobi solve.
+#[derive(Debug, Clone)]
+pub struct DistributedJacobiRun {
+    /// The reassembled final iterate.
+    pub u: Grid3,
+    /// The global residual (max over nodes of `max |masked update|`).
+    pub residual: f64,
+    /// Full sweeps executed across the system (each sweep touches every
+    /// node once).
+    pub sweeps: u64,
+    /// Whether the tolerance (not the pair cap) ended it.
+    pub converged: bool,
+    /// Per-node counter deltas for this run, indexed by node.
+    pub per_node: Vec<PerfCounters>,
+    /// System aggregate of this run: work summed, elapsed overlapped.
+    pub total: PerfCounters,
+    /// Simulated seconds of this run: the slowest node's compute plus its
+    /// own communication time.
+    pub simulated_seconds: f64,
+    /// Aggregate achieved MFLOPS of this run across the system.
+    pub aggregate_mflops: f64,
+}
+
+/// Point Jacobi for the 3-D Poisson problem, strip-decomposed across a
+/// simulated hypercube with halo exchange.
+#[derive(Debug, Clone)]
+pub struct DistributedJacobiWorkload {
+    /// Initial iterate (also fixes the grid size).
+    pub u0: Grid3,
+    /// Right-hand side.
+    pub f: Grid3,
+    /// Residual convergence tolerance.
+    pub tol: f64,
+    /// Cap on ping-pong sweep pairs (the convergence test runs once per
+    /// pair, as in the serial document).
+    pub max_pairs: u32,
+}
+
+impl Workload<NscSystem> for DistributedJacobiWorkload {
+    type Report = DistributedJacobiRun;
+
+    fn name(&self) -> String {
+        format!("distributed-jacobi {}x{}x{}", self.u0.nx, self.u0.ny, self.u0.nz)
+    }
+
+    fn execute(
+        &self,
+        session: &Session,
+        system: &mut NscSystem,
+    ) -> Result<DistributedJacobiRun, NscError> {
+        check_same_machine(session, system)?;
+        if (self.u0.nx, self.u0.ny, self.u0.nz) != (self.f.nx, self.f.ny, self.f.nz) {
+            return Err(NscError::Workload("iterate and right-hand side grids differ".into()));
+        }
+        let decomp = DecomposedGrid::strip_1d(self.u0.nx * self.u0.ny, self.u0.nz, system.cube)?;
+
+        // Load every node's slab problem (ghosts included, so the first
+        // sweep needs no exchange) and compile its sweep pair.
+        for s in &decomp.strips {
+            let lu0 = local_slab(&decomp, s.ring_pos, &self.u0);
+            let lf = local_slab(&decomp, s.ring_pos, &self.f);
+            let state = JacobiHostState::new(&lu0, &lf);
+            load_problem(system.node_mut(s.node), &state, JacobiVariant::Full);
+        }
+        let (even, odd) = compile_pair_per_strip(session, &decomp, |s, parity| {
+            build_jacobi_sweep_document(
+                JacobiGeometry::slab(self.u0.nx, self.u0.ny, s.local_planes()),
+                parity,
+            )
+        })?;
+        let even_refs: Vec<&CompiledProgram> = even.iter().collect();
+        let odd_refs: Vec<&CompiledProgram> = odd.iter().collect();
+
+        let before: Vec<PerfCounters> = system.nodes().iter().map(|n| n.counters).collect();
+        let opts = RunOptions::default();
+        let mut pairs = 0u64;
+        let mut residual = f64::INFINITY;
+        let mut converged = false;
+        while pairs < u64::from(self.max_pairs) && !converged {
+            // Even sweep (u0 -> u1) on every node concurrently, then push
+            // the new boundary planes into the neighbours' ghosts.
+            run_compiled_batch(&even_refs, system.nodes_mut(), &opts).map_err(attribute_node)?;
+            decomp.halo_exchange(system, PLANE_U1, 1);
+            // Odd sweep (u1 -> u0), exchange again.
+            run_compiled_batch(&odd_refs, system.nodes_mut(), &opts).map_err(attribute_node)?;
+            decomp.halo_exchange(system, PLANE_U0, 1);
+            // The pair's convergence test: a butterfly max-reduction of
+            // the per-node residual scalars (the odd sweep's).
+            let (r, _) = system.global_max_cache_scalar(RESIDUAL_CACHE, 0);
+            residual = r;
+            pairs += 1;
+            converged = residual < self.tol;
+        }
+
+        // Reassemble the iterate from the u0 planes (pairs always end on
+        // the odd sweep, exactly like the serial document's loop body).
+        let pw = decomp.plane_words;
+        let locals: Vec<Vec<f64>> = decomp
+            .strips
+            .iter()
+            .map(|s| {
+                system
+                    .node(s.node)
+                    .mem
+                    .plane(PLANE_U0)
+                    .read_vec(pw as u64, (s.local_planes() * pw) as u64)
+            })
+            .collect();
+        let mut u = Grid3::new(self.u0.nx, self.u0.ny, self.u0.nz);
+        u.h = self.u0.h;
+        u.data = decomp.gather(&locals);
+
+        let m = measure_system_run(system, &before);
+        Ok(DistributedJacobiRun {
+            u,
+            residual,
+            sweeps: pairs * 2,
+            converged,
+            per_node: m.per_node,
+            total: m.total,
+            simulated_seconds: m.simulated_seconds,
+            aggregate_mflops: m.aggregate_mflops,
+        })
+    }
+}
+
+/// Outcome of a distributed block-SOR solve.
+#[derive(Debug, Clone)]
+pub struct DistributedSorRun {
+    /// The reassembled final iterate.
+    pub u: Grid3,
+    /// The global residual (max over blocks of `max |update|`).
+    pub residual: f64,
+    /// Sweeps executed.
+    pub sweeps: usize,
+    /// Whether the tolerance (not the sweep cap) ended it.
+    pub converged: bool,
+    /// Router nanoseconds this run spent on halos and reductions
+    /// (system-serialized view).
+    pub comm_ns: u64,
+}
+
+/// Block successive over-relaxation: each node runs the host SOR sweep on
+/// its own slab, halos and the convergence reduction travel through the
+/// simulated router. Converges to the same discrete solution as the serial
+/// [`crate::SorWorkload`] (the blocks' fixed point is the global one),
+/// with block-boundary values lagging one sweep.
+#[derive(Debug, Clone)]
+pub struct DistributedSorWorkload {
+    /// Initial iterate.
+    pub u0: Grid3,
+    /// Right-hand side.
+    pub f: Grid3,
+    /// Relaxation factor, in `(0, 2)` for convergence.
+    pub omega: f64,
+    /// Residual convergence tolerance.
+    pub tol: f64,
+    /// Cap on sweeps.
+    pub max_sweeps: usize,
+}
+
+impl Workload<NscSystem> for DistributedSorWorkload {
+    type Report = DistributedSorRun;
+
+    fn name(&self) -> String {
+        format!("distributed-sor {}x{}x{} omega={}", self.u0.nx, self.u0.ny, self.u0.nz, self.omega)
+    }
+
+    fn execute(
+        &self,
+        _session: &Session,
+        system: &mut NscSystem,
+    ) -> Result<DistributedSorRun, NscError> {
+        if !(0.0..2.0).contains(&self.omega) || self.omega == 0.0 {
+            return Err(NscError::Workload(format!(
+                "SOR diverges outside 0 < omega < 2 (got {})",
+                self.omega
+            )));
+        }
+        if (self.u0.nx, self.u0.ny, self.u0.nz) != (self.f.nx, self.f.ny, self.f.nz) {
+            return Err(NscError::Workload("iterate and right-hand side grids differ".into()));
+        }
+        let pw = self.u0.nx * self.u0.ny;
+        let decomp = DecomposedGrid::strip_1d(pw, self.u0.nz, system.cube)?;
+        let mut locals: Vec<Grid3> =
+            (0..decomp.strips.len()).map(|i| local_slab(&decomp, i, &self.u0)).collect();
+        let fs: Vec<Grid3> =
+            (0..decomp.strips.len()).map(|i| local_slab(&decomp, i, &self.f)).collect();
+
+        let comm_before = system.comm_ns;
+        let omega = self.omega;
+        let mut sweeps = 0;
+        let mut residual = f64::INFINITY;
+        let mut converged = false;
+        while sweeps < self.max_sweeps && !converged {
+            // Every block relaxes concurrently (host compute; the slab
+            // interior excludes ghost planes, which hold until exchanged).
+            let mut block_res = vec![0.0f64; locals.len()];
+            let _ = crossbeam::thread::scope(|scope| {
+                for ((u, f), res) in locals.iter_mut().zip(&fs).zip(block_res.iter_mut()) {
+                    scope.spawn(move |_| {
+                        *res = sor_sweep_host(u, f, omega);
+                    });
+                }
+            });
+            // Halos travel through the router: stage each block's boundary
+            // planes in its node's u0 plane, exchange, read ghosts back.
+            for s in &decomp.strips {
+                let u = &locals[s.ring_pos];
+                let node = system.node_mut(s.node);
+                for z in [s.start, s.start + s.len - 1] {
+                    let lo = s.local_index(z) * pw;
+                    node.mem
+                        .plane_mut(PLANE_U0)
+                        .write_slice(decomp.word_offset(1, s.local_index(z)), &u.data[lo..lo + pw]);
+                }
+            }
+            decomp.halo_exchange(system, PLANE_U0, 1);
+            for s in &decomp.strips {
+                let u = &mut locals[s.ring_pos];
+                let mem = system.node(s.node).mem.plane(PLANE_U0);
+                let mut pull = |local_plane: usize| {
+                    let ghost = mem.read_vec(decomp.word_offset(1, local_plane), pw as u64);
+                    u.data[local_plane * pw..(local_plane + 1) * pw].copy_from_slice(&ghost);
+                };
+                if s.lo_ghost {
+                    pull(0);
+                }
+                if s.hi_ghost {
+                    pull(s.local_planes() - 1);
+                }
+            }
+            // Global convergence test through the butterfly reduction.
+            for (s, r) in decomp.strips.iter().zip(&block_res) {
+                system.node_mut(s.node).mem.cache_mut(RESIDUAL_CACHE).write(0, 0, *r);
+            }
+            let (r, _) = system.global_max_cache_scalar(RESIDUAL_CACHE, 0);
+            residual = r;
+            sweeps += 1;
+            converged = residual < self.tol;
+        }
+
+        let flat: Vec<Vec<f64>> = locals.into_iter().map(|g| g.data).collect();
+        let mut u = Grid3::new(self.u0.nx, self.u0.ny, self.u0.nz);
+        u.h = self.u0.h;
+        u.data = decomp.gather(&flat);
+        Ok(DistributedSorRun {
+            u,
+            residual,
+            sweeps,
+            converged,
+            comm_ns: system.comm_ns - comm_before,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::manufactured_problem;
+    use crate::host::jacobi_sweep_host;
+    use crate::workloads::SorWorkload;
+    use nsc_arch::HypercubeConfig;
+
+    fn system(dim: u32, session: &Session) -> NscSystem {
+        NscSystem::new(HypercubeConfig::new(dim), session.kb())
+    }
+
+    #[test]
+    fn distributed_sweeps_match_the_serial_host_mirror_bit_for_bit() {
+        let n = 8;
+        let (u0, f, _) = manufactured_problem(n);
+        let session = Session::nsc_1988();
+        let mut sys = system(2, &session); // 4 nodes, strips of 2 planes
+        let w = DistributedJacobiWorkload { u0: u0.clone(), f: f.clone(), tol: 0.0, max_pairs: 3 };
+        let run = w.execute(&session, &mut sys).expect("runs");
+        assert_eq!(run.sweeps, 6);
+        assert!(!run.converged);
+
+        let mut host = JacobiHostState::new(&u0, &f);
+        let mut host_res = 0.0;
+        for _ in 0..6 {
+            host_res = jacobi_sweep_host(&mut host);
+        }
+        let host_u = host.current();
+        for (a, b) in run.u.data.iter().zip(&host_u.data) {
+            assert_eq!(a.to_bits(), b.to_bits(), "distributed and serial sweeps must agree");
+        }
+        assert_eq!(run.residual.to_bits(), host_res.to_bits(), "global max matches");
+        // Communication happened and was charged per node.
+        assert!(run.per_node.iter().all(|c| c.comm_ns > 0));
+        assert!(run.aggregate_mflops > 0.0);
+    }
+
+    #[test]
+    fn distributed_jacobi_converges_like_the_serial_solver() {
+        let n = 9;
+        let (u0, f, exact) = manufactured_problem(n);
+        let session = Session::nsc_1988();
+        let mut sys = system(1, &session);
+        let w = DistributedJacobiWorkload { u0, f, tol: 1e-9, max_pairs: 2000 };
+        let run = w.execute(&session, &mut sys).expect("runs");
+        assert!(run.converged, "residual {}", run.residual);
+        assert!(run.u.linf_diff(&exact) < 0.1, "err {}", run.u.linf_diff(&exact));
+        assert!(w.name().contains("distributed-jacobi"));
+    }
+
+    #[test]
+    fn distributed_jacobi_rejects_mismatched_machines_and_thin_grids() {
+        let (u0, f, _) = manufactured_problem(6);
+        let session = Session::nsc_1988();
+        let mut revised = nsc_arch::MachineConfig::nsc_1988();
+        revised.name = "revised".into();
+        let mut alien =
+            NscSystem::new(HypercubeConfig::new(1), nsc_core::Session::new(revised).kb());
+        let w = DistributedJacobiWorkload { u0, f, tol: 0.0, max_pairs: 1 };
+        assert!(matches!(w.execute(&session, &mut alien), Err(NscError::Workload(_))));
+
+        // 6 planes across 8 nodes cannot give every node 3 local planes.
+        let mut small = system(3, &session);
+        assert!(matches!(w.execute(&session, &mut small), Err(NscError::Workload(_))));
+    }
+
+    #[test]
+    fn distributed_sor_finds_the_serial_fixed_point() {
+        let n = 10;
+        let (u0, f, exact) = manufactured_problem(n);
+        let session = Session::nsc_1988();
+        let mut sys = system(2, &session);
+        let w = DistributedSorWorkload {
+            u0: u0.clone(),
+            f: f.clone(),
+            omega: 1.5,
+            tol: 1e-10,
+            max_sweeps: 20_000,
+        };
+        let run = w.execute(&session, &mut sys).expect("runs");
+        assert!(run.converged, "residual {}", run.residual);
+        assert!(run.u.linf_diff(&exact) < 0.1);
+        assert!(run.comm_ns > 0, "halos and reductions cost router time");
+
+        // Same fixed point as the serial SOR baseline.
+        let serial = SorWorkload { u0, f, omega: 1.5, tol: 1e-10, max_sweeps: 20_000 };
+        let mut node = session.node();
+        let sref = serial.execute(&session, &mut node).expect("serial runs");
+        assert!(sref.converged);
+        assert!(
+            run.u.linf_diff(&sref.u) < 1e-6,
+            "block and serial SOR disagree by {}",
+            run.u.linf_diff(&sref.u)
+        );
+    }
+
+    #[test]
+    fn distributed_sor_rejects_divergent_omega() {
+        let (u0, f, _) = manufactured_problem(8);
+        let session = Session::nsc_1988();
+        let mut sys = system(1, &session);
+        let w = DistributedSorWorkload { u0, f, omega: 2.5, tol: 1e-8, max_sweeps: 5 };
+        assert!(matches!(w.execute(&session, &mut sys), Err(NscError::Workload(_))));
+    }
+}

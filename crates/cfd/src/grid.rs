@@ -109,6 +109,85 @@ impl Grid3 {
     }
 }
 
+/// A 2-D scalar field on a uniform grid, unpadded — the plane problems
+/// (lid-driven cavity vorticity/stream-function fields) live here.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grid2 {
+    /// Points along x.
+    pub nx: usize,
+    /// Points along y.
+    pub ny: usize,
+    /// Mesh spacing (uniform in both directions).
+    pub h: f64,
+    /// Values in x-fastest order; length `nx*ny`.
+    pub data: Vec<f64>,
+}
+
+impl Grid2 {
+    /// A zero-initialized grid with spacing `h = 1/(nx-1)`.
+    pub fn new(nx: usize, ny: usize) -> Self {
+        assert!(nx >= 3 && ny >= 3, "grids need interior points");
+        Grid2 { nx, ny, h: 1.0 / (nx as f64 - 1.0), data: vec![0.0; nx * ny] }
+    }
+
+    /// Total points.
+    pub fn len(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// Whether the grid is empty (it never is; for clippy symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat index of `(i, j)`.
+    #[inline]
+    pub fn idx(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < self.nx && j < self.ny);
+        i + self.nx * j
+    }
+
+    /// Value at `(i, j)`.
+    #[inline]
+    pub fn at(&self, i: usize, j: usize) -> f64 {
+        self.data[self.idx(i, j)]
+    }
+
+    /// Mutable value at `(i, j)`.
+    #[inline]
+    pub fn at_mut(&mut self, i: usize, j: usize) -> &mut f64 {
+        let idx = self.idx(i, j);
+        &mut self.data[idx]
+    }
+
+    /// Whether `(i, j)` lies on the domain boundary.
+    pub fn is_boundary(&self, i: usize, j: usize) -> bool {
+        i == 0 || j == 0 || i == self.nx - 1 || j == self.ny - 1
+    }
+
+    /// The interior mask: 1 inside, 0 on the boundary.
+    pub fn interior_mask(&self) -> Grid2 {
+        let mut m = Grid2::new(self.nx, self.ny);
+        m.h = self.h;
+        for j in 0..self.ny {
+            for i in 0..self.nx {
+                *m.at_mut(i, j) = if self.is_boundary(i, j) { 0.0 } else { 1.0 };
+            }
+        }
+        m
+    }
+
+    /// Max-norm of the difference against another grid.
+    pub fn linf_diff(&self, other: &Grid2) -> f64 {
+        self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max)
+    }
+
+    /// Max-norm of the field itself.
+    pub fn linf(&self) -> f64 {
+        self.data.iter().map(|v| v.abs()).fold(0.0f64, f64::max)
+    }
+}
+
 /// A field in an NSC padded layout: zero pad words before and after the
 /// grid data.
 ///
@@ -150,6 +229,33 @@ impl PaddedField {
     pub fn aligned(g: &Grid3) -> Self {
         let h = g.nx * g.ny;
         Self::build(g, 2 * h, 0)
+    }
+
+    fn build2(g: &Grid2, front: usize, back: usize) -> Self {
+        let mut words = vec![0.0; front];
+        words.extend_from_slice(&g.data);
+        words.extend(std::iter::repeat_n(0.0, back));
+        PaddedField { front, back, words }
+    }
+
+    /// The 2-D shift/delay layout: one row of halo on each end (rows play
+    /// the role xy-planes play in 3-D).
+    pub fn stencil2d(g: &Grid2) -> Self {
+        Self::build2(g, g.nx, g.nx)
+    }
+
+    /// The 2-D direct-stream layout: two rows of pad in front.
+    pub fn aligned2d(g: &Grid2) -> Self {
+        Self::build2(g, 2 * g.nx, 0)
+    }
+
+    /// Extract the interior back into a 2-D grid shape.
+    pub fn to_grid2(&self, nx: usize, ny: usize) -> Grid2 {
+        assert_eq!(nx * ny, self.interior_len());
+        let mut g = Grid2::new(nx, ny);
+        let n = g.len();
+        g.data.copy_from_slice(&self.words[self.front..self.front + n]);
+        g
     }
 
     /// Total padded length (the NSC stream length for this field).
@@ -240,6 +346,29 @@ mod tests {
         assert_eq!(p.padded_len(), PaddedField::stencil(&g).padded_len(), "same stream length");
         assert!(p.words[..32].iter().all(|&v| v == 0.0));
         assert_eq!(p.to_grid(4, 4, 4), g);
+    }
+
+    #[test]
+    fn grid2_indexing_and_padding_round_trip() {
+        let mut g = Grid2::new(4, 5);
+        for j in 0..5 {
+            for i in 0..4 {
+                *g.at_mut(i, j) = (i + 10 * j) as f64;
+            }
+        }
+        assert_eq!(g.idx(1, 0), 1);
+        assert_eq!(g.idx(0, 1), 4);
+        assert!(g.is_boundary(0, 2) && g.is_boundary(2, 4) && !g.is_boundary(2, 2));
+        assert_eq!(g.interior_mask().data.iter().filter(|&&v| v == 1.0).count(), 2 * 3);
+
+        let p = PaddedField::stencil2d(&g);
+        assert_eq!((p.front, p.back), (4, 4));
+        assert_eq!(p.padded_len(), 20 + 8);
+        assert_eq!(p.to_grid2(4, 5), g);
+        let a = PaddedField::aligned2d(&g);
+        assert_eq!((a.front, a.back), (8, 0));
+        assert_eq!(a.padded_len(), p.padded_len(), "same stream length");
+        assert_eq!(a.to_grid2(4, 5), g);
     }
 
     #[test]

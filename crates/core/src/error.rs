@@ -14,10 +14,11 @@
 //! dependency graph, so the orphan rule places the impls with `NscError`
 //! itself.
 
+use nsc_arch::NodeId;
 use nsc_checker::Diagnostic;
 use nsc_codegen::GenError;
 use nsc_diagram::DiagramError;
-use nsc_sim::ExecError;
+use nsc_sim::{ExecError, NodeExecError};
 use std::error::Error;
 use std::fmt;
 
@@ -100,6 +101,14 @@ pub enum NscError {
         /// What went wrong with it.
         source: Box<NscError>,
     },
+    /// A failure attributed to one node of a distributed run; the
+    /// underlying error is the `source()`.
+    NodeFailed {
+        /// The hypercube node that failed.
+        node: NodeId,
+        /// What went wrong on it.
+        source: Box<NscError>,
+    },
     /// A batch was submitted with documents but no nodes to run them on.
     EmptyPool,
     /// A batch worker thread panicked. Unreachable with the std-backed
@@ -115,6 +124,11 @@ impl NscError {
     /// Wrap an error as a per-document batch failure.
     pub fn in_batch(doc: usize, source: NscError) -> Self {
         NscError::Batch { doc, source: Box::new(source) }
+    }
+
+    /// Wrap an error as a per-node distributed-run failure.
+    pub fn on_node(node: NodeId, source: NscError) -> Self {
+        NscError::NodeFailed { node, source: Box::new(source) }
     }
 
     /// Auto-bind diagnostics as an error.
@@ -140,6 +154,7 @@ impl fmt::Display for NscError {
                 write!(f, "instruction budget exhausted: {executed} executed (limit {limit})")
             }
             NscError::Batch { doc, source } => write!(f, "batch document {doc}: {source}"),
+            NscError::NodeFailed { node, source } => write!(f, "node {node}: {source}"),
             NscError::EmptyPool => write!(f, "batch submitted with no nodes to run on"),
             NscError::WorkerPanic => write!(f, "a batch worker thread panicked"),
             NscError::Workload(msg) => write!(f, "workload rejected: {msg}"),
@@ -154,7 +169,9 @@ impl Error for NscError {
             NscError::BindFailed(d) | NscError::CheckFailed(d) => Some(d),
             NscError::Gen(e) => Some(e),
             NscError::Exec(e) => Some(e),
-            NscError::Batch { source, .. } => Some(source.as_ref()),
+            NscError::Batch { source, .. } | NscError::NodeFailed { source, .. } => {
+                Some(source.as_ref())
+            }
             NscError::MaxInstructions { .. }
             | NscError::EmptyPool
             | NscError::WorkerPanic
@@ -178,6 +195,12 @@ impl From<GenError> for NscError {
 impl From<ExecError> for NscError {
     fn from(e: ExecError) -> Self {
         NscError::Exec(e)
+    }
+}
+
+impl From<NodeExecError> for NscError {
+    fn from(e: NodeExecError) -> Self {
+        NscError::on_node(e.node, NscError::Exec(e.error))
     }
 }
 
@@ -215,6 +238,16 @@ mod tests {
         let level1 = e.source().unwrap().downcast_ref::<NscError>().unwrap();
         assert!(matches!(level1, NscError::Gen(GenError::EmptyProgram)));
         assert!(level1.source().unwrap().downcast_ref::<GenError>().is_some());
+    }
+
+    #[test]
+    fn node_failures_chain_to_the_executor_error() {
+        let e: NscError =
+            NodeExecError { node: NodeId(5), error: ExecError::BadProgram("x".into()) }.into();
+        assert!(e.to_string().contains("node N5"), "{e}");
+        let level1 = e.source().unwrap().downcast_ref::<NscError>().unwrap();
+        assert!(matches!(level1, NscError::Exec(_)));
+        assert!(level1.source().unwrap().downcast_ref::<ExecError>().is_some());
     }
 
     #[test]

@@ -79,4 +79,6 @@ pub mod session;
 pub use self::debugger::{DebugFrame, DebugReport};
 pub use self::environment::VisualEnvironment;
 pub use self::error::{DiagnosticSet, NscError};
-pub use self::session::{BatchReport, CompiledProgram, RunReport, Session, Workload};
+pub use self::session::{
+    run_compiled_batch, BatchReport, CompiledProgram, RunReport, Session, Workload,
+};

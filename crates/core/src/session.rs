@@ -148,67 +148,87 @@ impl Session {
             .enumerate()
             .map(|(i, d)| self.compile(d).map_err(|e| NscError::in_batch(i, e)))
             .collect::<Result<Vec<_>, _>>()?;
-
-        // Deal (index, program, result slot) triples round-robin into one
-        // work queue per node.
-        let lanes = nodes.len();
-        let mut slots: Vec<Option<Result<RunReport, NscError>>> =
-            compiled.iter().map(|_| None).collect();
-        let mut queues: Vec<Vec<(usize, &CompiledProgram, &mut Option<_>)>> =
-            (0..lanes).map(|_| Vec::new()).collect();
-        for (i, (prog, slot)) in compiled.iter().zip(slots.iter_mut()).enumerate() {
-            queues[i % lanes].push((i, prog, slot));
-        }
-        let cancelled = AtomicBool::new(false);
-        let scope_ok = crossbeam::thread::scope(|scope| {
-            for (node, queue) in nodes.iter_mut().zip(queues) {
-                let cancelled = &cancelled;
-                scope.spawn(move |_| {
-                    for (i, prog, slot) in queue {
-                        if cancelled.load(Ordering::Relaxed) {
-                            break;
-                        }
-                        let run = prog.run(node, opts).map_err(|e| NscError::in_batch(i, e));
-                        if run.is_err() {
-                            cancelled.store(true, Ordering::Relaxed);
-                        }
-                        *slot = Some(run);
-                    }
-                });
-            }
-        })
-        .is_ok();
-        if !scope_ok {
-            return Err(NscError::WorkerPanic);
-        }
-
-        // Surface the lowest-indexed failure; a `None` slot means the
-        // cancellation skipped that document, which is only reachable
-        // when some earlier slot holds the causing error.
-        if cancelled.load(Ordering::Relaxed) {
-            for slot in &slots {
-                if let Some(Err(e)) = slot {
-                    return Err(e.clone());
-                }
-            }
-            return Err(NscError::WorkerPanic);
-        }
-
-        let mut report = BatchReport::default();
-        let mut lane_totals = vec![PerfCounters::default(); lanes];
-        for (i, slot) in slots.into_iter().enumerate() {
-            let run = slot.unwrap_or(Err(NscError::WorkerPanic))?;
-            lane_totals[i % lanes].accumulate(&run.counters);
-            report.runs.push(run);
-        }
-        // A node's queue runs sequentially (counters accumulate); the
-        // nodes themselves overlap in time (counters absorb).
-        for lane in &lane_totals {
-            report.total.absorb(lane);
-        }
-        report.nodes_used = lanes.min(report.runs.len());
-        Ok(report)
+        let programs: Vec<&CompiledProgram> = compiled.iter().collect();
+        run_compiled_batch(&programs, nodes, opts)
     }
+}
+
+/// Execute already-compiled programs across a pool of nodes: program `i`
+/// runs on node `i % nodes.len()`, each node draining its queue in
+/// submission order on its own scoped thread. This is the runtime half of
+/// [`Session::run_batch`], exposed separately so drivers that compile once
+/// and run many times (distributed solvers sweeping with halo exchanges)
+/// skip recompilation. Failure semantics match [`Session::run_batch`].
+pub fn run_compiled_batch(
+    programs: &[&CompiledProgram],
+    nodes: &mut [NodeSim],
+    opts: &RunOptions,
+) -> Result<BatchReport, NscError> {
+    if programs.is_empty() {
+        return Ok(BatchReport::default());
+    }
+    if nodes.is_empty() {
+        return Err(NscError::EmptyPool);
+    }
+    // Deal (index, program, result slot) triples round-robin into one
+    // work queue per node.
+    let lanes = nodes.len();
+    let mut slots: Vec<Option<Result<RunReport, NscError>>> =
+        programs.iter().map(|_| None).collect();
+    let mut queues: Vec<Vec<(usize, &CompiledProgram, &mut Option<_>)>> =
+        (0..lanes).map(|_| Vec::new()).collect();
+    for (i, (prog, slot)) in programs.iter().zip(slots.iter_mut()).enumerate() {
+        queues[i % lanes].push((i, *prog, slot));
+    }
+    let cancelled = AtomicBool::new(false);
+    let scope_ok = crossbeam::thread::scope(|scope| {
+        for (node, queue) in nodes.iter_mut().zip(queues) {
+            let cancelled = &cancelled;
+            scope.spawn(move |_| {
+                for (i, prog, slot) in queue {
+                    if cancelled.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let run = prog.run(node, opts).map_err(|e| NscError::in_batch(i, e));
+                    if run.is_err() {
+                        cancelled.store(true, Ordering::Relaxed);
+                    }
+                    *slot = Some(run);
+                }
+            });
+        }
+    })
+    .is_ok();
+    if !scope_ok {
+        return Err(NscError::WorkerPanic);
+    }
+
+    // Surface the lowest-indexed failure; a `None` slot means the
+    // cancellation skipped that document, which is only reachable
+    // when some earlier slot holds the causing error.
+    if cancelled.load(Ordering::Relaxed) {
+        for slot in &slots {
+            if let Some(Err(e)) = slot {
+                return Err(e.clone());
+            }
+        }
+        return Err(NscError::WorkerPanic);
+    }
+
+    let mut report = BatchReport::default();
+    let mut lane_totals = vec![PerfCounters::default(); lanes];
+    for (i, slot) in slots.into_iter().enumerate() {
+        let run = slot.unwrap_or(Err(NscError::WorkerPanic))?;
+        lane_totals[i % lanes].accumulate(&run.counters);
+        report.runs.push(run);
+    }
+    // A node's queue runs sequentially (counters accumulate); the
+    // nodes themselves overlap in time (counters absorb).
+    for lane in &lane_totals {
+        report.total.absorb(lane);
+    }
+    report.nodes_used = lanes.min(report.runs.len());
+    Ok(report)
 }
 
 /// A document that made it through bind, check and generate.
@@ -284,15 +304,20 @@ impl BatchReport {
 /// Solver front ends (`nsc-cfd`'s Jacobi, SOR and multigrid drivers)
 /// implement this so that benchmarks, examples and batch harnesses can
 /// treat "a workload" uniformly: build documents, compile them through the
-/// session, execute on the node, and report — returning `Err` instead of
+/// session, execute on the target, and report — returning `Err` instead of
 /// panicking at every stage.
-pub trait Workload {
+///
+/// `Target` is what the workload executes *on*: a single [`NodeSim`] (the
+/// default — the paper's one-node solvers) or a whole
+/// [`nsc_sim::NscSystem`] for domain-decomposed solvers that spread one
+/// problem across the hypercube with halo exchanges.
+pub trait Workload<Target = NodeSim> {
     /// What a completed run reports.
     type Report;
 
     /// Human-readable name for logs and batch summaries.
     fn name(&self) -> String;
 
-    /// Execute the workload through `session` on `node`.
-    fn execute(&self, session: &Session, node: &mut NodeSim) -> Result<Self::Report, NscError>;
+    /// Execute the workload through `session` on `target`.
+    fn execute(&self, session: &Session, target: &mut Target) -> Result<Self::Report, NscError>;
 }

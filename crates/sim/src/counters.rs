@@ -24,6 +24,10 @@ pub struct PerfCounters {
     pub completion_interrupts: u64,
     /// Arithmetic exceptions trapped (non-finite results).
     pub exceptions: u64,
+    /// Simulated nanoseconds this node spent in hyperspace-router
+    /// communication (halo exchanges, reductions). Charged by
+    /// `NscSystem::exchange`; independent of the clock-cycle count.
+    pub comm_ns: u64,
 }
 
 impl PerfCounters {
@@ -38,6 +42,12 @@ impl PerfCounters {
             return 0.0;
         }
         self.flops as f64 / self.seconds(clock_hz) / 1.0e6
+    }
+
+    /// Simulated wall time including router communication: compute cycles
+    /// at the clock rate plus this node's accumulated message time.
+    pub fn seconds_with_comm(&self, clock_hz: u64) -> f64 {
+        self.seconds(clock_hz) + self.comm_ns as f64 * 1e-9
     }
 
     /// Fraction of the machine's peak achieved.
@@ -58,6 +68,7 @@ impl PerfCounters {
                 .completion_interrupts
                 .saturating_sub(earlier.completion_interrupts),
             exceptions: self.exceptions.saturating_sub(earlier.exceptions),
+            comm_ns: self.comm_ns.saturating_sub(earlier.comm_ns),
         }
     }
 
@@ -71,6 +82,7 @@ impl PerfCounters {
         self.elements_stored += other.elements_stored;
         self.completion_interrupts += other.completion_interrupts;
         self.exceptions += other.exceptions;
+        self.comm_ns += other.comm_ns;
     }
 
     /// Merge another node's counters (for system totals).
@@ -82,6 +94,7 @@ impl PerfCounters {
         self.elements_stored += other.elements_stored;
         self.completion_interrupts += other.completion_interrupts;
         self.exceptions += other.exceptions;
+        self.comm_ns = self.comm_ns.max(other.comm_ns); // messages overlap too
     }
 }
 
@@ -130,5 +143,18 @@ mod tests {
         assert_eq!(a.cycles, 120, "parallel nodes: elapsed time is the max");
         assert_eq!(a.flops, 120, "work adds");
         assert_eq!(a.instructions, 3);
+    }
+
+    #[test]
+    fn comm_time_overlaps_across_nodes_and_adds_sequentially() {
+        let mut a = PerfCounters { cycles: 100, comm_ns: 500, ..Default::default() };
+        a.accumulate(&PerfCounters { comm_ns: 300, ..Default::default() });
+        assert_eq!(a.comm_ns, 800, "sequential messages add");
+        a.absorb(&PerfCounters { comm_ns: 2_000, ..Default::default() });
+        assert_eq!(a.comm_ns, 2_000, "concurrent nodes overlap their messages");
+        // 100 cycles at 20 MHz = 5 us compute, plus 2 us of messages.
+        assert!((a.seconds_with_comm(20_000_000) - 7e-6).abs() < 1e-12);
+        let delta = a.since(&PerfCounters { comm_ns: 1_500, ..Default::default() });
+        assert_eq!(delta.comm_ns, 500);
     }
 }

@@ -33,4 +33,4 @@ pub use self::counters::PerfCounters;
 pub use self::exec::{ExecError, SourceTrace};
 pub use self::memory::{DataCache, MemoryPlane, NodeMemory};
 pub use self::node::{HaltReason, NodeSim, RunOptions, RunStats};
-pub use self::system::NscSystem;
+pub use self::system::{NodeExecError, NscSystem};

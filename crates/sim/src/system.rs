@@ -11,6 +11,29 @@ use crate::exec::ExecError;
 use crate::node::{NodeSim, RunOptions, RunStats};
 use nsc_arch::{HypercubeConfig, KnowledgeBase, NodeId, PlaneId};
 use nsc_microcode::MicroProgram;
+use std::fmt;
+
+/// An execution failure attributed to the node it happened on — what a
+/// distributed run needs to report *which* member of the cube failed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeExecError {
+    /// The failing node.
+    pub node: NodeId,
+    /// What its executor reported.
+    pub error: ExecError,
+}
+
+impl fmt::Display for NodeExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node {} failed: {}", self.node, self.error)
+    }
+}
+
+impl std::error::Error for NodeExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
 
 /// A hypercube of simulated nodes.
 #[derive(Debug)]
@@ -18,7 +41,10 @@ pub struct NscSystem {
     /// Cube topology and router model.
     pub cube: HypercubeConfig,
     nodes: Vec<NodeSim>,
-    /// Simulated communication time accumulated so far, in nanoseconds.
+    /// Simulated communication time accumulated so far across the whole
+    /// system, in nanoseconds, counting every message once (the serialized
+    /// view; per-node overlap-aware accounting lives in each node's
+    /// [`crate::PerfCounters::comm_ns`]).
     pub comm_ns: u64,
 }
 
@@ -44,25 +70,69 @@ impl NscSystem {
         &mut self.nodes[id.index()]
     }
 
+    /// All nodes, in node order.
+    pub fn nodes(&self) -> &[NodeSim] {
+        &self.nodes
+    }
+
+    /// All nodes, mutably — the handle batch drivers use to run distinct
+    /// programs across the cube on scoped threads.
+    pub fn nodes_mut(&mut self) -> &mut [NodeSim] {
+        &mut self.nodes
+    }
+
     /// Run one program on every node concurrently (each node gets the same
     /// program; per-node data lives in its own planes). Returns per-node
-    /// stats in node order.
+    /// stats in node order; on failure, reports the lowest-numbered node
+    /// that failed and what its executor said.
     pub fn run_on_all(
         &mut self,
         prog: &MicroProgram,
         opts: &RunOptions,
-    ) -> Result<Vec<RunStats>, ExecError> {
+    ) -> Result<Vec<RunStats>, NodeExecError> {
+        let progs: Vec<&MicroProgram> = (0..self.nodes.len()).map(|_| prog).collect();
+        self.run_each(&progs, opts)
+    }
+
+    /// Run a *different* program on every node concurrently — program `i`
+    /// on node `i` (the shape a domain-decomposed solver needs, where each
+    /// node's program streams its own subdomain). `progs` must supply one
+    /// program per node. Returns per-node stats in node order; on failure,
+    /// reports the lowest-numbered failing node.
+    pub fn run_each(
+        &mut self,
+        progs: &[&MicroProgram],
+        opts: &RunOptions,
+    ) -> Result<Vec<RunStats>, NodeExecError> {
+        assert_eq!(
+            progs.len(),
+            self.nodes.len(),
+            "run_each wants one program per node ({} supplied, {} nodes)",
+            progs.len(),
+            self.nodes.len()
+        );
         let mut results: Vec<Option<Result<RunStats, ExecError>>> =
             (0..self.nodes.len()).map(|_| None).collect();
-        crossbeam::thread::scope(|scope| {
-            for (node, slot) in self.nodes.iter_mut().zip(results.iter_mut()) {
+        // The vendored scope is std-backed: a child panic propagates as a
+        // panic from scope() itself, so the Ok() here is total — no node
+        // result is ever silently dropped.
+        let _ = crossbeam::thread::scope(|scope| {
+            for ((node, prog), slot) in
+                self.nodes.iter_mut().zip(progs.iter()).zip(results.iter_mut())
+            {
                 scope.spawn(move |_| {
                     *slot = Some(node.run_program(prog, opts));
                 });
             }
-        })
-        .expect("node thread panicked");
-        results.into_iter().map(|r| r.expect("slot filled")).collect()
+        });
+        results
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| {
+                r.expect("every spawned node fills its slot")
+                    .map_err(|error| NodeExecError { node: NodeId(i as u16), error })
+            })
+            .collect()
     }
 
     /// Transfer `len` words from a plane of one node to a plane of another,
@@ -82,6 +152,44 @@ impl NscSystem {
         self.nodes[to.index()].mem.plane_mut(to_plane).write_slice(to_base, &data);
         let ns = self.cube.message_ns(from, to, len);
         self.comm_ns += ns;
+        // Both endpoints spend the message time (the sender streams it out,
+        // the receiver waits for it); messages between *different* node
+        // pairs overlap, which is what per-node accounting captures.
+        self.nodes[from.index()].counters.comm_ns += ns;
+        if to != from {
+            self.nodes[to.index()].counters.comm_ns += ns;
+        }
+        ns
+    }
+
+    /// Swap equal-length blocks between two nodes — a *sendrecv*. The two
+    /// messages traverse the same e-cube route in opposite directions on
+    /// full-duplex links, so they overlap: each endpoint is charged one
+    /// message time (the system-serialized `comm_ns` still counts both).
+    /// Returns the per-endpoint time in ns.
+    #[allow(clippy::too_many_arguments)] // one argument per route endpoint coordinate
+    pub fn exchange_bidirectional(
+        &mut self,
+        a: NodeId,
+        a_plane: PlaneId,
+        a_send: u64,
+        a_recv: u64,
+        b: NodeId,
+        b_plane: PlaneId,
+        b_send: u64,
+        b_recv: u64,
+        len: u64,
+    ) -> u64 {
+        let ab = self.nodes[a.index()].mem.plane(a_plane).read_vec(a_send, len);
+        let ba = self.nodes[b.index()].mem.plane(b_plane).read_vec(b_send, len);
+        self.nodes[b.index()].mem.plane_mut(b_plane).write_slice(b_recv, &ab);
+        self.nodes[a.index()].mem.plane_mut(a_plane).write_slice(a_recv, &ba);
+        let ns = self.cube.message_ns(a, b, len);
+        self.comm_ns += 2 * ns;
+        self.nodes[a.index()].counters.comm_ns += ns;
+        if b != a {
+            self.nodes[b.index()].counters.comm_ns += ns;
+        }
         ns
     }
 
@@ -95,19 +203,23 @@ impl NscSystem {
             .map(|n| n.mem.cache(cache).read(0, offset))
             .fold(f64::NEG_INFINITY, f64::max);
         // Butterfly: every round crosses one cube dimension (distance-1
-        // links), one word per message.
+        // links), one word per message; every node participates in every
+        // round, so each node is charged the full butterfly.
         let per_round = self.cube.router.message_ns(1, 1);
         let ns = per_round * self.cube.dimension as u64;
         self.comm_ns += ns;
+        for n in &mut self.nodes {
+            n.counters.comm_ns += ns;
+        }
         (value, ns)
     }
 
-    /// Total simulated time: slowest node's compute plus communication.
+    /// Total simulated time: the slowest node's compute-plus-communication.
+    /// Per-node accounting lets concurrent messages between disjoint node
+    /// pairs overlap instead of serializing system-wide.
     pub fn simulated_seconds(&self) -> f64 {
         let clock = self.nodes[0].kb.config().clock_hz;
-        let compute =
-            self.nodes.iter().map(|n| n.counters.cycles).max().unwrap_or(0) as f64 / clock as f64;
-        compute + self.comm_ns as f64 * 1e-9
+        self.nodes.iter().map(|n| n.counters.seconds_with_comm(clock)).fold(0.0, f64::max)
     }
 
     /// Aggregate counters (cycles = max across nodes, work summed).
@@ -190,6 +302,79 @@ mod tests {
         let expect = sys.cube.router.message_ns(3, 3);
         assert_eq!(ns, expect);
         assert_eq!(sys.comm_ns, expect);
+        assert_eq!(sys.node(NodeId(0)).counters.comm_ns, expect, "sender charged");
+        assert_eq!(sys.node(NodeId(7)).counters.comm_ns, expect, "receiver charged");
+        assert_eq!(sys.node(NodeId(3)).counters.comm_ns, 0, "bystanders are not");
+    }
+
+    /// An instruction whose plane write is never fed: the executor hangs.
+    fn hanging_program(kb: &KnowledgeBase, count: u32) -> MicroProgram {
+        let mut b = ProgramBuilder::new(kb, "hang");
+        let mut ins = MicroInstruction::empty(kb);
+        *ins.plane_wr_mut(PlaneId(1)) = PlaneDmaField::contiguous(0, count);
+        b.push(ins);
+        b.finish()
+    }
+
+    #[test]
+    fn run_each_runs_a_distinct_program_per_node() {
+        let mut sys = small_system(1);
+        let kb = sys.node(NodeId(0)).kb.clone();
+        for i in 0..2u16 {
+            sys.node_mut(NodeId(i)).mem.planes[0].write_slice(0, &[3.0; 8]);
+        }
+        let long = double_program(&kb, 8);
+        let short = double_program(&kb, 2);
+        let stats = sys.run_each(&[&long, &short], &RunOptions::default()).expect("both run");
+        assert_eq!(stats.len(), 2);
+        assert_eq!(sys.node(NodeId(0)).mem.planes[1].read(7), 6.0, "node 0 ran the long stream");
+        assert_eq!(sys.node(NodeId(1)).mem.planes[1].read(7), 0.0, "node 1 ran the short one");
+        assert_eq!(sys.node(NodeId(1)).mem.planes[1].read(1), 6.0);
+    }
+
+    #[test]
+    fn node_failures_name_the_failing_node() {
+        let mut sys = small_system(2);
+        let kb = sys.node(NodeId(0)).kb.clone();
+        let good = double_program(&kb, 4);
+        let bad = hanging_program(&kb, 4);
+        let err = sys
+            .run_each(&[&good, &good, &bad, &good], &RunOptions::default())
+            .expect_err("node 2 hangs");
+        assert_eq!(err.node, NodeId(2));
+        assert!(matches!(err.error, ExecError::Hang { .. }), "{err}");
+        assert!(err.to_string().contains("N2"), "{err}");
+
+        // The same program everywhere: the lowest-numbered node reports.
+        let err = sys.run_on_all(&bad, &RunOptions::default()).expect_err("all hang");
+        assert_eq!(err.node, NodeId(0));
+        use std::error::Error;
+        assert!(err.source().unwrap().downcast_ref::<ExecError>().is_some());
+    }
+
+    #[test]
+    fn bidirectional_exchange_swaps_blocks_for_one_message_time() {
+        let mut sys = small_system(2);
+        sys.node_mut(NodeId(1)).mem.planes[0].write_slice(0, &[1.0, 2.0]);
+        sys.node_mut(NodeId(3)).mem.planes[0].write_slice(10, &[7.0, 8.0]);
+        let ns = sys.exchange_bidirectional(
+            NodeId(1),
+            PlaneId(0),
+            0,  // send base
+            20, // recv base
+            NodeId(3),
+            PlaneId(0),
+            10,
+            30,
+            2,
+        );
+        assert_eq!(sys.node(NodeId(3)).mem.planes[0].read_vec(30, 2), vec![1.0, 2.0]);
+        assert_eq!(sys.node(NodeId(1)).mem.planes[0].read_vec(20, 2), vec![7.0, 8.0]);
+        let msg = sys.cube.router.message_ns(1, 2);
+        assert_eq!(ns, msg);
+        assert_eq!(sys.comm_ns, 2 * msg, "both messages count in the serialized view");
+        assert_eq!(sys.node(NodeId(1)).counters.comm_ns, msg, "full-duplex overlap per node");
+        assert_eq!(sys.node(NodeId(3)).counters.comm_ns, msg);
     }
 
     #[test]
