@@ -127,12 +127,42 @@ impl HypercubeConfig {
         Self::gray_inverse(node.0) as usize
     }
 
+    /// Embed a `rows x cols` 2-D torus into the whole cube (see
+    /// [`SubCube::torus2d`] for embedding into an allocated sub-cube).
+    ///
+    /// `rows * cols` must equal the node count and both must be powers of
+    /// two. Torus-adjacent positions — including the wrap-around edges —
+    /// land on hypercube neighbours: the row and column indices are each
+    /// Gray-coded into their own bit field, and a binary-reflected Gray
+    /// ring is cyclically adjacent.
+    pub fn torus2d(&self, rows: usize, cols: usize) -> TorusEmbedding {
+        self.whole_subcube().torus2d(rows, cols)
+    }
+
+    /// The whole cube viewed as one (trivially allocated) sub-cube.
+    pub fn whole_subcube(&self) -> SubCube {
+        SubCube { base: NodeId(0), dimension: self.dimension }
+    }
+
+    /// The most nearly square `rows x cols` factorization of the cube for
+    /// [`HypercubeConfig::torus2d`]: rows get the extra dimension when the
+    /// dimension is odd.
+    pub fn torus2d_near_square(&self) -> TorusEmbedding {
+        let row_bits = self.dimension.div_ceil(2);
+        self.torus2d(1 << row_bits, 1 << (self.dimension - row_bits))
+    }
+
     /// Split `items` contiguous items into `2^dimension` balanced chunks,
     /// one per ring position: `(start, len)` pairs in ring order, lengths
     /// differing by at most one (earlier chunks take the remainder). The
     /// chunk at ring position `i` lives on [`HypercubeConfig::ring_node`]`(i)`,
     /// so adjacent chunks sit on physically adjacent nodes — the 1-D
     /// domain-decomposition layout.
+    ///
+    /// This is a *plain* balanced split with no knowledge of ghost
+    /// layers; stencil solvers should decompose through `nsc-cfd`'s
+    /// `Partition` implementations instead, which additionally donate
+    /// items toward the edges so every local slab stays sweepable.
     pub fn ring_partition(&self, items: usize) -> Vec<(usize, usize)> {
         let parts = self.nodes();
         let base = items / parts;
@@ -145,6 +175,203 @@ impl HypercubeConfig {
             start += len;
         }
         out
+    }
+}
+
+/// An aligned sub-cube of the system: `2^dimension` nodes whose addresses
+/// share the high bits of `base` and range over the low `dimension` bits.
+///
+/// Sub-cubes are the unit of space sharing: several embeddings (rings,
+/// tori) can coexist on one system as long as their sub-cubes are
+/// disjoint, which [`SubCubeAllocator`] guarantees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SubCube {
+    /// Lowest node address of the sub-cube (low `dimension` bits zero).
+    pub base: NodeId,
+    /// Sub-cube dimension; it spans `2^dimension` nodes.
+    pub dimension: u32,
+}
+
+impl SubCube {
+    /// Number of nodes in the sub-cube.
+    pub fn nodes(&self) -> usize {
+        1usize << self.dimension
+    }
+
+    /// The `i`-th node of the sub-cube (local address `i`).
+    pub fn node(&self, i: usize) -> NodeId {
+        debug_assert!(i < self.nodes());
+        NodeId(self.base.0 | i as u16)
+    }
+
+    /// Whether a node belongs to this sub-cube.
+    pub fn contains(&self, node: NodeId) -> bool {
+        node.0 & !(self.nodes() as u16 - 1) == self.base.0
+    }
+
+    /// All member nodes, in local-address order.
+    pub fn members(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes()).map(|i| self.node(i))
+    }
+
+    /// Embed a `rows x cols` 2-D torus into this sub-cube. `rows * cols`
+    /// must equal the sub-cube's node count and both must be powers of
+    /// two; distinct torus-adjacent positions (wrap-around included) are
+    /// always exactly one hop apart.
+    pub fn torus2d(&self, rows: usize, cols: usize) -> TorusEmbedding {
+        assert!(rows.is_power_of_two() && cols.is_power_of_two(), "torus sides are powers of two");
+        assert_eq!(
+            rows * cols,
+            self.nodes(),
+            "a {rows}x{cols} torus does not tile a {}-node sub-cube",
+            self.nodes()
+        );
+        TorusEmbedding { rows, cols, col_bits: cols.trailing_zeros(), subcube: *self }
+    }
+}
+
+/// Buddy allocator for disjoint, aligned sub-cubes of one system.
+///
+/// The hosting substrate for running several distributed workloads on one
+/// machine at once: each workload allocates the sub-cube its embedding
+/// needs, and releases it when done. Allocation splits the smallest free
+/// block that fits (so the space stays unfragmented), release re-merges
+/// freed buddies.
+#[derive(Debug, Clone)]
+pub struct SubCubeAllocator {
+    dimension: u32,
+    /// `free[k]` holds the bases of free sub-cubes of dimension `k`.
+    free: Vec<Vec<u16>>,
+}
+
+impl SubCubeAllocator {
+    /// An allocator over the whole of `cube`, initially all free.
+    pub fn new(cube: &HypercubeConfig) -> Self {
+        let mut free = vec![Vec::new(); cube.dimension as usize + 1];
+        free[cube.dimension as usize].push(0);
+        SubCubeAllocator { dimension: cube.dimension, free }
+    }
+
+    /// Allocate a sub-cube of `2^dim` nodes, or `None` when no aligned
+    /// block of that size is free.
+    pub fn allocate(&mut self, dim: u32) -> Option<SubCube> {
+        if dim > self.dimension {
+            return None;
+        }
+        // Smallest free block that fits, lowest base first (deterministic).
+        let from = (dim..=self.dimension).find(|&k| !self.free[k as usize].is_empty())?;
+        let list = &mut self.free[from as usize];
+        let pos = (0..list.len()).min_by_key(|&i| list[i]).expect("nonempty list");
+        let mut base = list.swap_remove(pos);
+        // Split down, returning the upper buddy of every level to the pool.
+        for k in (dim..from).rev() {
+            self.free[k as usize].push(base | (1 << k));
+        }
+        base &= !((1u16 << dim) - 1);
+        Some(SubCube { base: NodeId(base), dimension: dim })
+    }
+
+    /// Return a sub-cube to the pool, merging it with its free buddy at
+    /// every level it can.
+    pub fn release(&mut self, sc: SubCube) {
+        let mut base = sc.base.0;
+        let mut dim = sc.dimension;
+        while dim < self.dimension {
+            let buddy = base ^ (1 << dim);
+            let Some(pos) = self.free[dim as usize].iter().position(|&b| b == buddy) else {
+                break;
+            };
+            self.free[dim as usize].swap_remove(pos);
+            base &= !(1 << dim);
+            dim += 1;
+        }
+        self.free[dim as usize].push(base);
+    }
+
+    /// Nodes currently unallocated.
+    pub fn free_nodes(&self) -> usize {
+        self.free.iter().enumerate().map(|(k, list)| list.len() << k).sum()
+    }
+}
+
+/// A `rows x cols` 2-D torus Gray-embedded in a sub-cube.
+///
+/// Position `(r, c)` lives on node
+/// `base | gray(r) << col_bits | gray(c)`; because a binary-reflected
+/// Gray ring is cyclically adjacent, torus neighbours — wrap-around edges
+/// included — are hypercube neighbours, so every halo message of a 2-D
+/// block decomposition crosses exactly one link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TorusEmbedding {
+    rows: usize,
+    cols: usize,
+    col_bits: u32,
+    subcube: SubCube,
+}
+
+impl TorusEmbedding {
+    /// Torus rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Torus columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total torus positions (= sub-cube nodes).
+    pub fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Whether the torus is empty (it never is; for clippy symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The sub-cube hosting the embedding.
+    pub fn subcube(&self) -> SubCube {
+        self.subcube
+    }
+
+    /// The node hosting torus position `(r, c)`.
+    pub fn node(&self, r: usize, c: usize) -> NodeId {
+        debug_assert!(r < self.rows && c < self.cols);
+        let local =
+            (HypercubeConfig::gray(r as u16) << self.col_bits) | HypercubeConfig::gray(c as u16);
+        NodeId(self.subcube.base.0 | local)
+    }
+
+    /// The torus position a node hosts, or `None` when the node is outside
+    /// the embedding's sub-cube — the inverse of [`TorusEmbedding::node`].
+    pub fn coords(&self, node: NodeId) -> Option<(usize, usize)> {
+        if !self.subcube.contains(node) {
+            return None;
+        }
+        let local = node.0 & (self.subcube.nodes() as u16 - 1);
+        let r = HypercubeConfig::gray_inverse(local >> self.col_bits) as usize;
+        let c = HypercubeConfig::gray_inverse(local & ((1 << self.col_bits) - 1)) as usize;
+        Some((r, c))
+    }
+
+    /// Torus neighbour of `(r, c)` one step along the row axis
+    /// (`dr = ±1`), wrapping at the edges.
+    pub fn row_neighbour(&self, r: usize, c: usize, dr: isize) -> NodeId {
+        let nr = (r as isize + dr).rem_euclid(self.rows as isize) as usize;
+        self.node(nr, c)
+    }
+
+    /// Torus neighbour of `(r, c)` one step along the column axis
+    /// (`dc = ±1`), wrapping at the edges.
+    pub fn col_neighbour(&self, r: usize, c: usize, dc: isize) -> NodeId {
+        let nc = (c as isize + dc).rem_euclid(self.cols as isize) as usize;
+        self.node(r, nc)
+    }
+
+    /// All member nodes in row-major torus order.
+    pub fn members(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.len()).map(|i| self.node(i / self.cols, i % self.cols))
     }
 }
 
@@ -232,6 +459,93 @@ mod tests {
         for i in 0..sys.nodes() {
             assert_eq!(sys.ring_index(sys.ring_node(i)), i);
         }
+    }
+
+    #[test]
+    fn torus_adjacency_is_one_hop_including_wraps() {
+        let sys = HypercubeConfig::new(6);
+        for (rows, cols) in [(8, 8), (16, 4), (4, 16), (2, 32), (64, 1), (1, 64)] {
+            let t = sys.torus2d(rows, cols);
+            assert_eq!((t.rows(), t.cols()), (rows, cols));
+            for r in 0..rows {
+                for c in 0..cols {
+                    let here = t.node(r, c);
+                    for n in [
+                        t.row_neighbour(r, c, 1),
+                        t.row_neighbour(r, c, -1),
+                        t.col_neighbour(r, c, 1),
+                        t.col_neighbour(r, c, -1),
+                    ] {
+                        if n != here {
+                            assert_eq!(sys.hops(here, n), 1, "{rows}x{cols} at ({r},{c})");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn torus_is_a_bijection_with_coords_inverse() {
+        let sys = HypercubeConfig::new(5);
+        let t = sys.torus2d_near_square();
+        assert_eq!((t.rows(), t.cols()), (8, 4));
+        let seen: std::collections::HashSet<_> = t.members().collect();
+        assert_eq!(seen.len(), 32, "every node hosts exactly one position");
+        for r in 0..t.rows() {
+            for c in 0..t.cols() {
+                assert_eq!(t.coords(t.node(r, c)), Some((r, c)));
+            }
+        }
+    }
+
+    #[test]
+    fn subcube_allocation_is_disjoint_and_torus_capable() {
+        let sys = HypercubeConfig::new(4);
+        let mut alloc = SubCubeAllocator::new(&sys);
+        let a = alloc.allocate(3).expect("8 nodes");
+        let b = alloc.allocate(2).expect("4 nodes");
+        let c = alloc.allocate(2).expect("4 more");
+        assert!(alloc.allocate(1).is_none(), "the cube is full");
+        assert_eq!(alloc.free_nodes(), 0);
+        let all: Vec<NodeId> = a.members().chain(b.members()).chain(c.members()).collect();
+        let set: std::collections::HashSet<_> = all.iter().collect();
+        assert_eq!(set.len(), 16, "allocations are disjoint and cover the cube");
+
+        // Two embeddings coexist on disjoint sub-cubes, each with the
+        // one-hop invariant inside its own sub-cube.
+        let ta = a.torus2d(4, 2);
+        let tb = b.torus2d(2, 2);
+        for t in [&ta, &tb] {
+            for r in 0..t.rows() {
+                for c in 0..t.cols() {
+                    for n in [t.row_neighbour(r, c, 1), t.col_neighbour(r, c, 1)] {
+                        if n != t.node(r, c) {
+                            assert_eq!(sys.hops(t.node(r, c), n), 1);
+                        }
+                    }
+                    assert!(t.subcube().contains(t.node(r, c)));
+                }
+            }
+        }
+        assert!(ta.members().all(|n| tb.coords(n).is_none()), "no cross-talk");
+    }
+
+    #[test]
+    fn subcube_release_remerges_buddies() {
+        let sys = HypercubeConfig::new(3);
+        let mut alloc = SubCubeAllocator::new(&sys);
+        let a = alloc.allocate(1).expect("2 nodes");
+        let b = alloc.allocate(1).expect("2 nodes");
+        let c = alloc.allocate(2).expect("4 nodes");
+        assert_eq!(alloc.free_nodes(), 0);
+        alloc.release(a);
+        alloc.release(b);
+        alloc.release(c);
+        assert_eq!(alloc.free_nodes(), 8);
+        let whole = alloc.allocate(3).expect("buddies re-merged to the full cube");
+        assert_eq!(whole.base, NodeId(0));
+        assert_eq!(whole.nodes(), 8);
     }
 
     #[test]

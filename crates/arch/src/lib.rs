@@ -55,7 +55,9 @@ pub mod timing;
 pub use self::als::{AlsKind, AlsStructure, DoubletMode};
 pub use self::config::{MachineConfig, SubsetModel};
 pub use self::fu::{FuCaps, FuOp, OpClass};
-pub use self::hypercube::{HypercubeConfig, RouterModel};
+pub use self::hypercube::{
+    HypercubeConfig, RouterModel, SubCube, SubCubeAllocator, TorusEmbedding,
+};
 pub use self::ids::{AlsId, CacheId, FuId, NodeId, PlaneId, SduId};
 pub use self::kb::KnowledgeBase;
 pub use self::memory::{CacheSpec, MemorySpec, SduSpec};

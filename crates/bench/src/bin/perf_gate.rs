@@ -6,13 +6,21 @@
 //! any figure drops more than 20%.
 //!
 //! ```text
-//! perf_gate --write BENCH_baseline.json             # emit current figures
+//! perf_gate --write out.json                        # emit current figures
 //! perf_gate --check crates/bench/BENCH_baseline.json [--write out.json]
+//! perf_gate --write-baseline                        # refresh the committed baseline
 //! ```
 
-use nsc_bench::{jacobi_node_mflops, strong_scaling_point, ScalingPoint};
+use nsc_bench::{
+    cavity_point, jacobi_node_mflops, multigrid_point, strong_scaling_point, CavityPoint,
+    ScalingPoint,
+};
 use serde::{Deserialize, Serialize};
 use std::process::ExitCode;
+
+/// Where the committed baseline lives (relative to the repo root, which
+/// is where CI and `cargo run` invoke the gate from).
+const BASELINE_PATH: &str = "crates/bench/BENCH_baseline.json";
 
 /// The committed-and-compared figure set.
 #[derive(Debug, Serialize, Deserialize)]
@@ -21,6 +29,11 @@ struct Baseline {
     jacobi_mflops: f64,
     /// Distributed Jacobi on 64^3, one pair, at 1/2/4/8 nodes.
     strong_scaling: Vec<ScalingPoint>,
+    /// Lid-driven cavity, 17^2, two machine-resident time steps, at 1/4
+    /// nodes (time per step; the gate tracks the step rate).
+    cavity: Vec<CavityPoint>,
+    /// Distributed multigrid on 17^3, two V-cycles, at 1/4/8 nodes.
+    multigrid: Vec<ScalingPoint>,
 }
 
 /// Simulated figures never flake, but they may legitimately improve; only
@@ -31,35 +44,57 @@ fn measure() -> Baseline {
     Baseline {
         jacobi_mflops: jacobi_node_mflops(12),
         strong_scaling: (0..=3u32).map(|dim| strong_scaling_point(dim, 64, 1)).collect(),
+        cavity: [0u32, 2].iter().map(|&dim| cavity_point(dim, 17, 2)).collect(),
+        multigrid: [0u32, 2, 3].iter().map(|&dim| multigrid_point(dim, 17, 2)).collect(),
     }
 }
 
 fn check(current: &Baseline, baseline: &Baseline) -> Result<(), String> {
     let mut failures = Vec::new();
-    let mut gate = |name: String, now: f64, then: f64| {
+    let mut gate = |name: String, now: f64, then: f64, unit: &str| {
         let floor = then * (1.0 - TOLERATED_DROP);
         let verdict = if now >= floor { "ok" } else { "REGRESSED" };
-        eprintln!("  {name:<28} {now:>10.1} MFLOPS (baseline {then:>10.1}, floor {floor:>10.1}) {verdict}");
+        eprintln!(
+            "  {name:<32} {now:>12.1} {unit} (baseline {then:>12.1}, floor {floor:>12.1}) {verdict}"
+        );
         if now < floor {
             failures.push(name);
         }
     };
-    gate("jacobi 12^3 serial".into(), current.jacobi_mflops, baseline.jacobi_mflops);
-    if current.strong_scaling.len() != baseline.strong_scaling.len() {
-        return Err(format!(
-            "baseline shape changed: {} scaling points vs {} in the baseline",
-            current.strong_scaling.len(),
-            baseline.strong_scaling.len()
-        ));
+    gate("jacobi 12^3 serial".into(), current.jacobi_mflops, baseline.jacobi_mflops, "MFLOPS");
+    let same_nodes = |c: &[ScalingPoint], b: &[ScalingPoint]| {
+        c.len() == b.len() && c.iter().zip(b).all(|(x, y)| x.nodes == y.nodes)
+    };
+    if !same_nodes(&current.strong_scaling, &baseline.strong_scaling)
+        || !same_nodes(&current.multigrid, &baseline.multigrid)
+        || current.cavity.len() != baseline.cavity.len()
+        || current.cavity.iter().zip(&baseline.cavity).any(|(c, b)| c.nodes != b.nodes)
+    {
+        return Err("baseline shape changed: refresh it with perf_gate --write-baseline".into());
     }
     for (c, b) in current.strong_scaling.iter().zip(&baseline.strong_scaling) {
-        if c.nodes != b.nodes {
-            return Err(format!("baseline shape changed: {} vs {} nodes", c.nodes, b.nodes));
-        }
         gate(
             format!("distributed 64^3 @ {} nodes", c.nodes),
             c.aggregate_mflops,
             b.aggregate_mflops,
+            "MFLOPS",
+        );
+    }
+    for (c, b) in current.cavity.iter().zip(&baseline.cavity) {
+        // Time per step gates as a rate so "bigger is better" holds.
+        gate(
+            format!("cavity 17^2 @ {} nodes", c.nodes),
+            1.0 / c.seconds_per_step,
+            1.0 / b.seconds_per_step,
+            "steps/s",
+        );
+    }
+    for (c, b) in current.multigrid.iter().zip(&baseline.multigrid) {
+        gate(
+            format!("multigrid 17^3 @ {} nodes", c.nodes),
+            c.aggregate_mflops,
+            b.aggregate_mflops,
+            "MFLOPS",
         );
     }
     // The acceptance bar is absolute, not relative to the baseline.
@@ -79,19 +114,33 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut write_path = None;
     let mut check_path = None;
-    let mut it = args.iter();
+    let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--write" => write_path = it.next().cloned(),
             "--check" => check_path = it.next().cloned(),
+            // Refreshing the committed baseline is one command instead of
+            // hand-edited JSON; an optional path overrides the default.
+            "--write-baseline" => {
+                write_path = match it.peek() {
+                    Some(p) if !p.starts_with("--") => it.next().cloned(),
+                    _ => Some(BASELINE_PATH.to_string()),
+                }
+            }
             other => {
-                eprintln!("unknown argument '{other}' (wanted --write <path> / --check <path>)");
+                eprintln!(
+                    "unknown argument '{other}' (wanted --write <path> / --check <path> / \
+                     --write-baseline [path])"
+                );
                 return ExitCode::FAILURE;
             }
         }
     }
     if write_path.is_none() && check_path.is_none() {
-        eprintln!("usage: perf_gate [--check <baseline.json>] [--write <out.json>]");
+        eprintln!(
+            "usage: perf_gate [--check <baseline.json>] [--write <out.json>] [--write-baseline \
+             [path]]"
+        );
         return ExitCode::FAILURE;
     }
 

@@ -9,7 +9,10 @@
 
 use nsc_cfd::grid::manufactured_problem;
 use nsc_cfd::nsc_run::run_jacobi_on_node;
-use nsc_cfd::{DistributedJacobiWorkload, JacobiVariant};
+use nsc_cfd::{
+    CavityWorkload, DistributedJacobiWorkload, DistributedMultigridWorkload, JacobiVariant,
+    MgOptions,
+};
 use nsc_core::{Session, Workload};
 use nsc_sim::{NodeSim, NscSystem};
 use serde::{Deserialize, Serialize};
@@ -31,7 +34,13 @@ pub fn strong_scaling_point(dim: u32, n: usize, pairs: u32) -> ScalingPoint {
     let session = Session::nsc_1988();
     let mut sys = NscSystem::new(nsc_arch::HypercubeConfig::new(dim), session.kb());
     let (u0, f, _) = manufactured_problem(n);
-    let w = DistributedJacobiWorkload { u0, f, tol: 0.0, max_pairs: pairs };
+    let w = DistributedJacobiWorkload {
+        u0,
+        f,
+        tol: 0.0,
+        max_pairs: pairs,
+        partition: nsc_cfd::PartitionSpec::Strip,
+    };
     let run = w.execute(&session, &mut sys).expect("distributed jacobi runs");
     ScalingPoint {
         nodes: sys.node_count(),
@@ -46,6 +55,56 @@ pub fn jacobi_node_mflops(n: usize) -> f64 {
     let (u0, f, _) = manufactured_problem(n);
     let mut node = NodeSim::nsc_1988();
     run_jacobi_on_node(&mut node, &u0, &f, 0.0, 1, JacobiVariant::Full).expect("jacobi runs").mflops
+}
+
+/// One lid-driven-cavity measurement: simulated time per machine-resident
+/// time step (ψ-Poisson solve plus FTCS vorticity transport) at a fixed
+/// step count, and the aggregate rate.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CavityPoint {
+    /// Hypercube size.
+    pub nodes: usize,
+    /// Simulated seconds per time step (slowest node, compute + comm).
+    pub seconds_per_step: f64,
+    /// Aggregate achieved MFLOPS of the run.
+    pub aggregate_mflops: f64,
+}
+
+/// Run the cavity for a fixed number of time steps on a `2^dim`-node cube
+/// and report the simulated time per step. Deterministic: the per-step
+/// ψ-solve sweep counts are fixed by the (simulated) convergence history.
+pub fn cavity_point(dim: u32, n: usize, steps: usize) -> CavityPoint {
+    let session = Session::nsc_1988();
+    let mut sys = NscSystem::new(nsc_arch::HypercubeConfig::new(dim), session.kb());
+    let mut w = CavityWorkload::new(n, 50.0, steps);
+    w.psi_tol = 1e-6;
+    let run = w.execute(&session, &mut sys).expect("cavity runs");
+    CavityPoint {
+        nodes: sys.node_count(),
+        seconds_per_step: run.simulated_seconds / steps as f64,
+        aggregate_mflops: run.aggregate_mflops,
+    }
+}
+
+/// Run the distributed multigrid workload for a fixed number of V-cycles
+/// on a `2^dim`-node cube and report the simulated aggregate rate.
+pub fn multigrid_point(dim: u32, n: usize, cycles: usize) -> ScalingPoint {
+    let session = Session::nsc_1988();
+    let mut sys = NscSystem::new(nsc_arch::HypercubeConfig::new(dim), session.kb());
+    let (u0, f, _) = manufactured_problem(n);
+    let w = DistributedMultigridWorkload {
+        u0,
+        f,
+        tol: 0.0,
+        max_cycles: cycles,
+        opts: MgOptions::default(),
+    };
+    let run = w.execute(&session, &mut sys).expect("distributed multigrid runs");
+    ScalingPoint {
+        nodes: sys.node_count(),
+        aggregate_mflops: run.aggregate_mflops,
+        simulated_seconds: run.simulated_seconds,
+    }
 }
 
 /// The benches honour `NSC_BENCH_QUICK` (set by the CI gate job) by

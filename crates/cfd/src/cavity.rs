@@ -11,24 +11,30 @@
 //!    equation `ω_t + u ω_x + v ω_y = (1/Re) ∇²ω`, with `u = ψ_y`,
 //!    `v = -ψ_x` by central differences.
 //!
-//! Step 1 dominates the arithmetic and is where the machine earns its
-//! keep: [`Poisson2dSolver`] strip-partitions the plane across the
-//! hypercube ([`DecomposedGrid`] over rows), compiles the five-point
-//! Jacobi sweep pipeline per node once, and then every time step runs the
-//! compiled sweeps concurrently on real node threads with halo rows moving
-//! through [`NscSystem::exchange`] — identical machinery to the 3-D
-//! [`crate::DistributedJacobiWorkload`], on 2-D documents.
+//! The whole time step is machine-resident. [`Poisson2dSolver`] cuts the
+//! plane across the hypercube through the [`Partition`] trait (2-D blocks
+//! on the Gray torus by default, strips on request), compiles the
+//! five-point Jacobi sweep pipeline per block once, and every step runs
+//! the compiled sweeps concurrently on real node threads with halo faces
+//! moving through the hyperspace router — identical machinery to the 3-D
+//! [`crate::DistributedJacobiWorkload`], on 2-D documents. The explicit ω
+//! transport (step 3) runs on the nodes too: [`VorticityTransport`]
+//! compiles the FTCS step as its own 21-unit pipeline
+//! ([`build_ftcs_transport_document`]); only Thom's boundary formula
+//! (step 2, `O(n)` wall work) stays on the host.
 
-use crate::decomp::DecomposedGrid;
 use crate::diagrams::{
-    build_jacobi2d_sweep_document, Jacobi2dGeometry, PLANE_G, PLANE_MASK, PLANE_U0, PLANE_U1,
-    RESIDUAL_CACHE,
+    build_ftcs_transport_document, build_jacobi2d_sweep_document, Jacobi2dGeometry, PLANE_G,
+    PLANE_MASK, PLANE_U0, PLANE_U1, PLANE_W0, PLANE_W1, PLANE_WC, RESIDUAL_CACHE,
 };
 use crate::distributed::{
-    attribute_node, check_same_machine, compile_pair_per_strip, measure_system_run,
+    attribute_part, check_same_machine, compile_pair_per_part, compile_per_part, measure_system_run,
 };
 use crate::grid::{Grid2, PaddedField};
-use nsc_core::{run_compiled_batch, CompiledProgram, NscError, Session, Workload};
+use crate::host::{ftcs_update_tree, FtcsCoeffs};
+use crate::partition::{GridShape, HaloSpec, Partition, PartitionSpec};
+use nsc_arch::NodeId;
+use nsc_core::{run_compiled_on_pool, CompiledProgram, NscError, Session, Workload};
 use nsc_sim::{NscSystem, PerfCounters, RunOptions};
 
 /// Outcome of one distributed Poisson solve.
@@ -42,45 +48,62 @@ pub struct PoissonSolveStats {
     pub converged: bool,
 }
 
-/// A compiled, strip-decomposed 2-D Poisson solver bound to one system:
+/// A compiled, domain-decomposed 2-D Poisson solver bound to one system:
 /// compile once, solve every time step.
 #[derive(Debug)]
 pub struct Poisson2dSolver {
-    decomp: DecomposedGrid,
+    partition: Box<dyn Partition>,
     nx: usize,
     ny: usize,
     even: Vec<CompiledProgram>,
     odd: Vec<CompiledProgram>,
+    pool: Vec<usize>,
+    members: Vec<NodeId>,
 }
 
 impl Poisson2dSolver {
-    /// Partition an `nx * ny` plane across `system`'s cube, compile each
-    /// node's (even, odd) sweep pair on its row-slab geometry, and load
-    /// the static interior masks.
+    /// Partition an `nx * ny` plane across `system`'s cube with the
+    /// default decomposition (blocks when the cube offers both torus
+    /// axes), compile each part's (even, odd) sweep pair on its local
+    /// geometry, and load the static interior masks.
     pub fn new(
         session: &Session,
         system: &mut NscSystem,
         nx: usize,
         ny: usize,
     ) -> Result<Self, NscError> {
+        Self::with_partition(session, system, nx, ny, PartitionSpec::Auto)
+    }
+
+    /// [`Poisson2dSolver::new`] with an explicit decomposition choice.
+    pub fn with_partition(
+        session: &Session,
+        system: &mut NscSystem,
+        nx: usize,
+        ny: usize,
+        spec: PartitionSpec,
+    ) -> Result<Self, NscError> {
         check_same_machine(session, system)?;
-        let decomp = DecomposedGrid::strip_1d(nx, ny, system.cube)?;
-        let (even, odd) = compile_pair_per_strip(session, &decomp, |s, parity| {
-            build_jacobi2d_sweep_document(Jacobi2dGeometry::new(nx, s.local_planes()), parity)
+        let partition = spec.build(GridShape::plane2d(nx, ny), system.cube, true)?;
+        let (even, odd) = compile_pair_per_part(session, partition.as_ref(), |p, parity| {
+            let (lnx, lny, _) = p.local_shape();
+            build_jacobi2d_sweep_document(Jacobi2dGeometry::new(lnx, lny), parity)
         })?;
-        for s in &decomp.strips {
-            // The mask is static: ghost rows and global walls hold.
-            let local =
-                Grid2 { nx, ny: s.local_planes(), h: 1.0, data: vec![0.0; nx * s.local_planes()] };
+        for p in partition.parts() {
+            // The mask is static: ghost layers and global walls hold.
+            let (lnx, lny, _) = p.local_shape();
+            let local = Grid2 { nx: lnx, ny: lny, h: 1.0, data: vec![0.0; lnx * lny] };
             let mask = PaddedField::aligned2d(&local.interior_mask());
-            system.node_mut(s.node).mem.plane_mut(PLANE_MASK).write_slice(0, &mask.words);
+            system.node_mut(p.node).mem.plane_mut(PLANE_MASK).write_slice(0, &mask.words);
         }
-        Ok(Poisson2dSolver { decomp, nx, ny, even, odd })
+        let pool = partition.node_pool();
+        let members = partition.member_nodes();
+        Ok(Poisson2dSolver { partition, nx, ny, even, odd, pool, members })
     }
 
     /// The decomposition (for reporting and tests).
-    pub fn decomp(&self) -> &DecomposedGrid {
-        &self.decomp
+    pub fn partition(&self) -> &dyn Partition {
+        self.partition.as_ref()
     }
 
     /// Solve `∇²u = -f` in place: scatter `u` and the scaled right-hand
@@ -101,12 +124,13 @@ impl Poisson2dSolver {
         // g = -h²f, as the pipeline computes (sum - g)/4.
         let h2 = u.h * u.h;
         let g_global: Vec<f64> = f.data.iter().map(|&v| -h2 * v).collect();
-        let u_slabs = self.decomp.scatter(&u.data);
-        let g_slabs = self.decomp.scatter(&g_global);
-        for (s, (us, gs)) in self.decomp.strips.iter().zip(u_slabs.iter().zip(&g_slabs)) {
-            let rows = s.local_planes();
-            let wrap = |data: &[f64]| Grid2 { nx: self.nx, ny: rows, h: u.h, data: data.to_vec() };
-            let mem = &mut system.node_mut(s.node).mem;
+        let parts = self.partition.parts();
+        let u_slabs = self.partition.scatter(&u.data);
+        let g_slabs = self.partition.scatter(&g_global);
+        for (p, (us, gs)) in parts.iter().zip(u_slabs.iter().zip(&g_slabs)) {
+            let (lnx, lny, _) = p.local_shape();
+            let wrap = |data: &[f64]| Grid2 { nx: lnx, ny: lny, h: u.h, data: data.to_vec() };
+            let mem = &mut system.node_mut(p.node).mem;
             let padded_u = PaddedField::stencil2d(&wrap(us));
             mem.plane_mut(PLANE_U0).write_slice(0, &padded_u.words);
             mem.plane_mut(PLANE_G).write_slice(0, &PaddedField::aligned2d(&wrap(gs)).words);
@@ -118,35 +142,105 @@ impl Poisson2dSolver {
         let even_refs: Vec<&CompiledProgram> = self.even.iter().collect();
         let odd_refs: Vec<&CompiledProgram> = self.odd.iter().collect();
         let opts = RunOptions::default();
+        let halo = HaloSpec::stencil();
         let mut pairs = 0u64;
         let mut residual = f64::INFINITY;
         let mut converged = false;
         while pairs < u64::from(max_pairs) && !converged {
-            run_compiled_batch(&even_refs, system.nodes_mut(), &opts).map_err(attribute_node)?;
-            self.decomp.halo_exchange(system, PLANE_U1, 1);
-            run_compiled_batch(&odd_refs, system.nodes_mut(), &opts).map_err(attribute_node)?;
-            self.decomp.halo_exchange(system, PLANE_U0, 1);
-            let (r, _) = system.global_max_cache_scalar(RESIDUAL_CACHE, 0);
+            run_compiled_on_pool(&even_refs, system.nodes_mut(), &self.pool, &opts)
+                .map_err(|e| attribute_part(parts, e))?;
+            self.partition.halo_exchange(system, PLANE_U1, 1, &halo);
+            run_compiled_on_pool(&odd_refs, system.nodes_mut(), &self.pool, &opts)
+                .map_err(|e| attribute_part(parts, e))?;
+            self.partition.halo_exchange(system, PLANE_U0, 1, &halo);
+            let (r, _) = system.pool_max_cache_scalar(&self.members, RESIDUAL_CACHE, 0);
             residual = r;
             pairs += 1;
             converged = residual < tol;
         }
 
-        let pw = self.decomp.plane_words;
-        let locals: Vec<Vec<f64>> = self
-            .decomp
-            .strips
+        let locals: Vec<Vec<f64>> = parts
             .iter()
-            .map(|s| {
+            .enumerate()
+            .map(|(pi, p)| {
                 system
-                    .node(s.node)
+                    .node(p.node)
                     .mem
                     .plane(PLANE_U0)
-                    .read_vec(pw as u64, (s.local_planes() * pw) as u64)
+                    .read_vec(self.partition.word_offset(pi, 1, 0), p.local_words() as u64)
             })
             .collect();
-        u.data = self.decomp.gather(&locals);
+        u.data = self.partition.gather(&locals);
         Ok(PoissonSolveStats { pairs, residual, converged })
+    }
+}
+
+/// The machine-resident vorticity transport: one compiled FTCS pipeline
+/// per part of the ψ-solver's partition, so the whole cavity time step —
+/// Poisson solve *and* explicit transport — runs on the nodes.
+#[derive(Debug)]
+pub struct VorticityTransport {
+    programs: Vec<CompiledProgram>,
+}
+
+impl VorticityTransport {
+    /// Compile the FTCS step for every part of `partition`, deduplicating
+    /// identical local shapes.
+    pub fn new(
+        session: &Session,
+        partition: &dyn Partition,
+        coeffs: FtcsCoeffs,
+    ) -> Result<Self, NscError> {
+        let programs = compile_per_part(session, partition, |p| {
+            let (lnx, lny, _) = p.local_shape();
+            build_ftcs_transport_document(Jacobi2dGeometry::new(lnx, lny), coeffs)
+        })?;
+        Ok(VorticityTransport { programs })
+    }
+
+    /// Advance `omega` one FTCS step on the nodes: scatter ψ and ω into
+    /// the node planes (ω twice — the SDU stream and the direct centre
+    /// stream read from separate planes), run the compiled step on every
+    /// part concurrently, and gather the advanced vorticity back.
+    pub fn step(
+        &self,
+        system: &mut NscSystem,
+        partition: &dyn Partition,
+        psi: &Grid2,
+        omega: &mut Grid2,
+    ) -> Result<(), NscError> {
+        let parts = partition.parts();
+        let psi_slabs = partition.scatter(&psi.data);
+        let w_slabs = partition.scatter(&omega.data);
+        for (p, (ps, ws)) in parts.iter().zip(psi_slabs.iter().zip(&w_slabs)) {
+            let (lnx, lny, _) = p.local_shape();
+            let wrap = |data: &[f64]| Grid2 { nx: lnx, ny: lny, h: psi.h, data: data.to_vec() };
+            let mem = &mut system.node_mut(p.node).mem;
+            mem.plane_mut(PLANE_U0).write_slice(0, &PaddedField::stencil2d(&wrap(ps)).words);
+            mem.plane_mut(PLANE_W0).write_slice(0, &PaddedField::stencil2d(&wrap(ws)).words);
+            mem.plane_mut(PLANE_WC).write_slice(0, &PaddedField::aligned2d(&wrap(ws)).words);
+        }
+        let refs: Vec<&CompiledProgram> = self.programs.iter().collect();
+        run_compiled_on_pool(
+            &refs,
+            system.nodes_mut(),
+            &partition.node_pool(),
+            &RunOptions::default(),
+        )
+        .map_err(|e| attribute_part(parts, e))?;
+        let locals: Vec<Vec<f64>> = parts
+            .iter()
+            .enumerate()
+            .map(|(pi, p)| {
+                system
+                    .node(p.node)
+                    .mem
+                    .plane(PLANE_W1)
+                    .read_vec(partition.word_offset(pi, 1, 0), p.local_words() as u64)
+            })
+            .collect();
+        omega.data = partition.gather(&locals);
+        Ok(())
     }
 }
 
@@ -194,6 +288,9 @@ pub struct CavityWorkload {
     pub psi_tol: f64,
     /// Cap on ping-pong pairs per stream-function solve.
     pub psi_max_pairs: u32,
+    /// How to cut the plane across the cube (`Auto` resolves to 2-D
+    /// blocks when the cube has both torus axes to offer).
+    pub partition: PartitionSpec,
 }
 
 impl CavityWorkload {
@@ -208,6 +305,7 @@ impl CavityWorkload {
             steps,
             psi_tol: 1e-8,
             psi_max_pairs: 20_000,
+            partition: PartitionSpec::Auto,
         }
     }
 
@@ -229,24 +327,28 @@ impl CavityWorkload {
         }
     }
 
-    /// One FTCS step of the vorticity transport equation.
-    fn advect_diffuse(&self, omega: &Grid2, psi: &Grid2) -> Grid2 {
+    /// One FTCS step of the vorticity transport equation on the host —
+    /// the bit-exact mirror of the machine pipeline
+    /// ([`build_ftcs_transport_document`]), kept for verification.
+    pub fn advect_diffuse(&self, omega: &Grid2, psi: &Grid2) -> Grid2 {
         let n = self.n;
-        let h = psi.h;
+        let coeffs = FtcsCoeffs::new(psi.h, self.re, self.dt);
         let mut out = omega.clone();
         for j in 1..n - 1 {
             for i in 1..n - 1 {
-                let u = (psi.at(i, j + 1) - psi.at(i, j - 1)) / (2.0 * h);
-                let v = -(psi.at(i + 1, j) - psi.at(i - 1, j)) / (2.0 * h);
-                let wx = (omega.at(i + 1, j) - omega.at(i - 1, j)) / (2.0 * h);
-                let wy = (omega.at(i, j + 1) - omega.at(i, j - 1)) / (2.0 * h);
-                let lap = (omega.at(i + 1, j)
-                    + omega.at(i - 1, j)
-                    + omega.at(i, j + 1)
-                    + omega.at(i, j - 1)
-                    - 4.0 * omega.at(i, j))
-                    / (h * h);
-                *out.at_mut(i, j) = omega.at(i, j) + self.dt * (-u * wx - v * wy + lap / self.re);
+                *out.at_mut(i, j) = ftcs_update_tree(
+                    psi.at(i, j + 1),
+                    psi.at(i, j - 1),
+                    psi.at(i + 1, j),
+                    psi.at(i - 1, j),
+                    omega.at(i, j + 1),
+                    omega.at(i, j - 1),
+                    omega.at(i + 1, j),
+                    omega.at(i - 1, j),
+                    omega.at(i, j),
+                    1.0,
+                    &coeffs,
+                );
             }
         }
         out
@@ -292,11 +394,13 @@ impl Workload<NscSystem> for CavityWorkload {
                 self.re, self.dt
             )));
         }
-        let solver = Poisson2dSolver::new(session, system, self.n, self.n)?;
-        let before: Vec<PerfCounters> = system.nodes().iter().map(|n| n.counters).collect();
-
+        let solver =
+            Poisson2dSolver::with_partition(session, system, self.n, self.n, self.partition)?;
         let mut psi = Grid2::new(self.n, self.n);
         let mut omega = Grid2::new(self.n, self.n);
+        let coeffs = FtcsCoeffs::new(psi.h, self.re, self.dt);
+        let transport = VorticityTransport::new(session, solver.partition(), coeffs)?;
+        let before: Vec<PerfCounters> = system.nodes().iter().map(|n| n.counters).collect();
         let mut psi_pairs = 0u64;
         let mut last_residual = f64::INFINITY;
         for step in 0..self.steps {
@@ -314,7 +418,7 @@ impl Workload<NscSystem> for CavityWorkload {
                 )));
             }
             self.wall_vorticity(&mut omega, &psi);
-            omega = self.advect_diffuse(&omega, &psi);
+            transport.step(system, solver.partition(), &psi, &mut omega)?;
             if !omega.linf().is_finite() {
                 return Err(NscError::Workload(format!(
                     "vorticity diverged (dt={} too large for Re={}, h={})",
@@ -383,6 +487,39 @@ mod tests {
             assert_eq!(a.to_bits(), b.to_bits(), "2-D distributed sweep must match the mirror");
         }
         assert_eq!(stats.residual.to_bits(), res.to_bits());
+    }
+
+    #[test]
+    fn machine_ftcs_transport_matches_the_host_mirror_bit_for_bit() {
+        // A non-trivial ψ/ω pair; the machine step across 1 node and a
+        // 2x2 block torus must reproduce the host mirror exactly.
+        let n = 11;
+        let w = CavityWorkload::new(n, 40.0, 1);
+        let mut psi = Grid2::new(n, n);
+        let mut omega = Grid2::new(n, n);
+        for j in 0..n {
+            for i in 0..n {
+                if !psi.is_boundary(i, j) {
+                    *psi.at_mut(i, j) = ((i * 5 + j * 3) % 7) as f64 * 0.01 - 0.03;
+                }
+                *omega.at_mut(i, j) = ((i * 2 + j * 11) % 9) as f64 * 0.125 - 0.5;
+            }
+        }
+        let want = w.advect_diffuse(&omega, &psi);
+        let session = Session::nsc_1988();
+        let coeffs = FtcsCoeffs::new(psi.h, w.re, w.dt);
+        for (dim, spec) in [(0u32, PartitionSpec::Strip), (2, PartitionSpec::Block)] {
+            let mut sys = system(dim, &session);
+            let solver =
+                Poisson2dSolver::with_partition(&session, &mut sys, n, n, spec).expect("compiles");
+            let transport =
+                VorticityTransport::new(&session, solver.partition(), coeffs).expect("compiles");
+            let mut got = omega.clone();
+            transport.step(&mut sys, solver.partition(), &psi, &mut got).expect("steps");
+            for (a, b) in got.data.iter().zip(&want.data) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{spec:?}: transport diverged from mirror");
+            }
+        }
     }
 
     #[test]

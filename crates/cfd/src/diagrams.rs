@@ -26,6 +26,7 @@
 //! kernel used by the subset ablation where functional-unit count, not
 //! memory bandwidth, is the binding resource.
 
+use crate::host::FtcsCoeffs;
 use nsc_arch::{AlsKind, CacheId, FuOp, InPort, PlaneId};
 use nsc_diagram::{
     ControlNode, ConvergenceCond, DmaAttrs, Document, FuAssign, IconId, IconKind, InputSpec,
@@ -99,12 +100,11 @@ struct UnitPlan {
     slots: Vec<(usize, u8)>,
 }
 
-fn plan(variant: JacobiVariant) -> UnitPlan {
+fn plan(variant: JacobiVariant, damped: bool) -> UnitPlan {
     use AlsKind::*;
     match variant {
-        JacobiVariant::Full | JacobiVariant::NoSdu => UnitPlan {
-            icons: vec![Triplet, Triplet, Triplet, Triplet],
-            slots: vec![
+        JacobiVariant::Full | JacobiVariant::NoSdu => {
+            let mut slots = vec![
                 (0, 0),
                 (0, 1),
                 (0, 2),
@@ -116,8 +116,13 @@ fn plan(variant: JacobiVariant) -> UnitPlan {
                 (2, 2),
                 (3, 0),
                 (3, 2), // maxabs on the min/max-capable tail unit
-            ],
-        },
+            ];
+            if damped {
+                // The omega multiply takes the last free triplet slot.
+                slots.push((3, 1));
+            }
+            UnitPlan { icons: vec![Triplet, Triplet, Triplet, Triplet], slots }
+        }
         JacobiVariant::SingletsOnly => UnitPlan {
             icons: vec![
                 Triplet, Triplet, Triplet, Triplet, Doublet, Doublet, Doublet, Doublet, Doublet,
@@ -185,8 +190,9 @@ pub fn build_jacobi_slab_document(
     let mut doc = Document::new(format!("jacobi3d-{}x{}x{}", geo.nx, geo.ny, geo.nz));
     declare_jacobi_vars(&mut doc, geo, variant);
 
-    let sweep_a = build_sweep(&mut doc, "point Jacobi sweep (even)", "u0", "u1", geo, variant);
-    let sweep_b = build_sweep(&mut doc, "point Jacobi sweep (odd)", "u1", "u0", geo, variant);
+    let sweep_a =
+        build_sweep(&mut doc, "point Jacobi sweep (even)", "u0", "u1", geo, variant, None);
+    let sweep_b = build_sweep(&mut doc, "point Jacobi sweep (odd)", "u1", "u0", geo, variant, None);
 
     let body = match variant {
         JacobiVariant::NoSdu => {
@@ -230,6 +236,31 @@ pub fn build_jacobi_sweep_document(geo: JacobiGeometry, even: bool) -> Document 
         dst,
         geo,
         JacobiVariant::Full,
+        None,
+    );
+    doc.control = Some(ControlNode::Pipeline(sweep));
+    doc
+}
+
+/// Build a single *damped* Jacobi sweep as its own document: the plain
+/// sweep's update is scaled by `omega` before the mask, so the stored
+/// iterate is `u + omega * (jacobi(u) - u)` — the smoothing kernel of the
+/// ref. \[6\] multigrid V-cycle, as one extra multiply unit on the last
+/// free triplet slot. `u0 -> u1` when `even`, `u1 -> u0` otherwise; the
+/// residual reduction still lands `max |omega-scaled masked update|` in
+/// the cache (the distributed V-cycle ignores it).
+pub fn build_damped_jacobi_sweep_document(geo: JacobiGeometry, even: bool, omega: f64) -> Document {
+    let (src, dst, tag) = if even { ("u0", "u1", "even") } else { ("u1", "u0", "odd") };
+    let mut doc = Document::new(format!("jacobi3d-smooth-{tag}-{}x{}x{}", geo.nx, geo.ny, geo.nz));
+    declare_jacobi_vars(&mut doc, geo, JacobiVariant::Full);
+    let sweep = build_sweep(
+        &mut doc,
+        &format!("damped Jacobi sweep ({tag})"),
+        src,
+        dst,
+        geo,
+        JacobiVariant::Full,
+        Some(omega),
     );
     doc.control = Some(ControlNode::Pipeline(sweep));
     doc
@@ -391,7 +422,189 @@ pub fn build_jacobi2d_sweep_document(geo: Jacobi2dGeometry, even: bool) -> Docum
     doc
 }
 
-/// One sweep pipeline reading `src` and writing `dst`.
+/// Vorticity plane of the cavity's FTCS transport step (stencil layout,
+/// streamed through a shift/delay unit).
+pub const PLANE_W0: PlaneId = PlaneId(4);
+/// Second copy of the vorticity (aligned layout) feeding the centre
+/// stream directly — each plane has one read port, so the SDU stream and
+/// the centre stream cannot share one plane (§3's "multiple copies of
+/// arrays").
+pub const PLANE_WC: PlaneId = PlaneId(5);
+/// Output plane of the FTCS transport step.
+pub const PLANE_W1: PlaneId = PlaneId(6);
+
+/// Build the cavity's vorticity-transport pipeline: one FTCS step of
+/// `ω_t + u ω_x + v ω_y = ∇²ω / Re` with `u = ψ_y`, `v = -ψ_x` by central
+/// differences — 21 units fed by two shift/delay units (five-point ψ and
+/// ω stencils) plus a direct ω-centre stream, masked so walls and ghost
+/// cells hold. Reads ψ from [`PLANE_U0`] (stencil layout), ω from
+/// [`PLANE_W0`] (stencil) and [`PLANE_WC`] (aligned copy), the interior
+/// mask from [`PLANE_MASK`]; writes the advanced vorticity to
+/// [`PLANE_W1`]. `coeffs` folds `h`, `Re` and `dt` into the three
+/// multiply constants ([`FtcsCoeffs`] keeps the host mirror
+/// bit-compatible).
+pub fn build_ftcs_transport_document(geo: Jacobi2dGeometry, coeffs: FtcsCoeffs) -> Document {
+    let mut doc = Document::new(format!("cavity-ftcs-{}x{}", geo.nx, geo.ny));
+    let np = geo.padded as u64;
+    for (name, plane) in [
+        ("psi", PLANE_U0),
+        ("mask", PLANE_MASK),
+        ("w0", PLANE_W0),
+        ("wc", PLANE_WC),
+        ("w1", PLANE_W1),
+    ] {
+        doc.decls.declare(VarDecl { name: name.into(), plane, base: 0, len: np });
+    }
+
+    let pid = doc.add_pipeline("vorticity FTCS step");
+    let h = geo.row as u64;
+    let hh = h as u16;
+    let d = doc.pipeline_mut(pid).unwrap();
+    d.stream_len = geo.padded as u64;
+
+    let units = alloc_unit_slots(d, 21);
+    const SUB_PNS: usize = 0; // ψn - ψs
+    const MUL_U: usize = 1; // u = (ψn - ψs) · c1
+    const SUB_PWE: usize = 2; // ψw - ψe
+    const MUL_V: usize = 3; // v = (ψw - ψe) · c1
+    const SUB_WEW: usize = 4; // ωe - ωw
+    const MUL_WX: usize = 5; // ωx
+    const SUB_WNS: usize = 6; // ωn - ωs
+    const MUL_WY: usize = 7; // ωy
+    const ADD_WEW: usize = 8; // ωe + ωw
+    const ADD_WNS: usize = 9; // ωn + ωs
+    const ADD_S4: usize = 10; // four-neighbour sum
+    const MUL_C4: usize = 11; // 4·ωc
+    const SUB_LAP: usize = 12; // sum - 4ωc
+    const MUL_C2: usize = 13; // · c2 = ∇²ω / Re
+    const MUL_A1: usize = 14; // u·ωx
+    const MUL_A2: usize = 15; // v·ωy
+    const ADD_ADV: usize = 16; // u·ωx + v·ωy
+    const SUB_RHS: usize = 17; // diffusion - advection
+    const MUL_DT: usize = 18; // · dt
+    const MUL_MASK: usize = 19; // · mask
+    const ADD_OUT: usize = 20; // ωc + masked update
+
+    let fu_in =
+        |u: usize, port: InPort| PadLoc::new(units[u].0, PadRef::FuIn { pos: units[u].1, port });
+    let fu_out = |u: usize| PadLoc::new(units[u].0, PadRef::FuOut { pos: units[u].1 });
+
+    // ψ and ω five-point streams from one shift/delay unit each; delays
+    // relative to the leading (j+1) row as in the 2-D Jacobi builder.
+    let mem_psi = d.add_icon(IconKind::memory());
+    let mem_w = d.add_icon(IconKind::memory());
+    let sdu_psi = d.add_icon(IconKind::sdu());
+    let sdu_w = d.add_icon(IconKind::sdu());
+    d.set_sdu_taps(sdu_psi, vec![0, 2 * hh, hh - 1, hh + 1]).unwrap();
+    d.set_sdu_taps(sdu_w, vec![0, 2 * hh, hh - 1, hh + 1]).unwrap();
+    d.connect(
+        PadLoc::new(mem_psi, PadRef::Io),
+        PadLoc::new(sdu_psi, PadRef::SduIn),
+        Some(DmaAttrs::variable("psi")),
+    )
+    .unwrap();
+    d.connect(
+        PadLoc::new(mem_w, PadRef::Io),
+        PadLoc::new(sdu_w, PadRef::SduIn),
+        Some(DmaAttrs::variable("w0")),
+    )
+    .unwrap();
+    let tap = |sdu: IconId, t: u8| PadLoc::new(sdu, PadRef::SduTap { tap: t });
+    // ψ taps: north, south, east, west.
+    d.connect(tap(sdu_psi, 0), fu_in(SUB_PNS, InPort::A), None).unwrap();
+    d.connect(tap(sdu_psi, 1), fu_in(SUB_PNS, InPort::B), None).unwrap();
+    d.connect(tap(sdu_psi, 2), fu_in(SUB_PWE, InPort::B), None).unwrap(); // east
+    d.connect(tap(sdu_psi, 3), fu_in(SUB_PWE, InPort::A), None).unwrap(); // west
+                                                                          // ω taps fan out to the derivative subs and the Laplacian adds.
+    d.connect(tap(sdu_w, 0), fu_in(SUB_WNS, InPort::A), None).unwrap();
+    d.connect(tap(sdu_w, 0), fu_in(ADD_WNS, InPort::A), None).unwrap();
+    d.connect(tap(sdu_w, 1), fu_in(SUB_WNS, InPort::B), None).unwrap();
+    d.connect(tap(sdu_w, 1), fu_in(ADD_WNS, InPort::B), None).unwrap();
+    d.connect(tap(sdu_w, 2), fu_in(SUB_WEW, InPort::A), None).unwrap();
+    d.connect(tap(sdu_w, 2), fu_in(ADD_WEW, InPort::A), None).unwrap();
+    d.connect(tap(sdu_w, 3), fu_in(SUB_WEW, InPort::B), None).unwrap();
+    d.connect(tap(sdu_w, 3), fu_in(ADD_WEW, InPort::B), None).unwrap();
+    // The ω centre stream comes straight from the aligned copy plane.
+    let mem_wc = d.add_icon(IconKind::memory());
+    for sink in [fu_in(MUL_C4, InPort::A), fu_in(ADD_OUT, InPort::A)] {
+        d.connect(PadLoc::new(mem_wc, PadRef::Io), sink, Some(DmaAttrs::variable("wc"))).unwrap();
+    }
+    // Mask stream.
+    let mem_mask = d.add_icon(IconKind::memory());
+    d.connect(
+        PadLoc::new(mem_mask, PadRef::Io),
+        fu_in(MUL_MASK, InPort::B),
+        Some(DmaAttrs::variable("mask")),
+    )
+    .unwrap();
+
+    let ops = [
+        (SUB_PNS, FuAssign::binary(FuOp::Sub)),
+        (MUL_U, FuAssign::with_const(FuOp::Mul, coeffs.c1)),
+        (SUB_PWE, FuAssign::binary(FuOp::Sub)),
+        (MUL_V, FuAssign::with_const(FuOp::Mul, coeffs.c1)),
+        (SUB_WEW, FuAssign::binary(FuOp::Sub)),
+        (MUL_WX, FuAssign::with_const(FuOp::Mul, coeffs.c1)),
+        (SUB_WNS, FuAssign::binary(FuOp::Sub)),
+        (MUL_WY, FuAssign::with_const(FuOp::Mul, coeffs.c1)),
+        (ADD_WEW, FuAssign::binary(FuOp::Add)),
+        (ADD_WNS, FuAssign::binary(FuOp::Add)),
+        (ADD_S4, FuAssign::binary(FuOp::Add)),
+        (MUL_C4, FuAssign::with_const(FuOp::Mul, 4.0)),
+        (SUB_LAP, FuAssign::binary(FuOp::Sub)),
+        (MUL_C2, FuAssign::with_const(FuOp::Mul, coeffs.c2)),
+        (MUL_A1, FuAssign::binary(FuOp::Mul)),
+        (MUL_A2, FuAssign::binary(FuOp::Mul)),
+        (ADD_ADV, FuAssign::binary(FuOp::Add)),
+        (SUB_RHS, FuAssign::binary(FuOp::Sub)),
+        (MUL_DT, FuAssign::with_const(FuOp::Mul, coeffs.dt)),
+        (MUL_MASK, FuAssign::binary(FuOp::Mul)),
+        (ADD_OUT, FuAssign::binary(FuOp::Add)),
+    ];
+    for (u, assign) in ops {
+        let (icon, pos) = units[u];
+        d.assign_fu(icon, pos, assign).unwrap();
+    }
+    let wire = |d: &mut PipelineDiagram, from: usize, to: usize, port: InPort| {
+        d.connect(fu_out(from), fu_in(to, port), None).unwrap();
+    };
+    wire(d, SUB_PNS, MUL_U, InPort::A);
+    wire(d, SUB_PWE, MUL_V, InPort::A);
+    wire(d, SUB_WEW, MUL_WX, InPort::A);
+    wire(d, SUB_WNS, MUL_WY, InPort::A);
+    wire(d, ADD_WEW, ADD_S4, InPort::A);
+    wire(d, ADD_WNS, ADD_S4, InPort::B);
+    wire(d, MUL_C4, SUB_LAP, InPort::B);
+    wire(d, ADD_S4, SUB_LAP, InPort::A);
+    wire(d, SUB_LAP, MUL_C2, InPort::A);
+    wire(d, MUL_U, MUL_A1, InPort::A);
+    wire(d, MUL_WX, MUL_A1, InPort::B);
+    wire(d, MUL_V, MUL_A2, InPort::A);
+    wire(d, MUL_WY, MUL_A2, InPort::B);
+    wire(d, MUL_A1, ADD_ADV, InPort::A);
+    wire(d, MUL_A2, ADD_ADV, InPort::B);
+    wire(d, MUL_C2, SUB_RHS, InPort::A);
+    wire(d, ADD_ADV, SUB_RHS, InPort::B);
+    wire(d, SUB_RHS, MUL_DT, InPort::A);
+    wire(d, MUL_DT, MUL_MASK, InPort::A);
+    wire(d, MUL_MASK, ADD_OUT, InPort::B);
+
+    // Store the advanced vorticity into the output plane's data region.
+    let mem_out = d.add_icon(IconKind::memory());
+    d.connect(
+        fu_out(ADD_OUT),
+        PadLoc::new(mem_out, PadRef::Io),
+        Some(DmaAttrs::variable("w1").with_offset(h).with_count(geo.points as u64)),
+    )
+    .unwrap();
+
+    doc.control = Some(ControlNode::Pipeline(pid));
+    doc
+}
+
+/// One sweep pipeline reading `src` and writing `dst`. `damping` adds an
+/// `omega` multiply between the update and the mask (the multigrid
+/// smoother; full variant only).
 fn build_sweep(
     doc: &mut Document,
     name: &str,
@@ -399,7 +612,12 @@ fn build_sweep(
     dst: &str,
     geo: JacobiGeometry,
     variant: JacobiVariant,
+    damping: Option<f64>,
 ) -> nsc_diagram::PipelineId {
+    assert!(
+        damping.is_none() || variant == JacobiVariant::Full,
+        "the damped smoother is built for the full machine only"
+    );
     let pid = doc.add_pipeline(name);
     let h = geo.plane as u64;
     let d = doc.pipeline_mut(pid).unwrap();
@@ -409,7 +627,7 @@ fn build_sweep(
     };
 
     // Compute units.
-    let unit_plan = plan(variant);
+    let unit_plan = plan(variant, damping.is_some());
     let als_icons: Vec<IconId> =
         unit_plan.icons.iter().map(|&k| d.add_icon(IconKind::als(k))).collect();
     let unit = |i: usize| -> (IconId, u8) {
@@ -427,6 +645,7 @@ fn build_sweep(
     const MUL_MASK: usize = 8;
     const ADD_UNEW: usize = 9;
     const MAXABS: usize = 10;
+    const MUL_OMEGA: usize = 11;
 
     // Storage icons.
     let mem_mask = d.add_icon(IconKind::memory());
@@ -530,7 +749,7 @@ fn build_sweep(
     // ------------------------------------------------------------------
     // the arithmetic tree (paper Equation 1)
     // ------------------------------------------------------------------
-    let ops = [
+    let mut ops = vec![
         (ADD_UD, FuAssign::binary(FuOp::Add)),
         (ADD_NS, FuAssign::binary(FuOp::Add)),
         (ADD_EW, FuAssign::binary(FuOp::Add)),
@@ -543,6 +762,9 @@ fn build_sweep(
         (ADD_UNEW, FuAssign::binary(FuOp::Add)),
         (MAXABS, FuAssign::reduction(FuOp::MaxAbs, 0.0)),
     ];
+    if let Some(omega) = damping {
+        ops.push((MUL_OMEGA, FuAssign::with_const(FuOp::Mul, omega)));
+    }
     for (u, assign) in ops {
         let (icon, pos) = unit(u);
         d.assign_fu(icon, pos, assign).unwrap();
@@ -557,7 +779,13 @@ fn build_sweep(
     wire(d, ADD_S5, SUB_G, InPort::A);
     wire(d, SUB_G, MUL16, InPort::A);
     wire(d, MUL16, SUB_D, InPort::A);
-    wire(d, SUB_D, MUL_MASK, InPort::A);
+    if damping.is_some() {
+        // The damped smoother scales the update by omega before masking.
+        wire(d, SUB_D, MUL_OMEGA, InPort::A);
+        wire(d, MUL_OMEGA, MUL_MASK, InPort::A);
+    } else {
+        wire(d, SUB_D, MUL_MASK, InPort::A);
+    }
     wire(d, MUL_MASK, ADD_UNEW, InPort::B);
     wire(d, MUL_MASK, MAXABS, InPort::A);
 
@@ -842,6 +1070,28 @@ mod tests {
         // And even ignoring binding, the global check flags unbound icons.
         let diags = checker.check_document(&doc);
         assert!(has_errors(&diags));
+    }
+
+    #[test]
+    fn damped_sweep_document_checks_out_and_fills_the_triplets() {
+        let kb = KnowledgeBase::nsc_1988();
+        for even in [true, false] {
+            let mut doc =
+                build_damped_jacobi_sweep_document(JacobiGeometry::slab(6, 6, 4), even, 0.8);
+            let diags = check_doc(&mut doc, &kb);
+            assert!(!has_errors(&diags), "errors: {diags:#?}");
+            assert_eq!(doc.pipeline_count(), 1, "one sweep, no convergence loop");
+        }
+    }
+
+    #[test]
+    fn ftcs_transport_document_checks_out() {
+        let kb = KnowledgeBase::nsc_1988();
+        let coeffs = FtcsCoeffs::new(0.125, 50.0, 1e-3);
+        let mut doc = build_ftcs_transport_document(Jacobi2dGeometry::new(9, 5), coeffs);
+        let diags = check_doc(&mut doc, &kb);
+        assert!(!has_errors(&diags), "errors: {diags:#?}");
+        assert_eq!(doc.pipeline_count(), 1, "one FTCS step instruction");
     }
 
     #[test]

@@ -1,45 +1,46 @@
 //! Domain-decomposed solvers that spread one problem across the cube.
 //!
 //! [`DistributedJacobiWorkload`] is the paper's running example scaled out:
-//! the grid is strip-partitioned along z ([`DecomposedGrid`]), each node
-//! compiles the *same* Jacobi sweep pipeline on its own slab geometry, the
-//! sweeps run concurrently on real node threads, and ghost planes are
-//! refreshed through [`NscSystem::exchange`] between sweeps. Because the
-//! ghost planes sit exactly where the serial stencil layout keeps its halo
-//! pad, every distributed sweep is **bit-identical** to the serial sweep on
-//! the points a node owns; the convergence decision is a global
-//! max-reduction of the per-node residuals, evaluated once per ping-pong
-//! pair exactly as the serial document's sequencer does.
+//! the grid is partitioned onto the cube through the [`Partition`] trait
+//! (strips on the Gray ring or 2-D blocks on a Gray torus — the workload
+//! is decomposition-agnostic), each node compiles the *same* Jacobi sweep
+//! pipeline on its own slab geometry, the sweeps run concurrently on real
+//! node threads, and ghost layers are refreshed through the hyperspace
+//! router between sweeps. Because ghost cells sit exactly where the serial
+//! stencil layout keeps its halo pad, every distributed sweep is
+//! **bit-identical** to the serial sweep on the points a node owns; the
+//! convergence decision is a max-reduction of the per-node residuals over
+//! the partition's node pool, evaluated once per ping-pong pair exactly as
+//! the serial document's sequencer does.
 //!
 //! [`DistributedSorWorkload`] is the block-SOR counterpart of the host
 //! baseline: each node relaxes its slab with the updated-in-place sweep,
 //! halos still travel through the router (charging the same communication
 //! model), and the blocks converge to the same discrete solution.
 
-use crate::decomp::DecomposedGrid;
 use crate::diagrams::{
     build_jacobi_sweep_document, JacobiGeometry, JacobiVariant, PLANE_U0, PLANE_U1, RESIDUAL_CACHE,
 };
 use crate::grid::Grid3;
 use crate::host::{sor_sweep_host, JacobiHostState};
 use crate::nsc_run::load_problem;
-use nsc_core::{run_compiled_batch, CompiledProgram, NscError, Session, Workload};
+use crate::partition::{GridShape, HaloSpec, Part, Partition, PartitionSpec};
+use nsc_arch::PlaneId;
+use nsc_core::{run_compiled_on_pool, CompiledProgram, NscError, Session, Workload};
 use nsc_sim::{NscSystem, PerfCounters, RunOptions};
 
-/// Cut the strip's local slab (owned planes plus ghosts) out of a global
-/// grid, keeping the global mesh spacing.
-fn local_slab(decomp: &DecomposedGrid, ring_pos: usize, global: &Grid3) -> Grid3 {
-    let s = decomp.strips[ring_pos];
-    let pw = decomp.plane_words;
-    let lo = s.local_start() * pw;
-    let hi = lo + s.local_planes() * pw;
-    Grid3 {
-        nx: global.nx,
-        ny: global.ny,
-        nz: s.local_planes(),
-        h: global.h,
-        data: global.data[lo..hi].to_vec(),
-    }
+/// Wrap each part's slab words (ghosts included) as a [`Grid3`] on the
+/// part's local shape, keeping the global mesh spacing.
+pub(crate) fn local_grids3(partition: &dyn Partition, global: &Grid3) -> Vec<Grid3> {
+    partition
+        .scatter(&global.data)
+        .into_iter()
+        .zip(partition.parts())
+        .map(|(data, p)| {
+            let (nx, ny, nz) = p.local_shape();
+            Grid3 { nx, ny, nz, h: global.h, data }
+        })
+        .collect()
 }
 
 /// Refuse a session/system pair describing different machines.
@@ -55,43 +56,45 @@ pub(crate) fn check_same_machine(session: &Session, system: &NscSystem) -> Resul
     Ok(())
 }
 
-/// Compile one (even, odd) sweep-program pair per strip, each program
-/// indexed by the node hosting the strip; `build` constructs the document
-/// for a strip and a parity (`true` = even, reading u0).
+/// Compile one program per part, indexed in part order; `build`
+/// constructs the document for a part.
 ///
-/// The document must depend on the strip only through its slab height
-/// (`local_planes()`) — true of both sweep builders — so a balanced
-/// decomposition with at most two distinct heights compiles at most two
-/// pairs and shares them across nodes.
-pub(crate) fn compile_pair_per_strip(
+/// The document must depend on the part only through its local shape —
+/// true of every sweep builder — so a balanced decomposition with a
+/// handful of distinct shapes compiles a handful of programs and shares
+/// them across nodes. Compile failures are attributed to the part's node.
+pub(crate) fn compile_per_part(
     session: &Session,
-    decomp: &DecomposedGrid,
-    build: impl Fn(&crate::decomp::Strip, bool) -> nsc_diagram::Document,
-) -> Result<(Vec<CompiledProgram>, Vec<CompiledProgram>), NscError> {
-    let nodes = decomp.strips.len();
-    let mut by_height: std::collections::HashMap<usize, (CompiledProgram, CompiledProgram)> =
+    partition: &dyn Partition,
+    build: impl Fn(&Part) -> nsc_diagram::Document,
+) -> Result<Vec<CompiledProgram>, NscError> {
+    let mut by_shape: std::collections::HashMap<(usize, usize, usize), CompiledProgram> =
         std::collections::HashMap::new();
-    let mut even = vec![None; nodes];
-    let mut odd = vec![None; nodes];
-    for s in &decomp.strips {
-        let pair = match by_height.entry(s.local_planes()) {
+    let mut programs = Vec::with_capacity(partition.parts().len());
+    for p in partition.parts() {
+        let prog = match by_shape.entry(p.local_shape()) {
             std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-            std::collections::hash_map::Entry::Vacant(e) => {
-                let compile = |parity| {
-                    session
-                        .compile(&mut build(s, parity))
-                        .map_err(|err| NscError::on_node(s.node, err))
-                };
-                e.insert((compile(true)?, compile(false)?))
-            }
+            std::collections::hash_map::Entry::Vacant(e) => e.insert(
+                session.compile(&mut build(p)).map_err(|err| NscError::on_node(p.node, err))?,
+            ),
         };
-        even[s.node.index()] = Some(pair.0.clone());
-        odd[s.node.index()] = Some(pair.1.clone());
+        programs.push(prog.clone());
     }
-    let unwrap = |v: Vec<Option<CompiledProgram>>| {
-        v.into_iter().map(|p| p.expect("one strip per node")).collect()
-    };
-    Ok((unwrap(even), unwrap(odd)))
+    Ok(programs)
+}
+
+/// Compile one (even, odd) sweep-program pair per part, indexed in part
+/// order; `build` constructs the document for a part and a parity
+/// (`true` = even, reading u0). See [`compile_per_part`] for the
+/// shape-deduplication contract.
+pub(crate) fn compile_pair_per_part(
+    session: &Session,
+    partition: &dyn Partition,
+    build: impl Fn(&Part, bool) -> nsc_diagram::Document,
+) -> Result<(Vec<CompiledProgram>, Vec<CompiledProgram>), NscError> {
+    let even = compile_per_part(session, partition, |p| build(p, true))?;
+    let odd = compile_per_part(session, partition, |p| build(p, false))?;
+    Ok((even, odd))
 }
 
 /// Per-run system metrics derived from a counter snapshot taken before
@@ -119,13 +122,123 @@ pub(crate) fn measure_system_run(system: &NscSystem, before: &[PerfCounters]) ->
     SystemRunMetrics { per_node, total, simulated_seconds, aggregate_mflops }
 }
 
-/// Re-attribute a round-robin batch failure to the hypercube node it
-/// happened on (program `i` of a distributed step runs on node `i`).
-pub(crate) fn attribute_node(e: NscError) -> NscError {
+/// Re-attribute a pool batch failure to the hypercube node it happened on
+/// (program `i` of a distributed step runs on part `i`'s node).
+pub(crate) fn attribute_part(parts: &[Part], e: NscError) -> NscError {
     match e {
-        NscError::Batch { doc, source } => NscError::on_node(nsc_arch::NodeId(doc as u16), *source),
+        NscError::Batch { doc, source } => NscError::on_node(parts[doc].node, *source),
         other => other,
     }
+}
+
+/// Iterate the x-contiguous runs covering one layer of a part — the cells
+/// with global index `g` along `axis`, over the part's full local extent
+/// of the other axes — as `(flat local start, run length)`.
+fn for_face_rows(p: &Part, axis: usize, g: usize, mut f: impl FnMut(usize, usize)) {
+    let (lnx, lny, lnz) = p.local_shape();
+    let a = p.spans[axis].local_of(g);
+    match axis {
+        0 => {
+            for lz in 0..lnz {
+                for ly in 0..lny {
+                    f(p.local_index(a, ly, lz), 1);
+                }
+            }
+        }
+        1 => {
+            for lz in 0..lnz {
+                f(p.local_index(0, a, lz), lnx);
+            }
+        }
+        _ => f(p.local_index(0, 0, a), lnx * lny),
+    }
+}
+
+/// Host-resident halo exchange: stage each slab's owned boundary faces
+/// into `plane`, swap them through the router, and pull the refreshed
+/// ghost faces back into the host-side slabs. This is how host-computed
+/// block solvers (block SOR, multigrid transfer operators) pay the same
+/// communication model as the machine-resident sweeps.
+pub(crate) fn host_halo_exchange(
+    partition: &dyn Partition,
+    system: &mut NscSystem,
+    plane: PlaneId,
+    slabs: &mut [Vec<f64>],
+    spec: &HaloSpec,
+) -> u64 {
+    for (pi, p) in partition.parts().iter().enumerate() {
+        for axis in 0..3 {
+            let sp = p.spans[axis];
+            for l in 0..spec.layers {
+                if sp.lo_ghost > 0 {
+                    stage_layer(partition, system, plane, slabs, pi, axis, sp.start + l);
+                }
+                if sp.hi_ghost > 0 {
+                    stage_layer(
+                        partition,
+                        system,
+                        plane,
+                        slabs,
+                        pi,
+                        axis,
+                        sp.start + sp.len - 1 - l,
+                    );
+                }
+            }
+        }
+    }
+    let ns = partition.halo_exchange(system, plane, 1, spec);
+    for (pi, p) in partition.parts().iter().enumerate() {
+        for axis in 0..3 {
+            let sp = p.spans[axis];
+            for l in 0..spec.layers {
+                if sp.lo_ghost > 0 {
+                    pull_layer(partition, system, plane, slabs, pi, axis, sp.start - 1 - l);
+                }
+                if sp.hi_ghost > 0 {
+                    pull_layer(partition, system, plane, slabs, pi, axis, sp.start + sp.len + l);
+                }
+            }
+        }
+    }
+    ns
+}
+
+fn stage_layer(
+    partition: &dyn Partition,
+    system: &mut NscSystem,
+    plane: PlaneId,
+    slabs: &[Vec<f64>],
+    pi: usize,
+    axis: usize,
+    g: usize,
+) {
+    let p = &partition.parts()[pi];
+    for_face_rows(p, axis, g, |start, len| {
+        let off = partition.word_offset(pi, 1, start);
+        system
+            .node_mut(p.node)
+            .mem
+            .plane_mut(plane)
+            .write_slice(off, &slabs[pi][start..start + len]);
+    });
+}
+
+fn pull_layer(
+    partition: &dyn Partition,
+    system: &mut NscSystem,
+    plane: PlaneId,
+    slabs: &mut [Vec<f64>],
+    pi: usize,
+    axis: usize,
+    g: usize,
+) {
+    let p = &partition.parts()[pi];
+    for_face_rows(p, axis, g, |start, len| {
+        let off = partition.word_offset(pi, 1, start);
+        let words = system.node(p.node).mem.plane(plane).read_vec(off, len as u64);
+        slabs[pi][start..start + len].copy_from_slice(&words);
+    });
 }
 
 /// Outcome of a distributed Jacobi solve.
@@ -151,7 +264,7 @@ pub struct DistributedJacobiRun {
     pub aggregate_mflops: f64,
 }
 
-/// Point Jacobi for the 3-D Poisson problem, strip-decomposed across a
+/// Point Jacobi for the 3-D Poisson problem, domain-decomposed across a
 /// simulated hypercube with halo exchange.
 #[derive(Debug, Clone)]
 pub struct DistributedJacobiWorkload {
@@ -164,6 +277,9 @@ pub struct DistributedJacobiWorkload {
     /// Cap on ping-pong sweep pairs (the convergence test runs once per
     /// pair, as in the serial document).
     pub max_pairs: u32,
+    /// How to cut the grid (`Auto` resolves to strips: a tall iteration
+    /// grid has the lowest surface-to-volume along its slowest axis).
+    pub partition: PartitionSpec,
 }
 
 impl Workload<NscSystem> for DistributedJacobiWorkload {
@@ -182,41 +298,46 @@ impl Workload<NscSystem> for DistributedJacobiWorkload {
         if (self.u0.nx, self.u0.ny, self.u0.nz) != (self.f.nx, self.f.ny, self.f.nz) {
             return Err(NscError::Workload("iterate and right-hand side grids differ".into()));
         }
-        let decomp = DecomposedGrid::strip_1d(self.u0.nx * self.u0.ny, self.u0.nz, system.cube)?;
+        let shape = GridShape::volume3d(self.u0.nx, self.u0.ny, self.u0.nz);
+        let partition = self.partition.build(shape, system.cube, false)?;
+        let parts = partition.parts();
+        let pool = partition.node_pool();
+        let members = partition.member_nodes();
 
         // Load every node's slab problem (ghosts included, so the first
         // sweep needs no exchange) and compile its sweep pair.
-        for s in &decomp.strips {
-            let lu0 = local_slab(&decomp, s.ring_pos, &self.u0);
-            let lf = local_slab(&decomp, s.ring_pos, &self.f);
-            let state = JacobiHostState::new(&lu0, &lf);
-            load_problem(system.node_mut(s.node), &state, JacobiVariant::Full);
+        let u_slabs = local_grids3(partition.as_ref(), &self.u0);
+        let f_slabs = local_grids3(partition.as_ref(), &self.f);
+        for (p, (lu0, lf)) in parts.iter().zip(u_slabs.iter().zip(&f_slabs)) {
+            let state = JacobiHostState::new(lu0, lf);
+            load_problem(system.node_mut(p.node), &state, JacobiVariant::Full);
         }
-        let (even, odd) = compile_pair_per_strip(session, &decomp, |s, parity| {
-            build_jacobi_sweep_document(
-                JacobiGeometry::slab(self.u0.nx, self.u0.ny, s.local_planes()),
-                parity,
-            )
+        let (even, odd) = compile_pair_per_part(session, partition.as_ref(), |p, parity| {
+            let (lnx, lny, lnz) = p.local_shape();
+            build_jacobi_sweep_document(JacobiGeometry::slab(lnx, lny, lnz), parity)
         })?;
         let even_refs: Vec<&CompiledProgram> = even.iter().collect();
         let odd_refs: Vec<&CompiledProgram> = odd.iter().collect();
 
         let before: Vec<PerfCounters> = system.nodes().iter().map(|n| n.counters).collect();
         let opts = RunOptions::default();
+        let halo = HaloSpec::stencil();
         let mut pairs = 0u64;
         let mut residual = f64::INFINITY;
         let mut converged = false;
         while pairs < u64::from(self.max_pairs) && !converged {
-            // Even sweep (u0 -> u1) on every node concurrently, then push
-            // the new boundary planes into the neighbours' ghosts.
-            run_compiled_batch(&even_refs, system.nodes_mut(), &opts).map_err(attribute_node)?;
-            decomp.halo_exchange(system, PLANE_U1, 1);
+            // Even sweep (u0 -> u1) on every part concurrently, then push
+            // the new boundary faces into the neighbours' ghosts.
+            run_compiled_on_pool(&even_refs, system.nodes_mut(), &pool, &opts)
+                .map_err(|e| attribute_part(parts, e))?;
+            partition.halo_exchange(system, PLANE_U1, 1, &halo);
             // Odd sweep (u1 -> u0), exchange again.
-            run_compiled_batch(&odd_refs, system.nodes_mut(), &opts).map_err(attribute_node)?;
-            decomp.halo_exchange(system, PLANE_U0, 1);
+            run_compiled_on_pool(&odd_refs, system.nodes_mut(), &pool, &opts)
+                .map_err(|e| attribute_part(parts, e))?;
+            partition.halo_exchange(system, PLANE_U0, 1, &halo);
             // The pair's convergence test: a butterfly max-reduction of
             // the per-node residual scalars (the odd sweep's).
-            let (r, _) = system.global_max_cache_scalar(RESIDUAL_CACHE, 0);
+            let (r, _) = system.pool_max_cache_scalar(&members, RESIDUAL_CACHE, 0);
             residual = r;
             pairs += 1;
             converged = residual < self.tol;
@@ -224,21 +345,20 @@ impl Workload<NscSystem> for DistributedJacobiWorkload {
 
         // Reassemble the iterate from the u0 planes (pairs always end on
         // the odd sweep, exactly like the serial document's loop body).
-        let pw = decomp.plane_words;
-        let locals: Vec<Vec<f64>> = decomp
-            .strips
+        let locals: Vec<Vec<f64>> = parts
             .iter()
-            .map(|s| {
+            .enumerate()
+            .map(|(pi, p)| {
                 system
-                    .node(s.node)
+                    .node(p.node)
                     .mem
                     .plane(PLANE_U0)
-                    .read_vec(pw as u64, (s.local_planes() * pw) as u64)
+                    .read_vec(partition.word_offset(pi, 1, 0), p.local_words() as u64)
             })
             .collect();
         let mut u = Grid3::new(self.u0.nx, self.u0.ny, self.u0.nz);
         u.h = self.u0.h;
-        u.data = decomp.gather(&locals);
+        u.data = partition.gather(&locals);
 
         let m = measure_system_run(system, &before);
         Ok(DistributedJacobiRun {
@@ -287,6 +407,8 @@ pub struct DistributedSorWorkload {
     pub tol: f64,
     /// Cap on sweeps.
     pub max_sweeps: usize,
+    /// How to cut the grid.
+    pub partition: PartitionSpec,
 }
 
 impl Workload<NscSystem> for DistributedSorWorkload {
@@ -310,12 +432,11 @@ impl Workload<NscSystem> for DistributedSorWorkload {
         if (self.u0.nx, self.u0.ny, self.u0.nz) != (self.f.nx, self.f.ny, self.f.nz) {
             return Err(NscError::Workload("iterate and right-hand side grids differ".into()));
         }
-        let pw = self.u0.nx * self.u0.ny;
-        let decomp = DecomposedGrid::strip_1d(pw, self.u0.nz, system.cube)?;
-        let mut locals: Vec<Grid3> =
-            (0..decomp.strips.len()).map(|i| local_slab(&decomp, i, &self.u0)).collect();
-        let fs: Vec<Grid3> =
-            (0..decomp.strips.len()).map(|i| local_slab(&decomp, i, &self.f)).collect();
+        let shape = GridShape::volume3d(self.u0.nx, self.u0.ny, self.u0.nz);
+        let partition = self.partition.build(shape, system.cube, false)?;
+        let members = partition.member_nodes();
+        let mut locals = local_grids3(partition.as_ref(), &self.u0);
+        let fs = local_grids3(partition.as_ref(), &self.f);
 
         let comm_before = system.comm_ns;
         let omega = self.omega;
@@ -324,7 +445,7 @@ impl Workload<NscSystem> for DistributedSorWorkload {
         let mut converged = false;
         while sweeps < self.max_sweeps && !converged {
             // Every block relaxes concurrently (host compute; the slab
-            // interior excludes ghost planes, which hold until exchanged).
+            // interior excludes ghost faces, which hold until exchanged).
             let mut block_res = vec![0.0f64; locals.len()];
             let _ = crossbeam::thread::scope(|scope| {
                 for ((u, f), res) in locals.iter_mut().zip(&fs).zip(block_res.iter_mut()) {
@@ -334,37 +455,24 @@ impl Workload<NscSystem> for DistributedSorWorkload {
                 }
             });
             // Halos travel through the router: stage each block's boundary
-            // planes in its node's u0 plane, exchange, read ghosts back.
-            for s in &decomp.strips {
-                let u = &locals[s.ring_pos];
-                let node = system.node_mut(s.node);
-                for z in [s.start, s.start + s.len - 1] {
-                    let lo = s.local_index(z) * pw;
-                    node.mem
-                        .plane_mut(PLANE_U0)
-                        .write_slice(decomp.word_offset(1, s.local_index(z)), &u.data[lo..lo + pw]);
-                }
-            }
-            decomp.halo_exchange(system, PLANE_U0, 1);
-            for s in &decomp.strips {
-                let u = &mut locals[s.ring_pos];
-                let mem = system.node(s.node).mem.plane(PLANE_U0);
-                let mut pull = |local_plane: usize| {
-                    let ghost = mem.read_vec(decomp.word_offset(1, local_plane), pw as u64);
-                    u.data[local_plane * pw..(local_plane + 1) * pw].copy_from_slice(&ghost);
-                };
-                if s.lo_ghost {
-                    pull(0);
-                }
-                if s.hi_ghost {
-                    pull(s.local_planes() - 1);
-                }
+            // faces in its node's u0 plane, exchange, read ghosts back.
+            let mut slabs: Vec<Vec<f64>> =
+                locals.iter_mut().map(|g| std::mem::take(&mut g.data)).collect();
+            host_halo_exchange(
+                partition.as_ref(),
+                system,
+                PLANE_U0,
+                &mut slabs,
+                &HaloSpec::stencil(),
+            );
+            for (u, slab) in locals.iter_mut().zip(slabs) {
+                u.data = slab;
             }
             // Global convergence test through the butterfly reduction.
-            for (s, r) in decomp.strips.iter().zip(&block_res) {
-                system.node_mut(s.node).mem.cache_mut(RESIDUAL_CACHE).write(0, 0, *r);
+            for (p, r) in partition.parts().iter().zip(&block_res) {
+                system.node_mut(p.node).mem.cache_mut(RESIDUAL_CACHE).write(0, 0, *r);
             }
-            let (r, _) = system.global_max_cache_scalar(RESIDUAL_CACHE, 0);
+            let (r, _) = system.pool_max_cache_scalar(&members, RESIDUAL_CACHE, 0);
             residual = r;
             sweeps += 1;
             converged = residual < self.tol;
@@ -373,7 +481,7 @@ impl Workload<NscSystem> for DistributedSorWorkload {
         let flat: Vec<Vec<f64>> = locals.into_iter().map(|g| g.data).collect();
         let mut u = Grid3::new(self.u0.nx, self.u0.ny, self.u0.nz);
         u.h = self.u0.h;
-        u.data = decomp.gather(&flat);
+        u.data = partition.gather(&flat);
         Ok(DistributedSorRun {
             u,
             residual,
@@ -401,25 +509,35 @@ mod tests {
         let n = 8;
         let (u0, f, _) = manufactured_problem(n);
         let session = Session::nsc_1988();
-        let mut sys = system(2, &session); // 4 nodes, strips of 2 planes
-        let w = DistributedJacobiWorkload { u0: u0.clone(), f: f.clone(), tol: 0.0, max_pairs: 3 };
-        let run = w.execute(&session, &mut sys).expect("runs");
-        assert_eq!(run.sweeps, 6);
-        assert!(!run.converged);
-
         let mut host = JacobiHostState::new(&u0, &f);
         let mut host_res = 0.0;
         for _ in 0..6 {
             host_res = jacobi_sweep_host(&mut host);
         }
         let host_u = host.current();
-        for (a, b) in run.u.data.iter().zip(&host_u.data) {
-            assert_eq!(a.to_bits(), b.to_bits(), "distributed and serial sweeps must agree");
+
+        // Strips on a 4-node ring AND blocks on a 2x2 torus: both must
+        // reproduce the serial bits exactly.
+        for spec in [PartitionSpec::Strip, PartitionSpec::Block] {
+            let mut sys = system(2, &session);
+            let w = DistributedJacobiWorkload {
+                u0: u0.clone(),
+                f: f.clone(),
+                tol: 0.0,
+                max_pairs: 3,
+                partition: spec,
+            };
+            let run = w.execute(&session, &mut sys).expect("runs");
+            assert_eq!(run.sweeps, 6);
+            assert!(!run.converged);
+            for (a, b) in run.u.data.iter().zip(&host_u.data) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{spec:?} and serial sweeps must agree");
+            }
+            assert_eq!(run.residual.to_bits(), host_res.to_bits(), "global max matches {spec:?}");
+            // Communication happened and was charged per node.
+            assert!(run.per_node.iter().all(|c| c.comm_ns > 0), "{spec:?}");
+            assert!(run.aggregate_mflops > 0.0);
         }
-        assert_eq!(run.residual.to_bits(), host_res.to_bits(), "global max matches");
-        // Communication happened and was charged per node.
-        assert!(run.per_node.iter().all(|c| c.comm_ns > 0));
-        assert!(run.aggregate_mflops > 0.0);
     }
 
     #[test]
@@ -428,7 +546,13 @@ mod tests {
         let (u0, f, exact) = manufactured_problem(n);
         let session = Session::nsc_1988();
         let mut sys = system(1, &session);
-        let w = DistributedJacobiWorkload { u0, f, tol: 1e-9, max_pairs: 2000 };
+        let w = DistributedJacobiWorkload {
+            u0,
+            f,
+            tol: 1e-9,
+            max_pairs: 2000,
+            partition: PartitionSpec::Auto,
+        };
         let run = w.execute(&session, &mut sys).expect("runs");
         assert!(run.converged, "residual {}", run.residual);
         assert!(run.u.linf_diff(&exact) < 0.1, "err {}", run.u.linf_diff(&exact));
@@ -443,7 +567,13 @@ mod tests {
         revised.name = "revised".into();
         let mut alien =
             NscSystem::new(HypercubeConfig::new(1), nsc_core::Session::new(revised).kb());
-        let w = DistributedJacobiWorkload { u0, f, tol: 0.0, max_pairs: 1 };
+        let w = DistributedJacobiWorkload {
+            u0,
+            f,
+            tol: 0.0,
+            max_pairs: 1,
+            partition: PartitionSpec::Auto,
+        };
         assert!(matches!(w.execute(&session, &mut alien), Err(NscError::Workload(_))));
 
         // 6 planes across 8 nodes cannot give every node 3 local planes.
@@ -456,29 +586,38 @@ mod tests {
         let n = 10;
         let (u0, f, exact) = manufactured_problem(n);
         let session = Session::nsc_1988();
-        let mut sys = system(2, &session);
-        let w = DistributedSorWorkload {
+        // Serial SOR baseline.
+        let serial = SorWorkload {
             u0: u0.clone(),
             f: f.clone(),
             omega: 1.5,
             tol: 1e-10,
             max_sweeps: 20_000,
         };
-        let run = w.execute(&session, &mut sys).expect("runs");
-        assert!(run.converged, "residual {}", run.residual);
-        assert!(run.u.linf_diff(&exact) < 0.1);
-        assert!(run.comm_ns > 0, "halos and reductions cost router time");
-
-        // Same fixed point as the serial SOR baseline.
-        let serial = SorWorkload { u0, f, omega: 1.5, tol: 1e-10, max_sweeps: 20_000 };
         let mut node = session.node();
         let sref = serial.execute(&session, &mut node).expect("serial runs");
         assert!(sref.converged);
-        assert!(
-            run.u.linf_diff(&sref.u) < 1e-6,
-            "block and serial SOR disagree by {}",
-            run.u.linf_diff(&sref.u)
-        );
+
+        for spec in [PartitionSpec::Strip, PartitionSpec::Block] {
+            let mut sys = system(2, &session);
+            let w = DistributedSorWorkload {
+                u0: u0.clone(),
+                f: f.clone(),
+                omega: 1.5,
+                tol: 1e-10,
+                max_sweeps: 20_000,
+                partition: spec,
+            };
+            let run = w.execute(&session, &mut sys).expect("runs");
+            assert!(run.converged, "{spec:?} residual {}", run.residual);
+            assert!(run.u.linf_diff(&exact) < 0.1);
+            assert!(run.comm_ns > 0, "halos and reductions cost router time");
+            assert!(
+                run.u.linf_diff(&sref.u) < 1e-6,
+                "{spec:?} block and serial SOR disagree by {}",
+                run.u.linf_diff(&sref.u)
+            );
+        }
     }
 
     #[test]
@@ -486,7 +625,14 @@ mod tests {
         let (u0, f, _) = manufactured_problem(8);
         let session = Session::nsc_1988();
         let mut sys = system(1, &session);
-        let w = DistributedSorWorkload { u0, f, omega: 2.5, tol: 1e-8, max_sweeps: 5 };
+        let w = DistributedSorWorkload {
+            u0,
+            f,
+            omega: 2.5,
+            tol: 1e-8,
+            max_sweeps: 5,
+            partition: PartitionSpec::Auto,
+        };
         assert!(matches!(w.execute(&session, &mut sys), Err(NscError::Workload(_))));
     }
 }

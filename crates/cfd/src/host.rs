@@ -39,6 +39,38 @@ pub fn jacobi_update_tree(
     (unew, dm)
 }
 
+/// The *damped* update, as the `build_damped_jacobi_sweep_document`
+/// pipeline computes it: the plain tree's update scaled by `omega` before
+/// the mask — the multigrid smoothing kernel. Returns `(unew, dm)` where
+/// `dm` is the omega-scaled masked update the residual reduction sees.
+#[inline]
+#[allow(clippy::too_many_arguments)] // one argument per stencil stream, mirroring the diagram
+pub fn damped_jacobi_update_tree(
+    up: f64,
+    down: f64,
+    north: f64,
+    south: f64,
+    east: f64,
+    west: f64,
+    center: f64,
+    g: f64,
+    mask: f64,
+    omega: f64,
+) -> (f64, f64) {
+    let s1 = up + down;
+    let s2 = north + south;
+    let s3 = east + west;
+    let s4 = s1 + s2;
+    let s5 = s4 + s3;
+    let t = s5 - g;
+    let uj = t * (1.0 / 6.0);
+    let d = uj - center;
+    let dw = d * omega;
+    let dm = dw * mask;
+    let unew = center + dm;
+    (unew, dm)
+}
+
 /// Ping-pong state of the host Jacobi iteration on padded arrays.
 #[derive(Debug, Clone)]
 pub struct JacobiHostState {
@@ -221,22 +253,87 @@ pub fn jacobi2d_sweep_host(state: &mut Jacobi2dHostState) -> f64 {
     res
 }
 
+/// The constants folded into the cavity's FTCS vorticity-transport
+/// pipeline, computed in one place so the host mirror and the document
+/// builder share the exact same values (a division folded differently
+/// would shift the last ulp).
+#[derive(Debug, Clone, Copy)]
+pub struct FtcsCoeffs {
+    /// Central-difference factor `1 / (2h)`.
+    pub c1: f64,
+    /// Diffusion factor `1 / (h² Re)`.
+    pub c2: f64,
+    /// Time step.
+    pub dt: f64,
+}
+
+impl FtcsCoeffs {
+    /// Coefficients for mesh spacing `h`, Reynolds number `re`, step `dt`.
+    pub fn new(h: f64, re: f64, dt: f64) -> Self {
+        FtcsCoeffs { c1: 1.0 / (2.0 * h), c2: 1.0 / (h * h * re), dt }
+    }
+}
+
+/// One FTCS vorticity-transport update, as the
+/// `build_ftcs_transport_document` pipeline computes it:
+/// `ω' = ω + mask · dt · (∇²ω/Re − u ω_x − v ω_y)` with `u = ψ_y`,
+/// `v = −ψ_x` by central differences, in the diagram's fixed operation
+/// order.
+#[inline]
+#[allow(clippy::too_many_arguments)] // one argument per stencil stream, mirroring the diagram
+pub fn ftcs_update_tree(
+    psi_n: f64,
+    psi_s: f64,
+    psi_e: f64,
+    psi_w: f64,
+    w_n: f64,
+    w_s: f64,
+    w_e: f64,
+    w_w: f64,
+    w_c: f64,
+    mask: f64,
+    coeffs: &FtcsCoeffs,
+) -> f64 {
+    let u = (psi_n - psi_s) * coeffs.c1;
+    let v = (psi_w - psi_e) * coeffs.c1;
+    let wx = (w_e - w_w) * coeffs.c1;
+    let wy = (w_n - w_s) * coeffs.c1;
+    let s1 = w_e + w_w;
+    let s2 = w_n + w_s;
+    let s4 = s1 + s2;
+    let m4 = w_c * 4.0;
+    let ld = s4 - m4;
+    let dif = ld * coeffs.c2;
+    let a1 = u * wx;
+    let a2 = v * wy;
+    let adv = a1 + a2;
+    let rhs = dif - adv;
+    let upd = rhs * coeffs.dt;
+    let um = upd * mask;
+    w_c + um
+}
+
 /// Max-norm residual of `-∇²u - f` over interior points (the conventional
-/// measure, for convergence comparisons across methods).
+/// measure, for convergence comparisons across methods). Point for point
+/// this is the shared `lap_at` kernel, so a decomposed residual check
+/// that reduces per-block maxima reproduces the same value exactly (max
+/// is order-independent).
 pub fn residual_linf(u: &Grid3, f: &Grid3) -> f64 {
     let h2 = u.h * u.h;
     let mut r = 0.0f64;
     for k in 1..u.nz - 1 {
         for j in 1..u.ny - 1 {
             for i in 1..u.nx - 1 {
-                let lap = (u.at(i + 1, j, k)
-                    + u.at(i - 1, j, k)
-                    + u.at(i, j + 1, k)
-                    + u.at(i, j - 1, k)
-                    + u.at(i, j, k + 1)
-                    + u.at(i, j, k - 1)
-                    - 6.0 * u.at(i, j, k))
-                    / h2;
+                let lap = crate::multigrid::lap_at(
+                    u.at(i + 1, j, k),
+                    u.at(i - 1, j, k),
+                    u.at(i, j + 1, k),
+                    u.at(i, j - 1, k),
+                    u.at(i, j, k + 1),
+                    u.at(i, j, k - 1),
+                    u.at(i, j, k),
+                    h2,
+                );
                 r = r.max((-lap - f.at(i, j, k)).abs());
             }
         }

@@ -29,38 +29,45 @@
 //!   `nsc_core::Workload` implementations (Jacobi on the NSC, host SOR,
 //!   multigrid with NSC-priced smoothing) for batch harnesses and
 //!   benchmarks;
-//! * [`decomp`] — 1-D strip domain decomposition of solver grids onto the
-//!   hypercube, with ghost planes and the halo-exchange step through the
-//!   hyperspace router;
+//! * [`partition`] — topology-aware domain decomposition behind the
+//!   [`Partition`] trait: [`StripPartition`] (1-D strips of planes on the
+//!   Gray ring) and [`BlockPartition`] (2-D blocks on a Gray-embedded
+//!   torus), both with ghost layers refreshed through the hyperspace
+//!   router per a [`HaloSpec`];
 //! * [`distributed`] — the decomposed solvers: Jacobi compiled per node
 //!   slab and run concurrently across the cube (bit-identical to the
 //!   serial sweeps), and the block-SOR host baseline with router-charged
-//!   halos;
+//!   halos — both decomposition-agnostic over the [`Partition`] trait;
 //! * [`cavity`] — the lid-driven cavity (vorticity–stream-function, after
 //!   Matyka physics/0407002), whose per-step stream-function Poisson
-//!   solve runs through the distributed 2-D pipeline end-to-end.
+//!   solve *and* vorticity transport run through the distributed 2-D
+//!   pipelines end-to-end.
 
 pub mod cavity;
-pub mod decomp;
 pub mod diagrams;
 pub mod distributed;
 pub mod grid;
 pub mod host;
+pub mod mg_distributed;
 pub mod multigrid;
 pub mod nsc_run;
+pub mod partition;
 pub mod workloads;
 
-pub use self::cavity::{CavityRun, CavityWorkload, Poisson2dSolver};
-pub use self::decomp::{DecomposedGrid, Strip};
+pub use self::cavity::{CavityRun, CavityWorkload, Poisson2dSolver, VorticityTransport};
 pub use self::diagrams::{
-    build_chebyshev_document, build_jacobi2d_sweep_document, build_jacobi_document,
-    build_jacobi_sweep_document, JacobiVariant,
+    build_chebyshev_document, build_damped_jacobi_sweep_document, build_jacobi2d_sweep_document,
+    build_jacobi_document, build_jacobi_sweep_document, JacobiVariant,
 };
 pub use self::distributed::{
     DistributedJacobiRun, DistributedJacobiWorkload, DistributedSorRun, DistributedSorWorkload,
 };
 pub use self::grid::{Grid2, Grid3, PaddedField};
 pub use self::host::{jacobi_sweep_host, residual_linf, sor_sweep_host, JacobiHostState};
+pub use self::mg_distributed::{DistributedMultigridRun, DistributedMultigridWorkload};
 pub use self::multigrid::{vcycle, MgOptions, MgStats};
 pub use self::nsc_run::{load_problem, prepare, run_jacobi, run_jacobi_on_node, JacobiRun};
+pub use self::partition::{
+    AxisSpan, BlockPartition, GridShape, HaloSpec, Part, Partition, PartitionSpec, StripPartition,
+};
 pub use self::workloads::{JacobiWorkload, MultigridRun, MultigridWorkload, SorRun, SorWorkload};

@@ -9,7 +9,7 @@
 //! fine-grid sweeps, exactly the motivation of ref. \[6\].
 
 use crate::grid::Grid3;
-use crate::host::residual_linf;
+use crate::host::{damped_jacobi_update_tree, residual_linf};
 
 /// Multigrid parameters.
 #[derive(Debug, Clone, Copy)]
@@ -42,26 +42,99 @@ pub struct MgStats {
     pub residual_history: Vec<f64>,
 }
 
-/// One damped-Jacobi smoothing sweep for `-∇²u = f`.
+/// One damped-Jacobi smoothing sweep for `-∇²u = f`, computed point for
+/// point as the NSC's damped sweep pipeline computes it
+/// ([`damped_jacobi_update_tree`], with `g = -(h² f)` and an interior mask
+/// of one) — so a machine-resident smoothing sweep on a decomposed slab is
+/// bit-identical to this host sweep on the points a node owns.
 pub fn smooth(u: &mut Grid3, f: &Grid3, omega: f64) {
     let h2 = u.h * u.h;
     let mut next = u.clone();
     for k in 1..u.nz - 1 {
         for j in 1..u.ny - 1 {
             for i in 1..u.nx - 1 {
-                let sum = u.at(i + 1, j, k)
-                    + u.at(i - 1, j, k)
-                    + u.at(i, j + 1, k)
-                    + u.at(i, j - 1, k)
-                    + u.at(i, j, k + 1)
-                    + u.at(i, j, k - 1);
-                let jac = (sum + h2 * f.at(i, j, k)) / 6.0;
-                let old = u.at(i, j, k);
-                *next.at_mut(i, j, k) = old + omega * (jac - old);
+                let g = -(h2 * f.at(i, j, k));
+                let (unew, _) = damped_jacobi_update_tree(
+                    u.at(i, j, k + 1),
+                    u.at(i, j, k - 1),
+                    u.at(i, j + 1, k),
+                    u.at(i, j - 1, k),
+                    u.at(i + 1, j, k),
+                    u.at(i - 1, j, k),
+                    u.at(i, j, k),
+                    g,
+                    1.0,
+                    omega,
+                );
+                *next.at_mut(i, j, k) = unew;
             }
         }
     }
     std::mem::swap(u, &mut next);
+}
+
+/// The seven-point Laplacian at one point, in the fixed evaluation order
+/// every residual computation shares (east, west, north, south, up, down).
+#[inline]
+#[allow(clippy::too_many_arguments)] // one argument per stencil neighbour
+pub(crate) fn lap_at(
+    east: f64,
+    west: f64,
+    north: f64,
+    south: f64,
+    up: f64,
+    down: f64,
+    center: f64,
+    h2: f64,
+) -> f64 {
+    (east + west + north + south + up + down - 6.0 * center) / h2
+}
+
+/// The 27-point full-weighting sum around one coarse point; `at(di, dj,
+/// dk)` reads the fine grid relative to the coarse point's fine-grid
+/// image. The fixed loop order makes every caller bit-compatible.
+pub(crate) fn full_weight_at(at: impl Fn(i32, i32, i32) -> f64) -> f64 {
+    let mut acc = 0.0;
+    for (dk, wk) in [(-1i32, 0.25), (0, 0.5), (1, 0.25)] {
+        for (dj, wj) in [(-1i32, 0.25), (0, 0.5), (1, 0.25)] {
+            for (di, wi) in [(-1i32, 0.25), (0, 0.5), (1, 0.25)] {
+                acc += wi * wj * wk * at(di, dj, dk);
+            }
+        }
+    }
+    acc
+}
+
+/// The trilinear interpolant of the coarse grid at fine point `(i, j,
+/// k)`; `coarse_at` reads coarse-grid points. The fixed loop order (and
+/// the skip of zero weights) makes every caller bit-compatible.
+pub(crate) fn prolong_value(
+    coarse_at: impl Fn(usize, usize, usize) -> f64,
+    i: usize,
+    j: usize,
+    k: usize,
+) -> f64 {
+    let (ic, fi) = (i / 2, (i % 2) as f64 * 0.5);
+    let (jc, fj) = (j / 2, (j % 2) as f64 * 0.5);
+    let (kc, fk) = (k / 2, (k % 2) as f64 * 0.5);
+    let mut acc = 0.0;
+    for (dk, wk) in [(0usize, 1.0 - fk), (1, fk)] {
+        if wk == 0.0 {
+            continue;
+        }
+        for (dj, wj) in [(0usize, 1.0 - fj), (1, fj)] {
+            if wj == 0.0 {
+                continue;
+            }
+            for (di, wi) in [(0usize, 1.0 - fi), (1, fi)] {
+                if wi == 0.0 {
+                    continue;
+                }
+                acc += wi * wj * wk * coarse_at(ic + di, jc + dj, kc + dk);
+            }
+        }
+    }
+    acc
 }
 
 /// Pointwise residual `r = f + ∇²u` (zero on the boundary).
@@ -72,14 +145,16 @@ fn residual_field(u: &Grid3, f: &Grid3) -> Grid3 {
     for k in 1..u.nz - 1 {
         for j in 1..u.ny - 1 {
             for i in 1..u.nx - 1 {
-                let lap = (u.at(i + 1, j, k)
-                    + u.at(i - 1, j, k)
-                    + u.at(i, j + 1, k)
-                    + u.at(i, j - 1, k)
-                    + u.at(i, j, k + 1)
-                    + u.at(i, j, k - 1)
-                    - 6.0 * u.at(i, j, k))
-                    / h2;
+                let lap = lap_at(
+                    u.at(i + 1, j, k),
+                    u.at(i - 1, j, k),
+                    u.at(i, j + 1, k),
+                    u.at(i, j - 1, k),
+                    u.at(i, j, k + 1),
+                    u.at(i, j, k - 1),
+                    u.at(i, j, k),
+                    h2,
+                );
                 *r.at_mut(i, j, k) = f.at(i, j, k) + lap;
             }
         }
@@ -88,28 +163,17 @@ fn residual_field(u: &Grid3, f: &Grid3) -> Grid3 {
 }
 
 /// Full-weighting restriction to the `(n+1)/2` coarse grid.
-fn restrict(fine: &Grid3) -> Grid3 {
+pub(crate) fn restrict(fine: &Grid3) -> Grid3 {
     let nc = fine.nx.div_ceil(2);
     let mut coarse = Grid3::new(nc, nc, nc);
     coarse.h = fine.h * 2.0;
     for kc in 1..nc - 1 {
         for jc in 1..nc - 1 {
             for ic in 1..nc - 1 {
-                let (i, j, k) = (2 * ic, 2 * jc, 2 * kc);
-                let mut acc = 0.0;
-                for (dk, wk) in [(-1i32, 0.25), (0, 0.5), (1, 0.25)] {
-                    for (dj, wj) in [(-1i32, 0.25), (0, 0.5), (1, 0.25)] {
-                        for (di, wi) in [(-1i32, 0.25), (0, 0.5), (1, 0.25)] {
-                            let v = fine.at(
-                                (i as i32 + di) as usize,
-                                (j as i32 + dj) as usize,
-                                (k as i32 + dk) as usize,
-                            );
-                            acc += wi * wj * wk * v;
-                        }
-                    }
-                }
-                *coarse.at_mut(ic, jc, kc) = acc;
+                let (i, j, k) = (2 * ic as i32, 2 * jc as i32, 2 * kc as i32);
+                *coarse.at_mut(ic, jc, kc) = full_weight_at(|di, dj, dk| {
+                    fine.at((i + di) as usize, (j + dj) as usize, (k + dk) as usize)
+                });
             }
         }
     }
@@ -122,33 +186,19 @@ fn prolong_add(fine: &mut Grid3, coarse: &Grid3) {
     for k in 1..nf - 1 {
         for j in 1..nf - 1 {
             for i in 1..nf - 1 {
-                let (ic, fi) = (i / 2, (i % 2) as f64 * 0.5);
-                let (jc, fj) = (j / 2, (j % 2) as f64 * 0.5);
-                let (kc, fk) = (k / 2, (k % 2) as f64 * 0.5);
-                let mut acc = 0.0;
-                for (dk, wk) in [(0usize, 1.0 - fk), (1, fk)] {
-                    if wk == 0.0 {
-                        continue;
-                    }
-                    for (dj, wj) in [(0usize, 1.0 - fj), (1, fj)] {
-                        if wj == 0.0 {
-                            continue;
-                        }
-                        for (di, wi) in [(0usize, 1.0 - fi), (1, fi)] {
-                            if wi == 0.0 {
-                                continue;
-                            }
-                            acc += wi * wj * wk * coarse.at(ic + di, jc + dj, kc + dk);
-                        }
-                    }
-                }
-                *fine.at_mut(i, j, k) += acc;
+                *fine.at_mut(i, j, k) += prolong_value(|ic, jc, kc| coarse.at(ic, jc, kc), i, j, k);
             }
         }
     }
 }
 
-fn vcycle_level(u: &mut Grid3, f: &Grid3, opts: &MgOptions, fine_points: f64, stats: &mut MgStats) {
+pub(crate) fn vcycle_level(
+    u: &mut Grid3,
+    f: &Grid3,
+    opts: &MgOptions,
+    fine_points: f64,
+    stats: &mut MgStats,
+) {
     let weight = u.len() as f64 / fine_points;
     if u.nx <= 3 {
         for _ in 0..opts.coarse_sweeps {

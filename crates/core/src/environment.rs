@@ -2,19 +2,16 @@
 //!
 //! [`VisualEnvironment`] owns the knowledge base and hands out the
 //! interactive pieces (checker-connected editors, diagram renders). The
-//! compile-and-run half now lives in the typed stage pipeline of
-//! [`Session`] / [`CompiledProgram`](crate::CompiledProgram); the old
-//! `generate` / `execute` entry points remain as thin deprecated shims
-//! over it.
+//! compile-and-run half lives in the typed stage pipeline of
+//! [`Session`] / [`CompiledProgram`](crate::CompiledProgram); reach it
+//! through [`VisualEnvironment::session`].
 
-use crate::error::NscError;
 use crate::session::Session;
 use nsc_arch::{KnowledgeBase, MachineConfig};
 use nsc_checker::{Checker, Diagnostic};
-use nsc_codegen::{GenError, GenOutput};
 use nsc_diagram::Document;
 use nsc_editor::Editor;
-use nsc_sim::{NodeSim, RunOptions, RunStats};
+use nsc_sim::NodeSim;
 
 /// The whole environment for one machine configuration.
 #[derive(Debug, Clone)]
@@ -65,54 +62,9 @@ impl VisualEnvironment {
         Session::from_kb(self.kb.clone())
     }
 
-    /// Bind unbound icons, then generate microcode.
-    ///
-    /// Deprecated shim: bind and check failures are folded back into
-    /// [`GenError::CheckFailed`] to preserve the old signature. Use
-    /// [`Session::compile`], which reports each stage distinctly.
-    #[deprecated(since = "0.1.0", note = "use VisualEnvironment::session() + Session::compile")]
-    pub fn generate(&self, doc: &mut Document) -> Result<GenOutput, GenError> {
-        self.session().compile(doc).map(|c| c.output).map_err(|e| match e {
-            NscError::BindFailed(d) => GenError::CheckFailed(d.into_vec()),
-            // The old path reported only the errors of a failed global
-            // check; drop the warnings the session keeps alongside them.
-            NscError::CheckFailed(d) => GenError::CheckFailed(
-                d.into_vec()
-                    .into_iter()
-                    .filter(|d| d.severity == nsc_checker::Severity::Error)
-                    .collect(),
-            ),
-            NscError::Gen(g) => g,
-            // compile() only emits the three variants above.
-            other => GenError::Unsupported(other.to_string()),
-        })
-    }
-
     /// A fresh simulated node for this machine.
     pub fn node(&self) -> NodeSim {
         NodeSim::new(self.kb.clone())
-    }
-
-    /// Generate and execute a document on a node (the full Figure 3 pass).
-    ///
-    /// Deprecated shim over [`Session::compile`] +
-    /// [`CompiledProgram::run`](crate::CompiledProgram::run). Simulator
-    /// failures surface as their own [`NscError`] variants (never folded
-    /// into [`GenError`]), and tripping the instruction-budget guard is an
-    /// error rather than a silent [`HaltReason`](nsc_sim::HaltReason).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use VisualEnvironment::session() + Session::compile + CompiledProgram::run"
-    )]
-    pub fn execute(
-        &self,
-        doc: &mut Document,
-        node: &mut NodeSim,
-        opts: &RunOptions,
-    ) -> Result<(GenOutput, RunStats), NscError> {
-        let compiled = self.session().compile(doc)?;
-        let report = compiled.run(node, opts)?;
-        Ok((compiled.output, report.stats))
     }
 
     /// Render every pipeline of a document (the §6 "back end to a
@@ -161,9 +113,10 @@ pub fn auto_layout(ed: &mut Editor, pipeline: nsc_diagram::PipelineId) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::NscError;
     use nsc_arch::{AlsKind, FuOp, InPort, PlaneId};
     use nsc_diagram::{DmaAttrs, FuAssign, IconKind, PadLoc, PadRef};
-    use nsc_sim::HaltReason;
+    use nsc_sim::{HaltReason, RunOptions};
 
     /// Build a MP0 -> neg -> MP1 document through the environment's editor.
     fn small_doc(env: &VisualEnvironment) -> Document {
@@ -220,29 +173,6 @@ mod tests {
             doc.pipeline_mut(pid).unwrap().add_icon(IconKind::als(AlsKind::Triplet));
         }
         assert!(matches!(env.session().compile(&mut doc), Err(NscError::BindFailed(_))));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_drive_the_pipeline() {
-        // The old entry points stay alive for one release: generate folds
-        // bind failures into GenError::CheckFailed, execute delegates to
-        // the session but reports errors as NscError.
-        let env = VisualEnvironment::nsc_1988();
-        let mut unbindable = Document::new("too-many");
-        let pid = unbindable.add_pipeline("p");
-        for _ in 0..5 {
-            unbindable.pipeline_mut(pid).unwrap().add_icon(IconKind::als(AlsKind::Triplet));
-        }
-        assert!(matches!(env.generate(&mut unbindable), Err(GenError::CheckFailed(_))));
-
-        let mut doc = small_doc(&env);
-        let mut node = env.node();
-        node.mem.plane_mut(PlaneId(0)).write_slice(0, &[1.0, -2.0, 3.0]);
-        let (out, stats) =
-            env.execute(&mut doc, &mut node, &RunOptions::default()).expect("executes");
-        assert_eq!(out.program.len(), 1);
-        assert_eq!(stats.halted, HaltReason::Halt);
     }
 
     #[test]

@@ -66,10 +66,10 @@
 //! ```
 //!
 //! [`Session::run_batch`] extends the same pipeline to many documents
-//! across a pool of nodes; the [`Workload`] trait packages whole solver
-//! problems (see `nsc-cfd`'s Jacobi/SOR/multigrid workloads) behind it.
-//! The old `VisualEnvironment::generate` / `execute` entry points survive
-//! as thin deprecated shims over the session.
+//! across a pool of nodes ([`run_compiled_on_pool`] drives an explicit
+//! subset — the nodes of one sub-cube embedding); the [`Workload`] trait
+//! packages whole solver problems (see `nsc-cfd`'s Jacobi/SOR/multigrid
+//! workloads) behind it.
 
 pub mod debugger;
 pub mod environment;
@@ -80,5 +80,6 @@ pub use self::debugger::{DebugFrame, DebugReport};
 pub use self::environment::VisualEnvironment;
 pub use self::error::{DiagnosticSet, NscError};
 pub use self::session::{
-    run_compiled_batch, BatchReport, CompiledProgram, RunReport, Session, Workload,
+    run_compiled_batch, run_compiled_on_pool, BatchReport, CompiledProgram, RunReport, Session,
+    Workload,
 };

@@ -164,6 +164,48 @@ pub fn run_compiled_batch(
     nodes: &mut [NodeSim],
     opts: &RunOptions,
 ) -> Result<BatchReport, NscError> {
+    run_compiled_on_lanes(programs, nodes.iter_mut().collect(), opts)
+}
+
+/// Execute compiled programs across a *pool* — an explicit subset of a
+/// node slice, in pool order: program `i` runs on
+/// `nodes[pool[i % pool.len()]]`. This is how an embedding hosted on a
+/// sub-cube drives exactly its own nodes (several embeddings on disjoint
+/// sub-cubes of one system can be driven from different threads without
+/// contending for the whole slice — each call borrows only its pool).
+/// Pool indices must be distinct and in range; failure semantics match
+/// [`Session::run_batch`].
+pub fn run_compiled_on_pool(
+    programs: &[&CompiledProgram],
+    nodes: &mut [NodeSim],
+    pool: &[usize],
+    opts: &RunOptions,
+) -> Result<BatchReport, NscError> {
+    if pool.is_empty() {
+        return if programs.is_empty() {
+            Ok(BatchReport::default())
+        } else {
+            Err(NscError::EmptyPool)
+        };
+    }
+    // Take disjoint mutable borrows of the pool's nodes, in pool order.
+    let mut all: Vec<Option<&mut NodeSim>> = nodes.iter_mut().map(Some).collect();
+    let picked: Vec<&mut NodeSim> = pool
+        .iter()
+        .map(|&i| {
+            all.get_mut(i)
+                .and_then(Option::take)
+                .unwrap_or_else(|| panic!("pool node {i} out of range or repeated"))
+        })
+        .collect();
+    run_compiled_on_lanes(programs, picked, opts)
+}
+
+fn run_compiled_on_lanes(
+    programs: &[&CompiledProgram],
+    mut nodes: Vec<&mut NodeSim>,
+    opts: &RunOptions,
+) -> Result<BatchReport, NscError> {
     if programs.is_empty() {
         return Ok(BatchReport::default());
     }

@@ -162,29 +162,51 @@ impl NscSystem {
         ns
     }
 
-    /// Swap equal-length blocks between two nodes — a *sendrecv*. The two
-    /// messages traverse the same e-cube route in opposite directions on
-    /// full-duplex links, so they overlap: each endpoint is charged one
-    /// message time (the system-serialized `comm_ns` still counts both).
-    /// Returns the per-endpoint time in ns.
+    /// Swap one *face* — many equal-length word chunks, scattered through
+    /// each node's plane — between two nodes as a single full-duplex
+    /// sendrecv. The router streams a face as one message (one startup,
+    /// total face words), not one message per chunk: the DMA engines
+    /// gather and scatter the strided chunks at the endpoints. Chunk `i`
+    /// read at `a_send[i]` lands at `b_recv[i]` and vice versa. Returns
+    /// the per-endpoint time in ns (the serialized `comm_ns` counts both
+    /// directions).
     #[allow(clippy::too_many_arguments)] // one argument per route endpoint coordinate
-    pub fn exchange_bidirectional(
+    pub fn exchange_face_bidirectional(
         &mut self,
         a: NodeId,
         a_plane: PlaneId,
-        a_send: u64,
-        a_recv: u64,
+        a_send: &[u64],
+        a_recv: &[u64],
         b: NodeId,
         b_plane: PlaneId,
-        b_send: u64,
-        b_recv: u64,
-        len: u64,
+        b_send: &[u64],
+        b_recv: &[u64],
+        chunk_len: u64,
     ) -> u64 {
-        let ab = self.nodes[a.index()].mem.plane(a_plane).read_vec(a_send, len);
-        let ba = self.nodes[b.index()].mem.plane(b_plane).read_vec(b_send, len);
-        self.nodes[b.index()].mem.plane_mut(b_plane).write_slice(b_recv, &ab);
-        self.nodes[a.index()].mem.plane_mut(a_plane).write_slice(a_recv, &ba);
-        let ns = self.cube.message_ns(a, b, len);
+        assert!(
+            a_send.len() == b_recv.len() && b_send.len() == a_recv.len(),
+            "face chunk lists must pair up"
+        );
+        let gather = |mem: &crate::NodeMemory, plane: PlaneId, offs: &[u64]| -> Vec<f64> {
+            let mut out = Vec::with_capacity(offs.len() * chunk_len as usize);
+            for &off in offs {
+                out.extend(mem.plane(plane).read_vec(off, chunk_len));
+            }
+            out
+        };
+        let ab = gather(&self.nodes[a.index()].mem, a_plane, a_send);
+        let ba = gather(&self.nodes[b.index()].mem, b_plane, b_send);
+        let mut scatter = |node: NodeId, plane: PlaneId, offs: &[u64], data: &[f64]| {
+            let mem = &mut self.nodes[node.index()].mem;
+            for (i, &off) in offs.iter().enumerate() {
+                let lo = i * chunk_len as usize;
+                mem.plane_mut(plane).write_slice(off, &data[lo..lo + chunk_len as usize]);
+            }
+        };
+        scatter(b, b_plane, b_recv, &ab);
+        scatter(a, a_plane, a_recv, &ba);
+        let words = chunk_len * a_send.len().max(b_send.len()) as u64;
+        let ns = self.cube.message_ns(a, b, words);
         self.comm_ns += 2 * ns;
         self.nodes[a.index()].counters.comm_ns += ns;
         if b != a {
@@ -197,19 +219,33 @@ impl NscSystem {
     /// a dimension-ordered butterfly (log2(n) exchange rounds of one word).
     /// Returns `(max value, reduction time in ns)`.
     pub fn global_max_cache_scalar(&mut self, cache: nsc_arch::CacheId, offset: u64) -> (f64, u64) {
-        let value = self
-            .nodes
+        let members: Vec<NodeId> = (0..self.nodes.len()).map(|i| NodeId(i as u16)).collect();
+        self.pool_max_cache_scalar(&members, cache, offset)
+    }
+
+    /// Max-reduction of a cache scalar across an explicit pool of nodes —
+    /// the members of one sub-cube embedding — charged as a butterfly over
+    /// the pool (log2(pool) exchange rounds of one word). Nodes outside
+    /// the pool neither contribute a value nor pay for the reduction.
+    /// Returns `(max value, reduction time in ns)`.
+    pub fn pool_max_cache_scalar(
+        &mut self,
+        members: &[NodeId],
+        cache: nsc_arch::CacheId,
+        offset: u64,
+    ) -> (f64, u64) {
+        let value = members
             .iter()
-            .map(|n| n.mem.cache(cache).read(0, offset))
+            .map(|&m| self.nodes[m.index()].mem.cache(cache).read(0, offset))
             .fold(f64::NEG_INFINITY, f64::max);
         // Butterfly: every round crosses one cube dimension (distance-1
-        // links), one word per message; every node participates in every
-        // round, so each node is charged the full butterfly.
-        let per_round = self.cube.router.message_ns(1, 1);
-        let ns = per_round * self.cube.dimension as u64;
+        // links), one word per message; every member participates in every
+        // round, so each member is charged the full butterfly.
+        let rounds = members.len().next_power_of_two().trailing_zeros() as u64;
+        let ns = self.cube.router.message_ns(1, 1) * rounds;
         self.comm_ns += ns;
-        for n in &mut self.nodes {
-            n.counters.comm_ns += ns;
+        for &m in members {
+            self.nodes[m.index()].counters.comm_ns += ns;
         }
         (value, ns)
     }
@@ -354,18 +390,19 @@ mod tests {
 
     #[test]
     fn bidirectional_exchange_swaps_blocks_for_one_message_time() {
+        // A one-chunk face is the plain contiguous sendrecv.
         let mut sys = small_system(2);
         sys.node_mut(NodeId(1)).mem.planes[0].write_slice(0, &[1.0, 2.0]);
         sys.node_mut(NodeId(3)).mem.planes[0].write_slice(10, &[7.0, 8.0]);
-        let ns = sys.exchange_bidirectional(
+        let ns = sys.exchange_face_bidirectional(
             NodeId(1),
             PlaneId(0),
-            0,  // send base
-            20, // recv base
+            &[0],  // send base
+            &[20], // recv base
             NodeId(3),
             PlaneId(0),
-            10,
-            30,
+            &[10],
+            &[30],
             2,
         );
         assert_eq!(sys.node(NodeId(3)).mem.planes[0].read_vec(30, 2), vec![1.0, 2.0]);
@@ -374,6 +411,39 @@ mod tests {
         assert_eq!(ns, msg);
         assert_eq!(sys.comm_ns, 2 * msg, "both messages count in the serialized view");
         assert_eq!(sys.node(NodeId(1)).counters.comm_ns, msg, "full-duplex overlap per node");
+        assert_eq!(sys.node(NodeId(3)).counters.comm_ns, msg);
+    }
+
+    #[test]
+    fn face_exchange_swaps_strided_chunks_for_one_message_time() {
+        let mut sys = small_system(2);
+        // Node 1 sends a "column": 3 chunks of 2 words at stride 8.
+        sys.node_mut(NodeId(1)).mem.planes[0].write_slice(0, &[1.0, 2.0]);
+        sys.node_mut(NodeId(1)).mem.planes[0].write_slice(8, &[3.0, 4.0]);
+        sys.node_mut(NodeId(1)).mem.planes[0].write_slice(16, &[5.0, 6.0]);
+        sys.node_mut(NodeId(3)).mem.planes[0].write_slice(100, &[9.0, 8.0]);
+        sys.node_mut(NodeId(3)).mem.planes[0].write_slice(108, &[7.0, 6.0]);
+        sys.node_mut(NodeId(3)).mem.planes[0].write_slice(116, &[5.0, 4.0]);
+        let ns = sys.exchange_face_bidirectional(
+            NodeId(1),
+            PlaneId(0),
+            &[0, 8, 16],
+            &[40, 48, 56],
+            NodeId(3),
+            PlaneId(0),
+            &[100, 108, 116],
+            &[140, 148, 156],
+            2,
+        );
+        assert_eq!(sys.node(NodeId(3)).mem.planes[0].read_vec(140, 2), vec![1.0, 2.0]);
+        assert_eq!(sys.node(NodeId(3)).mem.planes[0].read_vec(156, 2), vec![5.0, 6.0]);
+        assert_eq!(sys.node(NodeId(1)).mem.planes[0].read_vec(40, 2), vec![9.0, 8.0]);
+        assert_eq!(sys.node(NodeId(1)).mem.planes[0].read_vec(56, 2), vec![5.0, 4.0]);
+        // One message of the whole 6-word face per direction, not three.
+        let msg = sys.cube.router.message_ns(1, 6);
+        assert_eq!(ns, msg);
+        assert_eq!(sys.comm_ns, 2 * msg);
+        assert_eq!(sys.node(NodeId(1)).counters.comm_ns, msg);
         assert_eq!(sys.node(NodeId(3)).counters.comm_ns, msg);
     }
 

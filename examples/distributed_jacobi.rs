@@ -10,7 +10,7 @@
 //! Run with: `cargo run --release --example distributed_jacobi`
 
 use nsc::arch::HypercubeConfig;
-use nsc::cfd::{grid::manufactured_problem, DistributedJacobiWorkload};
+use nsc::cfd::{grid::manufactured_problem, DistributedJacobiWorkload, PartitionSpec};
 use nsc::env::{Session, Workload};
 use nsc::sim::NscSystem;
 
@@ -21,12 +21,24 @@ fn main() {
     let clock = session.kb().config().clock_hz;
 
     println!("distributed Jacobi, {n}^3 Poisson, tol 1e-9:\n");
-    println!("nodes   sweeps   aggregate MFLOPS   simulated s   comm share   error vs exact");
+    println!("nodes   part    sweeps   aggregate MFLOPS   simulated s   comm share   error");
     let mut serial_u: Option<Vec<u64>> = None;
-    for dim in 0..=3u32 {
+    for (dim, spec) in [
+        (0, PartitionSpec::Strip),
+        (1, PartitionSpec::Strip),
+        (2, PartitionSpec::Strip),
+        (2, PartitionSpec::Block),
+        (3, PartitionSpec::Strip),
+        (3, PartitionSpec::Block),
+    ] {
         let mut sys = NscSystem::new(HypercubeConfig::new(dim), session.kb());
-        let w =
-            DistributedJacobiWorkload { u0: u0.clone(), f: f.clone(), tol: 1e-9, max_pairs: 2000 };
+        let w = DistributedJacobiWorkload {
+            u0: u0.clone(),
+            f: f.clone(),
+            tol: 1e-9,
+            max_pairs: 2000,
+            partition: spec,
+        };
         let run = w.execute(&session, &mut sys).expect("distributed solve");
         assert!(run.converged, "did not converge at {} nodes", sys.node_count());
         let comm_s: f64 = run
@@ -35,8 +47,9 @@ fn main() {
             .map(|c| c.seconds_with_comm(clock) - c.seconds(clock))
             .fold(0.0, f64::max);
         println!(
-            "{:>5}   {:>6}   {:>16.1}   {:>11.4}   {:>9.1}%   {:.3e}",
+            "{:>5}   {:<5}   {:>6}   {:>16.1}   {:>11.4}   {:>9.1}%   {:.3e}",
             sys.node_count(),
+            format!("{spec:?}").to_lowercase(),
             run.sweeps,
             run.aggregate_mflops,
             run.simulated_seconds,
@@ -44,8 +57,8 @@ fn main() {
             run.u.linf_diff(&exact)
         );
 
-        // Decomposition must not change the arithmetic: every cube size
-        // produces the same bits.
+        // The decomposition must not change the arithmetic: every cube
+        // size and every partition shape produces the same bits.
         let bits: Vec<u64> = run.u.data.iter().map(|v| v.to_bits()).collect();
         match &serial_u {
             None => serial_u = Some(bits),
@@ -54,5 +67,5 @@ fn main() {
             }
         }
     }
-    println!("\nall cube sizes agree bit-for-bit with the single-node solve.");
+    println!("\nall cube sizes and partitions agree bit-for-bit with the single-node solve.");
 }

@@ -4,7 +4,7 @@
 
 use nsc::arch::PlaneId;
 use nsc::diagram::Document;
-use nsc::env::{NscError, Session};
+use nsc::env::{run_compiled_on_pool, NscError, Session};
 use nsc::sim::RunOptions;
 
 mod common;
@@ -85,6 +85,36 @@ fn empty_inputs_are_handled_without_threads() {
 
     let mut docs = vec![scale_doc(1.0, 0)];
     let err = session.run_batch(&mut docs, &mut [], &RunOptions::default()).unwrap_err();
+    assert!(matches!(err, NscError::EmptyPool));
+}
+
+#[test]
+fn an_explicit_pool_drives_only_its_own_nodes() {
+    // The per-embedding shape: four nodes, a pool naming nodes 2 and 1 (in
+    // that order) — program i runs on pool[i], the other nodes stay idle.
+    let session = Session::nsc_1988();
+    let compiled: Vec<_> = (0..2)
+        .map(|i| {
+            let mut doc = scale_doc((i + 2) as f64, 0);
+            session.compile(&mut doc).expect("compiles")
+        })
+        .collect();
+    let programs: Vec<_> = compiled.iter().collect();
+    let mut nodes: Vec<_> = (0..4).map(|_| session.node()).collect();
+    for node in &mut nodes {
+        node.mem.plane_mut(PlaneId(0)).write_slice(0, &[1.0, 1.0, 1.0]);
+    }
+    let report =
+        run_compiled_on_pool(&programs, &mut nodes, &[2, 1], &RunOptions::default()).expect("pool");
+    assert_eq!(report.runs.len(), 2);
+    assert_eq!(report.nodes_used, 2);
+    assert_eq!(nodes[2].mem.plane(PlaneId(1)).read_vec(0, 3), vec![2.0, 2.0, 2.0]);
+    assert_eq!(nodes[1].mem.plane(PlaneId(1)).read_vec(0, 3), vec![3.0, 3.0, 3.0]);
+    assert_eq!(nodes[0].counters.instructions, 0, "outside the pool");
+    assert_eq!(nodes[3].counters.instructions, 0, "outside the pool");
+
+    // An empty pool with work to do is an error.
+    let err = run_compiled_on_pool(&programs, &mut nodes, &[], &RunOptions::default()).unwrap_err();
     assert!(matches!(err, NscError::EmptyPool));
 }
 

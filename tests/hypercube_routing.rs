@@ -3,11 +3,12 @@
 //! distributed run, every ghost plane in node memory holds exactly the
 //! bits the serial solver has at that global plane.
 
-use nsc::arch::{HypercubeConfig, NodeId};
-use nsc::cfd::decomp::DecomposedGrid;
+use nsc::arch::{HypercubeConfig, NodeId, SubCubeAllocator};
 use nsc::cfd::diagrams::PLANE_U0;
 use nsc::cfd::host::{jacobi_sweep_host, JacobiHostState};
-use nsc::cfd::{DistributedJacobiWorkload, Grid3};
+use nsc::cfd::{
+    DistributedJacobiWorkload, Grid3, GridShape, Partition, PartitionSpec, StripPartition,
+};
 use nsc::env::{Session, Workload};
 use nsc::sim::NscSystem;
 use proptest::prelude::*;
@@ -64,6 +65,80 @@ proptest! {
             }
         }
     }
+
+    #[test]
+    fn prop_torus_adjacency_is_always_one_hop(
+        dim in 0u32..=6,
+        row_bits in 0u32..=6,
+    ) {
+        // Every rows x cols factorization of the cube: distinct
+        // torus-adjacent positions, wrap-around included, sit one hop
+        // apart.
+        let cube = HypercubeConfig::new(dim);
+        let row_bits = row_bits.min(dim);
+        let t = cube.torus2d(1 << row_bits, 1 << (dim - row_bits));
+        for r in 0..t.rows() {
+            for c in 0..t.cols() {
+                let here = t.node(r, c);
+                for n in [
+                    t.row_neighbour(r, c, 1),
+                    t.row_neighbour(r, c, -1),
+                    t.col_neighbour(r, c, 1),
+                    t.col_neighbour(r, c, -1),
+                ] {
+                    if n != here {
+                        prop_assert_eq!(cube.hops(here, n), 1, "at ({}, {})", r, c);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prop_gray_round_trips_on_the_2d_index_map(
+        dim in 0u32..=6,
+        row_bits in 0u32..=6,
+    ) {
+        // node() and coords() are inverse bijections built from
+        // gray/gray_inverse on each bit field, so every position round
+        // trips and every sub-cube node hosts exactly one position.
+        let cube = HypercubeConfig::new(dim);
+        let row_bits = row_bits.min(dim);
+        let t = cube.torus2d(1 << row_bits, 1 << (dim - row_bits));
+        let mut seen = std::collections::HashSet::new();
+        for r in 0..t.rows() {
+            for c in 0..t.cols() {
+                let node = t.node(r, c);
+                prop_assert_eq!(t.coords(node), Some((r, c)), "round trip at ({}, {})", r, c);
+                prop_assert!(seen.insert(node), "{} hosts two positions", node);
+            }
+        }
+        prop_assert_eq!(seen.len(), cube.nodes());
+    }
+
+    #[test]
+    fn prop_subcube_allocations_are_disjoint(
+        dim in 0u32..=6,
+        requests in prop::collection::vec(0u32..=6, 1..12),
+    ) {
+        let cube = HypercubeConfig::new(dim);
+        let mut alloc = SubCubeAllocator::new(&cube);
+        let mut claimed: Vec<Option<u32>> = vec![None; cube.nodes()];
+        let mut granted = 0usize;
+        for (gi, &want) in requests.iter().enumerate() {
+            let Some(sc) = alloc.allocate(want.min(dim)) else { continue };
+            for node in sc.members() {
+                prop_assert_eq!(
+                    claimed[node.index()].replace(gi as u32),
+                    None,
+                    "{} handed out twice",
+                    node
+                );
+            }
+            granted += sc.nodes();
+        }
+        prop_assert_eq!(granted + alloc.free_nodes(), cube.nodes(), "no nodes lost");
+    }
 }
 
 #[test]
@@ -80,7 +155,13 @@ fn halo_exchange_ghost_cells_match_the_serial_solver_bit_for_bit() {
     }
     let session = Session::nsc_1988();
     let mut sys = NscSystem::new(HypercubeConfig::new(2), session.kb());
-    let w = DistributedJacobiWorkload { u0: u0.clone(), f: f.clone(), tol: 0.0, max_pairs: 2 };
+    let w = DistributedJacobiWorkload {
+        u0: u0.clone(),
+        f: f.clone(),
+        tol: 0.0,
+        max_pairs: 2,
+        partition: PartitionSpec::Strip,
+    };
     let run = w.execute(&session, &mut sys).expect("distributed run");
     assert_eq!(run.sweeps, 4);
 
@@ -91,28 +172,29 @@ fn halo_exchange_ghost_cells_match_the_serial_solver_bit_for_bit() {
     let serial = host.current();
 
     let pw = n * n;
-    let decomp = DecomposedGrid::strip_1d(pw, n, sys.cube).expect("decomposes");
+    let decomp = StripPartition::new(GridShape::volume3d(n, n, n), sys.cube).expect("decomposes");
     let mut ghosts_checked = 0;
-    for s in &decomp.strips {
-        let mem = sys.node(s.node).mem.plane(PLANE_U0);
+    for (pi, p) in decomp.parts().iter().enumerate() {
+        let mem = sys.node(p.node).mem.plane(PLANE_U0);
+        let s = p.spans[2];
         let mut check = |local_plane: usize, global_plane: usize| {
-            let got = mem.read_vec(decomp.word_offset(1, local_plane), pw as u64);
+            let got = mem.read_vec(decomp.word_offset(pi, 1, local_plane * pw), pw as u64);
             let want = &serial.data[global_plane * pw..(global_plane + 1) * pw];
             for (a, b) in got.iter().zip(want) {
                 assert_eq!(
                     a.to_bits(),
                     b.to_bits(),
                     "ghost plane {global_plane} of node {} diverged",
-                    s.node
+                    p.node
                 );
             }
             ghosts_checked += 1;
         };
-        if s.lo_ghost {
+        if s.lo_ghost > 0 {
             check(0, s.start - 1);
         }
-        if s.hi_ghost {
-            check(s.local_planes() - 1, s.start + s.len);
+        if s.hi_ghost > 0 {
+            check(s.local_len() - 1, s.start + s.len);
         }
     }
     assert_eq!(ghosts_checked, 6, "three interior boundaries, two ghosts each");
