@@ -34,6 +34,13 @@ struct Baseline {
     cavity: Vec<CavityPoint>,
     /// Distributed multigrid on 17^3, two V-cycles, at 1/4/8 nodes.
     multigrid: Vec<ScalingPoint>,
+    /// Distributed Jacobi 64^3 at 8 nodes through the *overlapped* sweep
+    /// engine (halo exchange hidden under interior compute). The gate
+    /// asserts this is strictly faster than the synchronized 8-node run.
+    jacobi_overlap_8: ScalingPoint,
+    /// Distributed multigrid 17^3 at 8 nodes, overlapped smoothing; same
+    /// strictly-faster-than-synchronized assertion.
+    multigrid_overlap_8: ScalingPoint,
 }
 
 /// Simulated figures never flake, but they may legitimately improve; only
@@ -43,9 +50,11 @@ const TOLERATED_DROP: f64 = 0.20;
 fn measure() -> Baseline {
     Baseline {
         jacobi_mflops: jacobi_node_mflops(12),
-        strong_scaling: (0..=3u32).map(|dim| strong_scaling_point(dim, 64, 1)).collect(),
-        cavity: [0u32, 2].iter().map(|&dim| cavity_point(dim, 17, 2)).collect(),
-        multigrid: [0u32, 2, 3].iter().map(|&dim| multigrid_point(dim, 17, 2)).collect(),
+        strong_scaling: (0..=3u32).map(|dim| strong_scaling_point(dim, 64, 1, false)).collect(),
+        cavity: [0u32, 2].iter().map(|&dim| cavity_point(dim, 17, 2, false)).collect(),
+        multigrid: [0u32, 2, 3].iter().map(|&dim| multigrid_point(dim, 17, 2, false)).collect(),
+        jacobi_overlap_8: strong_scaling_point(3, 64, 1, true),
+        multigrid_overlap_8: multigrid_point(3, 17, 2, true),
     }
 }
 
@@ -97,11 +106,38 @@ fn check(current: &Baseline, baseline: &Baseline) -> Result<(), String> {
             "MFLOPS",
         );
     }
-    // The acceptance bar is absolute, not relative to the baseline.
+    for (name, c, b) in [
+        ("jacobi 64^3 @ 8 overlapped", &current.jacobi_overlap_8, &baseline.jacobi_overlap_8),
+        (
+            "multigrid 17^3 @ 8 overlapped",
+            &current.multigrid_overlap_8,
+            &baseline.multigrid_overlap_8,
+        ),
+    ] {
+        // Simulated time gates as a rate so "bigger is better" holds.
+        gate(name.into(), 1.0 / c.simulated_seconds, 1.0 / b.simulated_seconds, "runs/s");
+    }
+    // The acceptance bars are absolute, not relative to the baseline.
     let one = current.strong_scaling.first().map(|p| p.aggregate_mflops).unwrap_or(0.0);
     let eight = current.strong_scaling.last().map(|p| p.aggregate_mflops).unwrap_or(0.0);
     if eight < 4.0 * one {
         failures.push(format!("8-node scaling {eight:.1} < 4x 1-node {one:.1}"));
+    }
+    // Overlap must *strictly* beat synchronization at 8 nodes: hiding the
+    // halo exchange under interior compute is the whole point.
+    let sync_jacobi_8 = current.strong_scaling.last().map(|p| p.simulated_seconds).unwrap_or(0.0);
+    if current.jacobi_overlap_8.simulated_seconds >= sync_jacobi_8 {
+        failures.push(format!(
+            "overlapped jacobi 64^3 @ 8 ({:.5}s) not faster than synchronized ({sync_jacobi_8:.5}s)",
+            current.jacobi_overlap_8.simulated_seconds
+        ));
+    }
+    let sync_mg_8 = current.multigrid.last().map(|p| p.simulated_seconds).unwrap_or(0.0);
+    if current.multigrid_overlap_8.simulated_seconds >= sync_mg_8 {
+        failures.push(format!(
+            "overlapped multigrid 17^3 @ 8 ({:.5}s) not faster than synchronized ({sync_mg_8:.5}s)",
+            current.multigrid_overlap_8.simulated_seconds
+        ));
     }
     if failures.is_empty() {
         Ok(())

@@ -30,7 +30,9 @@ pub struct ScalingPoint {
 
 /// Run the distributed Jacobi workload for a fixed number of ping-pong
 /// pairs on a `2^dim`-node cube and report the simulated aggregate rate.
-pub fn strong_scaling_point(dim: u32, n: usize, pairs: u32) -> ScalingPoint {
+/// `overlap` runs the latency-hidden sweep engine instead of the
+/// synchronized compute-then-exchange loop.
+pub fn strong_scaling_point(dim: u32, n: usize, pairs: u32, overlap: bool) -> ScalingPoint {
     let session = Session::nsc_1988();
     let mut sys = NscSystem::new(nsc_arch::HypercubeConfig::new(dim), session.kb());
     let (u0, f, _) = manufactured_problem(n);
@@ -40,6 +42,7 @@ pub fn strong_scaling_point(dim: u32, n: usize, pairs: u32) -> ScalingPoint {
         tol: 0.0,
         max_pairs: pairs,
         partition: nsc_cfd::PartitionSpec::Strip,
+        overlap,
     };
     let run = w.execute(&session, &mut sys).expect("distributed jacobi runs");
     ScalingPoint {
@@ -73,11 +76,12 @@ pub struct CavityPoint {
 /// Run the cavity for a fixed number of time steps on a `2^dim`-node cube
 /// and report the simulated time per step. Deterministic: the per-step
 /// ψ-solve sweep counts are fixed by the (simulated) convergence history.
-pub fn cavity_point(dim: u32, n: usize, steps: usize) -> CavityPoint {
+pub fn cavity_point(dim: u32, n: usize, steps: usize, overlap: bool) -> CavityPoint {
     let session = Session::nsc_1988();
     let mut sys = NscSystem::new(nsc_arch::HypercubeConfig::new(dim), session.kb());
     let mut w = CavityWorkload::new(n, 50.0, steps);
     w.psi_tol = 1e-6;
+    w.overlap = overlap;
     let run = w.execute(&session, &mut sys).expect("cavity runs");
     CavityPoint {
         nodes: sys.node_count(),
@@ -88,7 +92,8 @@ pub fn cavity_point(dim: u32, n: usize, steps: usize) -> CavityPoint {
 
 /// Run the distributed multigrid workload for a fixed number of V-cycles
 /// on a `2^dim`-node cube and report the simulated aggregate rate.
-pub fn multigrid_point(dim: u32, n: usize, cycles: usize) -> ScalingPoint {
+/// `overlap` hides the smoother's halo exchanges under interior compute.
+pub fn multigrid_point(dim: u32, n: usize, cycles: usize, overlap: bool) -> ScalingPoint {
     let session = Session::nsc_1988();
     let mut sys = NscSystem::new(nsc_arch::HypercubeConfig::new(dim), session.kb());
     let (u0, f, _) = manufactured_problem(n);
@@ -98,6 +103,7 @@ pub fn multigrid_point(dim: u32, n: usize, cycles: usize) -> ScalingPoint {
         tol: 0.0,
         max_cycles: cycles,
         opts: MgOptions::default(),
+        overlap,
     };
     let run = w.execute(&session, &mut sys).expect("distributed multigrid runs");
     ScalingPoint {

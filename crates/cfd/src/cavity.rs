@@ -24,15 +24,16 @@
 //! (step 2, `O(n)` wall work) stays on the host.
 
 use crate::diagrams::{
-    build_ftcs_transport_document, build_jacobi2d_sweep_document, Jacobi2dGeometry, PLANE_G,
-    PLANE_MASK, PLANE_U0, PLANE_U1, PLANE_W0, PLANE_W1, PLANE_WC, RESIDUAL_CACHE,
+    build_ftcs_transport_document, build_jacobi2d_sweep_document_windows, Jacobi2dGeometry,
+    PLANE_G, PLANE_MASK, PLANE_U0, PLANE_U1, PLANE_W0, PLANE_W1, PLANE_WC, RESIDUAL_CACHE,
 };
 use crate::distributed::{
-    attribute_part, check_same_machine, compile_pair_per_part, compile_per_part, measure_system_run,
+    attribute_part, check_same_machine, compile_per_part, measure_system_run,
 };
 use crate::grid::{Grid2, PaddedField};
 use crate::host::{ftcs_update_tree, FtcsCoeffs};
-use crate::partition::{GridShape, HaloSpec, Partition, PartitionSpec};
+use crate::overlap::{CompiledSweep, SweepEngine, SweepIo};
+use crate::partition::{read_slabs, GridShape, HaloSpec, Partition, PartitionSpec};
 use nsc_arch::NodeId;
 use nsc_core::{run_compiled_on_pool, CompiledProgram, NscError, Session, Workload};
 use nsc_sim::{NscSystem, PerfCounters, RunOptions};
@@ -55,10 +56,10 @@ pub struct Poisson2dSolver {
     partition: Box<dyn Partition>,
     nx: usize,
     ny: usize,
-    even: Vec<CompiledProgram>,
-    odd: Vec<CompiledProgram>,
-    pool: Vec<usize>,
+    even: CompiledSweep,
+    odd: CompiledSweep,
     members: Vec<NodeId>,
+    overlap: bool,
 }
 
 impl Poisson2dSolver {
@@ -72,23 +73,36 @@ impl Poisson2dSolver {
         nx: usize,
         ny: usize,
     ) -> Result<Self, NscError> {
-        Self::with_partition(session, system, nx, ny, PartitionSpec::Auto)
+        Self::with_partition(session, system, nx, ny, PartitionSpec::Auto, false)
     }
 
-    /// [`Poisson2dSolver::new`] with an explicit decomposition choice.
+    /// [`Poisson2dSolver::new`] with an explicit decomposition choice and
+    /// overlap mode (`overlap` hides each sweep's halo exchange under its
+    /// interior pipelines — see [`SweepEngine`]).
     pub fn with_partition(
         session: &Session,
         system: &mut NscSystem,
         nx: usize,
         ny: usize,
         spec: PartitionSpec,
+        overlap: bool,
     ) -> Result<Self, NscError> {
         check_same_machine(session, system)?;
         let partition = spec.build(GridShape::plane2d(nx, ny), system.cube, true)?;
-        let (even, odd) = compile_pair_per_part(session, partition.as_ref(), |p, parity| {
-            let (lnx, lny, _) = p.local_shape();
-            build_jacobi2d_sweep_document(Jacobi2dGeometry::new(lnx, lny), parity)
-        })?;
+        let (even, odd) = {
+            let engine = SweepEngine::new(partition.as_ref(), HaloSpec::stencil(), overlap);
+            let build = |parity: bool| {
+                move |p: &crate::partition::Part, windows: &[crate::partition::SweepWindow]| {
+                    let (lnx, lny, _) = p.local_shape();
+                    build_jacobi2d_sweep_document_windows(
+                        Jacobi2dGeometry::new(lnx, lny),
+                        parity,
+                        windows,
+                    )
+                }
+            };
+            (engine.compile(session, build(true))?, engine.compile(session, build(false))?)
+        };
         for p in partition.parts() {
             // The mask is static: ghost layers and global walls hold.
             let (lnx, lny, _) = p.local_shape();
@@ -96,9 +110,8 @@ impl Poisson2dSolver {
             let mask = PaddedField::aligned2d(&local.interior_mask());
             system.node_mut(p.node).mem.plane_mut(PLANE_MASK).write_slice(0, &mask.words);
         }
-        let pool = partition.node_pool();
         let members = partition.member_nodes();
-        Ok(Poisson2dSolver { partition, nx, ny, even, odd, pool, members })
+        Ok(Poisson2dSolver { partition, nx, ny, even, odd, members, overlap })
     }
 
     /// The decomposition (for reporting and tests).
@@ -139,37 +152,26 @@ impl Poisson2dSolver {
             mem.plane_mut(PLANE_U1).write_slice(0, &padded_u.words);
         }
 
-        let even_refs: Vec<&CompiledProgram> = self.even.iter().collect();
-        let odd_refs: Vec<&CompiledProgram> = self.odd.iter().collect();
+        let engine = SweepEngine::new(self.partition.as_ref(), HaloSpec::stencil(), self.overlap);
         let opts = RunOptions::default();
-        let halo = HaloSpec::stencil();
         let mut pairs = 0u64;
         let mut residual = f64::INFINITY;
         let mut converged = false;
         while pairs < u64::from(max_pairs) && !converged {
-            run_compiled_on_pool(&even_refs, system.nodes_mut(), &self.pool, &opts)
-                .map_err(|e| attribute_part(parts, e))?;
-            self.partition.halo_exchange(system, PLANE_U1, 1, &halo);
-            run_compiled_on_pool(&odd_refs, system.nodes_mut(), &self.pool, &opts)
-                .map_err(|e| attribute_part(parts, e))?;
-            self.partition.halo_exchange(system, PLANE_U0, 1, &halo);
+            let even_io = if pairs == 0 {
+                SweepIo::first(PLANE_U0, PLANE_U1)
+            } else {
+                SweepIo::steady(PLANE_U0, PLANE_U1)
+            };
+            engine.sweep(system, &self.even, even_io, &opts)?;
+            engine.sweep(system, &self.odd, SweepIo::steady(PLANE_U1, PLANE_U0), &opts)?;
             let (r, _) = system.pool_max_cache_scalar(&self.members, RESIDUAL_CACHE, 0);
             residual = r;
             pairs += 1;
             converged = residual < tol;
         }
 
-        let locals: Vec<Vec<f64>> = parts
-            .iter()
-            .enumerate()
-            .map(|(pi, p)| {
-                system
-                    .node(p.node)
-                    .mem
-                    .plane(PLANE_U0)
-                    .read_vec(self.partition.word_offset(pi, 1, 0), p.local_words() as u64)
-            })
-            .collect();
+        let locals = read_slabs(self.partition.as_ref(), system, PLANE_U0);
         u.data = self.partition.gather(&locals);
         Ok(PoissonSolveStats { pairs, residual, converged })
     }
@@ -228,17 +230,7 @@ impl VorticityTransport {
             &RunOptions::default(),
         )
         .map_err(|e| attribute_part(parts, e))?;
-        let locals: Vec<Vec<f64>> = parts
-            .iter()
-            .enumerate()
-            .map(|(pi, p)| {
-                system
-                    .node(p.node)
-                    .mem
-                    .plane(PLANE_W1)
-                    .read_vec(partition.word_offset(pi, 1, 0), p.local_words() as u64)
-            })
-            .collect();
+        let locals = read_slabs(partition, system, PLANE_W1);
         omega.data = partition.gather(&locals);
         Ok(())
     }
@@ -291,6 +283,9 @@ pub struct CavityWorkload {
     /// How to cut the plane across the cube (`Auto` resolves to 2-D
     /// blocks when the cube has both torus axes to offer).
     pub partition: PartitionSpec,
+    /// Hide each ψ-sweep's halo exchange under its interior pipelines
+    /// (see [`SweepEngine`]); bit-identical to the synchronized mode.
+    pub overlap: bool,
 }
 
 impl CavityWorkload {
@@ -306,6 +301,7 @@ impl CavityWorkload {
             psi_tol: 1e-8,
             psi_max_pairs: 20_000,
             partition: PartitionSpec::Auto,
+            overlap: false,
         }
     }
 
@@ -394,8 +390,14 @@ impl Workload<NscSystem> for CavityWorkload {
                 self.re, self.dt
             )));
         }
-        let solver =
-            Poisson2dSolver::with_partition(session, system, self.n, self.n, self.partition)?;
+        let solver = Poisson2dSolver::with_partition(
+            session,
+            system,
+            self.n,
+            self.n,
+            self.partition,
+            self.overlap,
+        )?;
         let mut psi = Grid2::new(self.n, self.n);
         let mut omega = Grid2::new(self.n, self.n);
         let coeffs = FtcsCoeffs::new(psi.h, self.re, self.dt);
@@ -510,8 +512,8 @@ mod tests {
         let coeffs = FtcsCoeffs::new(psi.h, w.re, w.dt);
         for (dim, spec) in [(0u32, PartitionSpec::Strip), (2, PartitionSpec::Block)] {
             let mut sys = system(dim, &session);
-            let solver =
-                Poisson2dSolver::with_partition(&session, &mut sys, n, n, spec).expect("compiles");
+            let solver = Poisson2dSolver::with_partition(&session, &mut sys, n, n, spec, false)
+                .expect("compiles");
             let transport =
                 VorticityTransport::new(&session, solver.partition(), coeffs).expect("compiles");
             let mut got = omega.clone();
@@ -557,18 +559,26 @@ mod tests {
         let mut w = CavityWorkload::new(9, 50.0, 4);
         w.psi_tol = 1e-6;
         let mut sys1 = system(0, &session);
-        let mut sys4 = system(2, &session);
         let a = w.execute(&session, &mut sys1).expect("1-node run");
-        let b = w.execute(&session, &mut sys4).expect("4-node run");
-        for (x, y) in a.psi.data.iter().zip(&b.psi.data) {
-            assert_eq!(x.to_bits(), y.to_bits(), "ψ differs across decompositions");
+        for overlap in [false, true] {
+            w.overlap = overlap;
+            let mut sys4 = system(2, &session);
+            let b = w.execute(&session, &mut sys4).expect("4-node run");
+            for (x, y) in a.psi.data.iter().zip(&b.psi.data) {
+                assert_eq!(x.to_bits(), y.to_bits(), "ψ differs (overlap {overlap})");
+            }
+            for (x, y) in a.omega.data.iter().zip(&b.omega.data) {
+                assert_eq!(x.to_bits(), y.to_bits(), "ω differs (overlap {overlap})");
+            }
+            assert_eq!(a.psi_pairs, b.psi_pairs, "identical convergence history");
+            // The 4-node run paid for its halos; overlapped, it hid some.
+            assert!(b.total.comm_ns > 0 && a.total.comm_ns == 0);
+            assert_eq!(
+                b.per_node.iter().any(|c| c.comm_hidden_ns > 0),
+                overlap,
+                "hidden time iff overlapped"
+            );
         }
-        for (x, y) in a.omega.data.iter().zip(&b.omega.data) {
-            assert_eq!(x.to_bits(), y.to_bits(), "ω differs across decompositions");
-        }
-        assert_eq!(a.psi_pairs, b.psi_pairs, "identical convergence history");
-        // The 4-node run paid for its halos.
-        assert!(b.total.comm_ns > 0 && a.total.comm_ns == 0);
     }
 
     #[test]

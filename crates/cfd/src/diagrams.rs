@@ -27,6 +27,7 @@
 //! memory bandwidth, is the binding resource.
 
 use crate::host::FtcsCoeffs;
+use crate::partition::SweepWindow;
 use nsc_arch::{AlsKind, CacheId, FuOp, InPort, PlaneId};
 use nsc_diagram::{
     ControlNode, ConvergenceCond, DmaAttrs, Document, FuAssign, IconId, IconKind, InputSpec,
@@ -190,9 +191,11 @@ pub fn build_jacobi_slab_document(
     let mut doc = Document::new(format!("jacobi3d-{}x{}x{}", geo.nx, geo.ny, geo.nz));
     declare_jacobi_vars(&mut doc, geo, variant);
 
+    let whole = SweepWindow::whole(geo.nz);
     let sweep_a =
-        build_sweep(&mut doc, "point Jacobi sweep (even)", "u0", "u1", geo, variant, None);
-    let sweep_b = build_sweep(&mut doc, "point Jacobi sweep (odd)", "u1", "u0", geo, variant, None);
+        build_sweep(&mut doc, "point Jacobi sweep (even)", "u0", "u1", geo, variant, None, whole);
+    let sweep_b =
+        build_sweep(&mut doc, "point Jacobi sweep (odd)", "u1", "u0", geo, variant, None, whole);
 
     let body = match variant {
         JacobiVariant::NoSdu => {
@@ -226,20 +229,23 @@ pub fn build_jacobi_slab_document(
 /// exchanges between sweeps — the convergence decision moves up to the
 /// system level (a global max-reduction of the per-node residuals).
 pub fn build_jacobi_sweep_document(geo: JacobiGeometry, even: bool) -> Document {
-    let (src, dst, tag) = if even { ("u0", "u1", "even") } else { ("u1", "u0", "odd") };
-    let mut doc = Document::new(format!("jacobi3d-sweep-{tag}-{}x{}x{}", geo.nx, geo.ny, geo.nz));
-    declare_jacobi_vars(&mut doc, geo, JacobiVariant::Full);
-    let sweep = build_sweep(
-        &mut doc,
-        &format!("point Jacobi sweep ({tag})"),
-        src,
-        dst,
-        geo,
-        JacobiVariant::Full,
-        None,
-    );
-    doc.control = Some(ControlNode::Pipeline(sweep));
-    doc
+    build_jacobi_sweep_document_windows(geo, even, &[SweepWindow::whole(geo.nz)])
+}
+
+/// [`build_jacobi_sweep_document`] restricted to output *windows*: one
+/// pipeline instruction per window, each streaming only the xy-planes its
+/// layers need and landing its own `max |masked update|` in the window's
+/// cache slot. With disjoint windows covering a slab's owned layers, the
+/// windowed document is **bit-identical** on those points to the fused
+/// sweep (same operation tree over the same inputs), and the maximum of
+/// the window residuals equals the fused residual — the split the
+/// overlapped sweep engine runs as interior and boundary-shell phases.
+pub fn build_jacobi_sweep_document_windows(
+    geo: JacobiGeometry,
+    even: bool,
+    windows: &[SweepWindow],
+) -> Document {
+    build_sweep_windows_doc(geo, even, None, windows)
 }
 
 /// Build a single *damped* Jacobi sweep as its own document: the plain
@@ -250,19 +256,50 @@ pub fn build_jacobi_sweep_document(geo: JacobiGeometry, even: bool) -> Document 
 /// residual reduction still lands `max |omega-scaled masked update|` in
 /// the cache (the distributed V-cycle ignores it).
 pub fn build_damped_jacobi_sweep_document(geo: JacobiGeometry, even: bool, omega: f64) -> Document {
+    build_damped_jacobi_sweep_document_windows(geo, even, omega, &[SweepWindow::whole(geo.nz)])
+}
+
+/// [`build_damped_jacobi_sweep_document`] restricted to output windows —
+/// see [`build_jacobi_sweep_document_windows`] for the windowing
+/// contract.
+pub fn build_damped_jacobi_sweep_document_windows(
+    geo: JacobiGeometry,
+    even: bool,
+    omega: f64,
+    windows: &[SweepWindow],
+) -> Document {
+    build_sweep_windows_doc(geo, even, Some(omega), windows)
+}
+
+/// Shared body of the windowed single-sweep builders.
+fn build_sweep_windows_doc(
+    geo: JacobiGeometry,
+    even: bool,
+    omega: Option<f64>,
+    windows: &[SweepWindow],
+) -> Document {
+    assert!(!windows.is_empty(), "a sweep document needs at least one window");
     let (src, dst, tag) = if even { ("u0", "u1", "even") } else { ("u1", "u0", "odd") };
-    let mut doc = Document::new(format!("jacobi3d-smooth-{tag}-{}x{}x{}", geo.nx, geo.ny, geo.nz));
+    let (kind, what) =
+        if omega.is_some() { ("smooth", "damped Jacobi") } else { ("sweep", "point Jacobi") };
+    let mut doc = Document::new(format!("jacobi3d-{kind}-{tag}-{}x{}x{}", geo.nx, geo.ny, geo.nz));
     declare_jacobi_vars(&mut doc, geo, JacobiVariant::Full);
-    let sweep = build_sweep(
-        &mut doc,
-        &format!("damped Jacobi sweep ({tag})"),
-        src,
-        dst,
-        geo,
-        JacobiVariant::Full,
-        Some(omega),
-    );
-    doc.control = Some(ControlNode::Pipeline(sweep));
+    let pids: Vec<_> = windows
+        .iter()
+        .map(|&w| {
+            let name = if w.len == geo.nz {
+                format!("{what} sweep ({tag})")
+            } else {
+                format!("{what} sweep ({tag}, planes {}..{})", w.start, w.start + w.len)
+            };
+            build_sweep(&mut doc, &name, src, dst, geo, JacobiVariant::Full, omega, w)
+        })
+        .collect();
+    doc.control = Some(if pids.len() == 1 {
+        ControlNode::Pipeline(pids[0])
+    } else {
+        ControlNode::Seq(pids.into_iter().map(ControlNode::Pipeline).collect())
+    });
     doc
 }
 
@@ -296,6 +333,18 @@ impl Jacobi2dGeometry {
 /// stream-function solve of the lid-driven cavity (Matyka,
 /// physics/0407002), built for the full machine only.
 pub fn build_jacobi2d_sweep_document(geo: Jacobi2dGeometry, even: bool) -> Document {
+    build_jacobi2d_sweep_document_windows(geo, even, &[SweepWindow::whole(geo.ny)])
+}
+
+/// [`build_jacobi2d_sweep_document`] restricted to output windows — runs
+/// of *rows* here, since rows play the role xy-planes play in 3-D. See
+/// [`build_jacobi_sweep_document_windows`] for the windowing contract.
+pub fn build_jacobi2d_sweep_document_windows(
+    geo: Jacobi2dGeometry,
+    even: bool,
+    windows: &[SweepWindow],
+) -> Document {
+    assert!(!windows.is_empty(), "a sweep document needs at least one window");
     let (src, dst, tag) = if even { ("u0", "u1", "even") } else { ("u1", "u0", "odd") };
     let mut doc = Document::new(format!("jacobi2d-sweep-{tag}-{}x{}", geo.nx, geo.ny));
     let np = geo.padded as u64;
@@ -303,11 +352,43 @@ pub fn build_jacobi2d_sweep_document(geo: Jacobi2dGeometry, even: bool) -> Docum
     {
         doc.decls.declare(VarDecl { name: name.into(), plane, base: 0, len: np });
     }
+    let pids: Vec<_> = windows
+        .iter()
+        .map(|&w| {
+            let name = if w.len == geo.ny {
+                format!("2-D Jacobi sweep ({tag})")
+            } else {
+                format!("2-D Jacobi sweep ({tag}, rows {}..{})", w.start, w.start + w.len)
+            };
+            build_sweep2d(&mut doc, &name, src, dst, geo, w)
+        })
+        .collect();
+    doc.control = Some(if pids.len() == 1 {
+        ControlNode::Pipeline(pids[0])
+    } else {
+        ControlNode::Seq(pids.into_iter().map(ControlNode::Pipeline).collect())
+    });
+    doc
+}
 
-    let pid = doc.add_pipeline(format!("2-D Jacobi sweep ({tag})"));
+/// One windowed 2-D five-point sweep pipeline (see
+/// [`build_jacobi2d_sweep_document_windows`]).
+fn build_sweep2d(
+    doc: &mut Document,
+    name: &str,
+    src: &str,
+    dst: &str,
+    geo: Jacobi2dGeometry,
+    window: SweepWindow,
+) -> nsc_diagram::PipelineId {
+    assert!(window.start + window.len <= geo.ny, "window exceeds the slab");
+    assert!(window.len > 0, "empty sweep window");
+    let pid = doc.add_pipeline(name);
     let h = geo.row as u64;
+    let w0 = window.start as u64 * h;
+    let wpts = window.len as u64 * h;
     let d = doc.pipeline_mut(pid).unwrap();
-    d.stream_len = geo.padded as u64;
+    d.stream_len = wpts + 2 * h;
 
     // Nine compute units on three triplets; the maxabs reduction sits on a
     // min/max-capable tail unit, as in the 3-D placement.
@@ -349,7 +430,7 @@ pub fn build_jacobi2d_sweep_document(geo: Jacobi2dGeometry, even: bool) -> Docum
         d.connect(
             PadLoc::new(mem_u, PadRef::Io),
             PadLoc::new(sdu, PadRef::SduIn),
-            Some(DmaAttrs::variable(src)),
+            Some(DmaAttrs::variable(src).with_offset(w0)),
         )
         .unwrap();
     }
@@ -394,32 +475,31 @@ pub fn build_jacobi2d_sweep_document(geo: Jacobi2dGeometry, even: bool) -> Docum
     d.connect(
         PadLoc::new(mem_g, PadRef::Io),
         fu_in(unit(SUB_G), InPort::B),
-        Some(DmaAttrs::variable("g")),
+        Some(DmaAttrs::variable("g").with_offset(w0)),
     )
     .unwrap();
     d.connect(
         PadLoc::new(mem_mask, PadRef::Io),
         fu_in(unit(MUL_MASK), InPort::B),
-        Some(DmaAttrs::variable("mask")),
+        Some(DmaAttrs::variable("mask").with_offset(w0)),
     )
     .unwrap();
 
-    // Stores: the new iterate and the residual scalar.
+    // Stores: the new iterate and the window's residual scalar.
     d.connect(
         fu_out(unit(ADD_UNEW)),
         PadLoc::new(mem_out, PadRef::Io),
-        Some(DmaAttrs::variable(dst).with_offset(h).with_count(geo.points as u64)),
+        Some(DmaAttrs::variable(dst).with_offset(h + w0).with_count(wpts)),
     )
     .unwrap();
     d.connect(
         fu_out(unit(MAXABS)),
         PadLoc::new(cache_res, PadRef::Io),
-        Some(DmaAttrs::at_address(0).last_only()),
+        Some(DmaAttrs::at_address(window.slot).last_only()),
     )
     .unwrap();
 
-    doc.control = Some(ControlNode::Pipeline(pid));
-    doc
+    pid
 }
 
 /// Vorticity plane of the cavity's FTCS transport step (stencil layout,
@@ -604,7 +684,13 @@ pub fn build_ftcs_transport_document(geo: Jacobi2dGeometry, coeffs: FtcsCoeffs) 
 
 /// One sweep pipeline reading `src` and writing `dst`. `damping` adds an
 /// `omega` multiply between the update and the mask (the multigrid
-/// smoother; full variant only).
+/// smoother; full variant only). `window` restricts the output to a run
+/// of xy-planes: the stream starts `2h` elements before the window's
+/// first output point and covers exactly `window.len` planes, so the
+/// operation tree sees the same inputs as the fused sweep on those
+/// points (the no-SDU variant streams differently and accepts only the
+/// whole-slab window).
+#[allow(clippy::too_many_arguments)] // one knob per paper experiment axis
 fn build_sweep(
     doc: &mut Document,
     name: &str,
@@ -613,17 +699,29 @@ fn build_sweep(
     geo: JacobiGeometry,
     variant: JacobiVariant,
     damping: Option<f64>,
+    window: SweepWindow,
 ) -> nsc_diagram::PipelineId {
     assert!(
         damping.is_none() || variant == JacobiVariant::Full,
         "the damped smoother is built for the full machine only"
     );
+    assert!(window.start + window.len <= geo.nz, "window exceeds the slab");
+    assert!(window.len > 0, "empty sweep window");
     let pid = doc.add_pipeline(name);
     let h = geo.plane as u64;
+    // Window origin and extent in stream elements.
+    let w0 = window.start as u64 * h;
+    let wpts = window.len as u64 * h;
     let d = doc.pipeline_mut(pid).unwrap();
     d.stream_len = match variant {
-        JacobiVariant::NoSdu => geo.points as u64,
-        _ => geo.padded as u64,
+        JacobiVariant::NoSdu => {
+            assert!(
+                window.start == 0 && window.len == geo.nz,
+                "the no-SDU variant streams whole slabs only"
+            );
+            geo.points as u64
+        }
+        _ => wpts + 2 * h,
     };
 
     // Compute units.
@@ -676,7 +774,7 @@ fn build_sweep(
                 d.connect(
                     PadLoc::new(mem_u, PadRef::Io),
                     PadLoc::new(sdu, PadRef::SduIn),
-                    Some(DmaAttrs::variable(src)),
+                    Some(DmaAttrs::variable(src).with_offset(w0)),
                 )
                 .unwrap();
             }
@@ -794,7 +892,7 @@ fn build_sweep(
     // same images starting at the data (offset 2h).
     let storage_base = match variant {
         JacobiVariant::NoSdu => 2 * h,
-        _ => 0,
+        _ => w0,
     };
     d.connect(
         PadLoc::new(mem_g, PadRef::Io),
@@ -809,18 +907,18 @@ fn build_sweep(
     )
     .unwrap();
 
-    // Stores: the new iterate (into the pong plane's interior) and the
-    // residual scalar.
+    // Stores: the new iterate (into the pong plane's window) and the
+    // window's residual scalar.
     d.connect(
         fu_out(unit(ADD_UNEW)),
         PadLoc::new(mem_out, PadRef::Io),
-        Some(DmaAttrs::variable(dst).with_offset(h).with_count(geo.points as u64)),
+        Some(DmaAttrs::variable(dst).with_offset(h + w0).with_count(wpts)),
     )
     .unwrap();
     d.connect(
         fu_out(unit(MAXABS)),
         PadLoc::new(cache_res, PadRef::Io),
-        Some(DmaAttrs::at_address(0).last_only()),
+        Some(DmaAttrs::at_address(window.slot).last_only()),
     )
     .unwrap();
 
@@ -1082,6 +1180,34 @@ mod tests {
             assert!(!has_errors(&diags), "errors: {diags:#?}");
             assert_eq!(doc.pipeline_count(), 1, "one sweep, no convergence loop");
         }
+    }
+
+    #[test]
+    fn windowed_sweep_documents_check_out() {
+        let kb = KnowledgeBase::nsc_1988();
+        let geo = JacobiGeometry::slab(5, 4, 8);
+        let windows = [
+            SweepWindow { start: 1, len: 1, slot: SweepWindow::LO_SLOT },
+            SweepWindow { start: 2, len: 5, slot: 0 },
+            SweepWindow { start: 7, len: 1, slot: SweepWindow::HI_SLOT },
+        ];
+        let mut doc = build_jacobi_sweep_document_windows(geo, true, &windows);
+        let diags = check_doc(&mut doc, &kb);
+        assert!(!has_errors(&diags), "errors: {diags:#?}");
+        assert_eq!(doc.pipeline_count(), 3, "one instruction per window");
+        let mut damped = build_damped_jacobi_sweep_document_windows(geo, false, 0.8, &windows);
+        let diags = check_doc(&mut damped, &kb);
+        assert!(!has_errors(&diags), "errors: {diags:#?}");
+
+        let g2 = Jacobi2dGeometry::new(6, 9);
+        let rows = [
+            SweepWindow { start: 0, len: 4, slot: 0 },
+            SweepWindow { start: 4, len: 5, slot: SweepWindow::HI_SLOT },
+        ];
+        let mut doc2 = build_jacobi2d_sweep_document_windows(g2, false, &rows);
+        let diags = check_doc(&mut doc2, &kb);
+        assert!(!has_errors(&diags), "errors: {diags:#?}");
+        assert_eq!(doc2.pipeline_count(), 2);
     }
 
     #[test]

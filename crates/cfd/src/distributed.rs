@@ -17,16 +17,23 @@
 //! baseline: each node relaxes its slab with the updated-in-place sweep,
 //! halos still travel through the router (charging the same communication
 //! model), and the blocks converge to the same discrete solution.
+//!
+//! Both workloads execute through the shared
+//! [`SweepEngine`]: their `overlap` knob
+//! switches between the legacy synchronized choreography (compute, then
+//! exchange) and the latency-hidden one (interior pipelines concurrent
+//! with the halo sendrecvs, boundary shells after).
 
 use crate::diagrams::{
-    build_jacobi_sweep_document, JacobiGeometry, JacobiVariant, PLANE_U0, PLANE_U1, RESIDUAL_CACHE,
+    build_jacobi_sweep_document_windows, JacobiGeometry, JacobiVariant, PLANE_U0, PLANE_U1,
+    RESIDUAL_CACHE,
 };
 use crate::grid::Grid3;
-use crate::host::{sor_sweep_host, JacobiHostState};
+use crate::host::{sor_sweep_host_layers, JacobiHostState};
 use crate::nsc_run::load_problem;
-use crate::partition::{GridShape, HaloSpec, Part, Partition, PartitionSpec};
-use nsc_arch::PlaneId;
-use nsc_core::{run_compiled_on_pool, CompiledProgram, NscError, Session, Workload};
+use crate::overlap::{SweepEngine, SweepIo};
+use crate::partition::{read_slabs, GridShape, HaloSpec, Part, Partition, PartitionSpec};
+use nsc_core::{CompiledProgram, NscError, Session, Workload};
 use nsc_sim::{NscSystem, PerfCounters, RunOptions};
 
 /// Wrap each part's slab words (ghosts included) as a [`Grid3`] on the
@@ -83,20 +90,6 @@ pub(crate) fn compile_per_part(
     Ok(programs)
 }
 
-/// Compile one (even, odd) sweep-program pair per part, indexed in part
-/// order; `build` constructs the document for a part and a parity
-/// (`true` = even, reading u0). See [`compile_per_part`] for the
-/// shape-deduplication contract.
-pub(crate) fn compile_pair_per_part(
-    session: &Session,
-    partition: &dyn Partition,
-    build: impl Fn(&Part, bool) -> nsc_diagram::Document,
-) -> Result<(Vec<CompiledProgram>, Vec<CompiledProgram>), NscError> {
-    let even = compile_per_part(session, partition, |p| build(p, true))?;
-    let odd = compile_per_part(session, partition, |p| build(p, false))?;
-    Ok((even, odd))
-}
-
 /// Per-run system metrics derived from a counter snapshot taken before
 /// the run: per-node deltas, their overlap-aware aggregate, and the
 /// achieved rate.
@@ -129,116 +122,6 @@ pub(crate) fn attribute_part(parts: &[Part], e: NscError) -> NscError {
         NscError::Batch { doc, source } => NscError::on_node(parts[doc].node, *source),
         other => other,
     }
-}
-
-/// Iterate the x-contiguous runs covering one layer of a part — the cells
-/// with global index `g` along `axis`, over the part's full local extent
-/// of the other axes — as `(flat local start, run length)`.
-fn for_face_rows(p: &Part, axis: usize, g: usize, mut f: impl FnMut(usize, usize)) {
-    let (lnx, lny, lnz) = p.local_shape();
-    let a = p.spans[axis].local_of(g);
-    match axis {
-        0 => {
-            for lz in 0..lnz {
-                for ly in 0..lny {
-                    f(p.local_index(a, ly, lz), 1);
-                }
-            }
-        }
-        1 => {
-            for lz in 0..lnz {
-                f(p.local_index(0, a, lz), lnx);
-            }
-        }
-        _ => f(p.local_index(0, 0, a), lnx * lny),
-    }
-}
-
-/// Host-resident halo exchange: stage each slab's owned boundary faces
-/// into `plane`, swap them through the router, and pull the refreshed
-/// ghost faces back into the host-side slabs. This is how host-computed
-/// block solvers (block SOR, multigrid transfer operators) pay the same
-/// communication model as the machine-resident sweeps.
-pub(crate) fn host_halo_exchange(
-    partition: &dyn Partition,
-    system: &mut NscSystem,
-    plane: PlaneId,
-    slabs: &mut [Vec<f64>],
-    spec: &HaloSpec,
-) -> u64 {
-    for (pi, p) in partition.parts().iter().enumerate() {
-        for axis in 0..3 {
-            let sp = p.spans[axis];
-            for l in 0..spec.layers {
-                if sp.lo_ghost > 0 {
-                    stage_layer(partition, system, plane, slabs, pi, axis, sp.start + l);
-                }
-                if sp.hi_ghost > 0 {
-                    stage_layer(
-                        partition,
-                        system,
-                        plane,
-                        slabs,
-                        pi,
-                        axis,
-                        sp.start + sp.len - 1 - l,
-                    );
-                }
-            }
-        }
-    }
-    let ns = partition.halo_exchange(system, plane, 1, spec);
-    for (pi, p) in partition.parts().iter().enumerate() {
-        for axis in 0..3 {
-            let sp = p.spans[axis];
-            for l in 0..spec.layers {
-                if sp.lo_ghost > 0 {
-                    pull_layer(partition, system, plane, slabs, pi, axis, sp.start - 1 - l);
-                }
-                if sp.hi_ghost > 0 {
-                    pull_layer(partition, system, plane, slabs, pi, axis, sp.start + sp.len + l);
-                }
-            }
-        }
-    }
-    ns
-}
-
-fn stage_layer(
-    partition: &dyn Partition,
-    system: &mut NscSystem,
-    plane: PlaneId,
-    slabs: &[Vec<f64>],
-    pi: usize,
-    axis: usize,
-    g: usize,
-) {
-    let p = &partition.parts()[pi];
-    for_face_rows(p, axis, g, |start, len| {
-        let off = partition.word_offset(pi, 1, start);
-        system
-            .node_mut(p.node)
-            .mem
-            .plane_mut(plane)
-            .write_slice(off, &slabs[pi][start..start + len]);
-    });
-}
-
-fn pull_layer(
-    partition: &dyn Partition,
-    system: &mut NscSystem,
-    plane: PlaneId,
-    slabs: &mut [Vec<f64>],
-    pi: usize,
-    axis: usize,
-    g: usize,
-) {
-    let p = &partition.parts()[pi];
-    for_face_rows(p, axis, g, |start, len| {
-        let off = partition.word_offset(pi, 1, start);
-        let words = system.node(p.node).mem.plane(plane).read_vec(off, len as u64);
-        slabs[pi][start..start + len].copy_from_slice(&words);
-    });
 }
 
 /// Outcome of a distributed Jacobi solve.
@@ -280,6 +163,11 @@ pub struct DistributedJacobiWorkload {
     /// How to cut the grid (`Auto` resolves to strips: a tall iteration
     /// grid has the lowest surface-to-volume along its slowest axis).
     pub partition: PartitionSpec,
+    /// Hide halo latency: split every sweep into interior and
+    /// boundary-shell pipelines and exchange ghosts concurrently with the
+    /// interior phase (see [`SweepEngine`]). Bit-identical to the
+    /// synchronized mode; strictly faster whenever parts have interiors.
+    pub overlap: bool,
 }
 
 impl Workload<NscSystem> for DistributedJacobiWorkload {
@@ -301,7 +189,6 @@ impl Workload<NscSystem> for DistributedJacobiWorkload {
         let shape = GridShape::volume3d(self.u0.nx, self.u0.ny, self.u0.nz);
         let partition = self.partition.build(shape, system.cube, false)?;
         let parts = partition.parts();
-        let pool = partition.node_pool();
         let members = partition.member_nodes();
 
         // Load every node's slab problem (ghosts included, so the first
@@ -312,29 +199,38 @@ impl Workload<NscSystem> for DistributedJacobiWorkload {
             let state = JacobiHostState::new(lu0, lf);
             load_problem(system.node_mut(p.node), &state, JacobiVariant::Full);
         }
-        let (even, odd) = compile_pair_per_part(session, partition.as_ref(), |p, parity| {
-            let (lnx, lny, lnz) = p.local_shape();
-            build_jacobi_sweep_document(JacobiGeometry::slab(lnx, lny, lnz), parity)
-        })?;
-        let even_refs: Vec<&CompiledProgram> = even.iter().collect();
-        let odd_refs: Vec<&CompiledProgram> = odd.iter().collect();
+        let engine = SweepEngine::new(partition.as_ref(), HaloSpec::stencil(), self.overlap);
+        let build = |even: bool| {
+            move |p: &Part, windows: &[crate::partition::SweepWindow]| {
+                let (lnx, lny, lnz) = p.local_shape();
+                build_jacobi_sweep_document_windows(
+                    JacobiGeometry::slab(lnx, lny, lnz),
+                    even,
+                    windows,
+                )
+            }
+        };
+        let even = engine.compile(session, build(true))?;
+        let odd = engine.compile(session, build(false))?;
 
         let before: Vec<PerfCounters> = system.nodes().iter().map(|n| n.counters).collect();
         let opts = RunOptions::default();
-        let halo = HaloSpec::stencil();
         let mut pairs = 0u64;
         let mut residual = f64::INFINITY;
         let mut converged = false;
         while pairs < u64::from(self.max_pairs) && !converged {
-            // Even sweep (u0 -> u1) on every part concurrently, then push
-            // the new boundary faces into the neighbours' ghosts.
-            run_compiled_on_pool(&even_refs, system.nodes_mut(), &pool, &opts)
-                .map_err(|e| attribute_part(parts, e))?;
-            partition.halo_exchange(system, PLANE_U1, 1, &halo);
-            // Odd sweep (u1 -> u0), exchange again.
-            run_compiled_on_pool(&odd_refs, system.nodes_mut(), &pool, &opts)
-                .map_err(|e| attribute_part(parts, e))?;
-            partition.halo_exchange(system, PLANE_U0, 1, &halo);
+            // Even sweep (u0 -> u1): the scatter loaded fresh ghosts, so
+            // the very first sweep exchanges nothing; later pairs refresh
+            // u0's ghosts (written by the previous odd sweep) during —
+            // or, synchronized, after — the sweep.
+            let even_io = if pairs == 0 {
+                SweepIo::first(PLANE_U0, PLANE_U1)
+            } else {
+                SweepIo::steady(PLANE_U0, PLANE_U1)
+            };
+            engine.sweep(system, &even, even_io, &opts)?;
+            // Odd sweep (u1 -> u0).
+            engine.sweep(system, &odd, SweepIo::steady(PLANE_U1, PLANE_U0), &opts)?;
             // The pair's convergence test: a butterfly max-reduction of
             // the per-node residual scalars (the odd sweep's).
             let (r, _) = system.pool_max_cache_scalar(&members, RESIDUAL_CACHE, 0);
@@ -345,17 +241,7 @@ impl Workload<NscSystem> for DistributedJacobiWorkload {
 
         // Reassemble the iterate from the u0 planes (pairs always end on
         // the odd sweep, exactly like the serial document's loop body).
-        let locals: Vec<Vec<f64>> = parts
-            .iter()
-            .enumerate()
-            .map(|(pi, p)| {
-                system
-                    .node(p.node)
-                    .mem
-                    .plane(PLANE_U0)
-                    .read_vec(partition.word_offset(pi, 1, 0), p.local_words() as u64)
-            })
-            .collect();
+        let locals = read_slabs(partition.as_ref(), system, PLANE_U0);
         let mut u = Grid3::new(self.u0.nx, self.u0.ny, self.u0.nz);
         u.h = self.u0.h;
         u.data = partition.gather(&locals);
@@ -409,6 +295,14 @@ pub struct DistributedSorWorkload {
     pub max_sweeps: usize,
     /// How to cut the grid.
     pub partition: PartitionSpec,
+    /// Phase each sweep through the overlapped engine (interior first,
+    /// then boundary shells against fresh ghosts). Host compute spends no
+    /// simulated node time, so nothing hides; the phase split reorders
+    /// the in-place updates — a different Gauss-Seidel ordering with
+    /// different iterates and convergence history, converging to the
+    /// same fixed point — and the written faces travel one exchange
+    /// later.
+    pub overlap: bool,
 }
 
 impl Workload<NscSystem> for DistributedSorWorkload {
@@ -435,41 +329,33 @@ impl Workload<NscSystem> for DistributedSorWorkload {
         let shape = GridShape::volume3d(self.u0.nx, self.u0.ny, self.u0.nz);
         let partition = self.partition.build(shape, system.cube, false)?;
         let members = partition.member_nodes();
-        let mut locals = local_grids3(partition.as_ref(), &self.u0);
+        let parts = partition.parts();
         let fs = local_grids3(partition.as_ref(), &self.f);
+        let mut slabs = partition.scatter(&self.u0.data);
+        let engine = SweepEngine::new(partition.as_ref(), HaloSpec::stencil(), self.overlap);
 
         let comm_before = system.comm_ns;
         let omega = self.omega;
+        let h = self.u0.h;
+        // Every block relaxes its listed layers in place (host compute;
+        // ghost faces hold whatever the last exchange delivered).
+        let relax = |pi: usize, layers: std::ops::Range<usize>, slab: &mut Vec<f64>| -> f64 {
+            let (lnx, lny, lnz) = parts[pi].local_shape();
+            let mut g = Grid3 { nx: lnx, ny: lny, nz: lnz, h, data: std::mem::take(slab) };
+            let r = sor_sweep_host_layers(&mut g, &fs[pi], omega, layers);
+            *slab = g.data;
+            r
+        };
         let mut sweeps = 0;
         let mut residual = f64::INFINITY;
         let mut converged = false;
         while sweeps < self.max_sweeps && !converged {
-            // Every block relaxes concurrently (host compute; the slab
-            // interior excludes ghost faces, which hold until exchanged).
-            let mut block_res = vec![0.0f64; locals.len()];
-            let _ = crossbeam::thread::scope(|scope| {
-                for ((u, f), res) in locals.iter_mut().zip(&fs).zip(block_res.iter_mut()) {
-                    scope.spawn(move |_| {
-                        *res = sor_sweep_host(u, f, omega);
-                    });
-                }
-            });
-            // Halos travel through the router: stage each block's boundary
-            // faces in its node's u0 plane, exchange, read ghosts back.
-            let mut slabs: Vec<Vec<f64>> =
-                locals.iter_mut().map(|g| std::mem::take(&mut g.data)).collect();
-            host_halo_exchange(
-                partition.as_ref(),
-                system,
-                PLANE_U0,
-                &mut slabs,
-                &HaloSpec::stencil(),
-            );
-            for (u, slab) in locals.iter_mut().zip(slabs) {
-                u.data = slab;
-            }
+            // One phased sweep: halos travel through the router between
+            // the engine's phases (staged from and pulled back into the
+            // host slabs).
+            let block_res = engine.host_sweep(system, PLANE_U0, &mut slabs, sweeps == 0, relax);
             // Global convergence test through the butterfly reduction.
-            for (p, r) in partition.parts().iter().zip(&block_res) {
+            for (p, r) in parts.iter().zip(&block_res) {
                 system.node_mut(p.node).mem.cache_mut(RESIDUAL_CACHE).write(0, 0, *r);
             }
             let (r, _) = system.pool_max_cache_scalar(&members, RESIDUAL_CACHE, 0);
@@ -478,10 +364,9 @@ impl Workload<NscSystem> for DistributedSorWorkload {
             converged = residual < self.tol;
         }
 
-        let flat: Vec<Vec<f64>> = locals.into_iter().map(|g| g.data).collect();
         let mut u = Grid3::new(self.u0.nx, self.u0.ny, self.u0.nz);
         u.h = self.u0.h;
-        u.data = partition.gather(&flat);
+        u.data = partition.gather(&slabs);
         Ok(DistributedSorRun {
             u,
             residual,
@@ -515,10 +400,17 @@ mod tests {
             host_res = jacobi_sweep_host(&mut host);
         }
         let host_u = host.current();
+        let mut sync_seconds = None;
 
-        // Strips on a 4-node ring AND blocks on a 2x2 torus: both must
-        // reproduce the serial bits exactly.
-        for spec in [PartitionSpec::Strip, PartitionSpec::Block] {
+        // Strips on a 4-node ring AND blocks on a 2x2 torus, synchronized
+        // AND latency-hidden: all four must reproduce the serial bits
+        // exactly.
+        for (spec, overlap) in [
+            (PartitionSpec::Strip, false),
+            (PartitionSpec::Strip, true),
+            (PartitionSpec::Block, false),
+            (PartitionSpec::Block, true),
+        ] {
             let mut sys = system(2, &session);
             let w = DistributedJacobiWorkload {
                 u0: u0.clone(),
@@ -526,17 +418,39 @@ mod tests {
                 tol: 0.0,
                 max_pairs: 3,
                 partition: spec,
+                overlap,
             };
             let run = w.execute(&session, &mut sys).expect("runs");
             assert_eq!(run.sweeps, 6);
             assert!(!run.converged);
             for (a, b) in run.u.data.iter().zip(&host_u.data) {
-                assert_eq!(a.to_bits(), b.to_bits(), "{spec:?} and serial sweeps must agree");
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{spec:?} (overlap {overlap}) and serial sweeps must agree"
+                );
             }
-            assert_eq!(run.residual.to_bits(), host_res.to_bits(), "global max matches {spec:?}");
+            assert_eq!(
+                run.residual.to_bits(),
+                host_res.to_bits(),
+                "global max matches {spec:?} (overlap {overlap})"
+            );
             // Communication happened and was charged per node.
             assert!(run.per_node.iter().all(|c| c.comm_ns > 0), "{spec:?}");
             assert!(run.aggregate_mflops > 0.0);
+            if overlap {
+                assert!(
+                    run.per_node.iter().any(|c| c.comm_hidden_ns > 0),
+                    "{spec:?}: overlapped halos must hide some time"
+                );
+                assert!(
+                    run.simulated_seconds < sync_seconds.unwrap(),
+                    "{spec:?}: hidden latency must shorten the run"
+                );
+            } else {
+                assert!(run.per_node.iter().all(|c| c.comm_hidden_ns == 0), "{spec:?}");
+                sync_seconds = Some(run.simulated_seconds);
+            }
         }
     }
 
@@ -552,6 +466,7 @@ mod tests {
             tol: 1e-9,
             max_pairs: 2000,
             partition: PartitionSpec::Auto,
+            overlap: true,
         };
         let run = w.execute(&session, &mut sys).expect("runs");
         assert!(run.converged, "residual {}", run.residual);
@@ -573,6 +488,7 @@ mod tests {
             tol: 0.0,
             max_pairs: 1,
             partition: PartitionSpec::Auto,
+            overlap: false,
         };
         assert!(matches!(w.execute(&session, &mut alien), Err(NscError::Workload(_))));
 
@@ -598,7 +514,11 @@ mod tests {
         let sref = serial.execute(&session, &mut node).expect("serial runs");
         assert!(sref.converged);
 
-        for spec in [PartitionSpec::Strip, PartitionSpec::Block] {
+        for (spec, overlap) in [
+            (PartitionSpec::Strip, false),
+            (PartitionSpec::Strip, true),
+            (PartitionSpec::Block, true),
+        ] {
             let mut sys = system(2, &session);
             let w = DistributedSorWorkload {
                 u0: u0.clone(),
@@ -607,6 +527,7 @@ mod tests {
                 tol: 1e-10,
                 max_sweeps: 20_000,
                 partition: spec,
+                overlap,
             };
             let run = w.execute(&session, &mut sys).expect("runs");
             assert!(run.converged, "{spec:?} residual {}", run.residual);
@@ -632,6 +553,7 @@ mod tests {
             tol: 1e-8,
             max_sweeps: 5,
             partition: PartitionSpec::Auto,
+            overlap: false,
         };
         assert!(matches!(w.execute(&session, &mut sys), Err(NscError::Workload(_))));
     }

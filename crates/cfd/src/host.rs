@@ -345,9 +345,22 @@ pub fn residual_linf(u: &Grid3, f: &Grid3) -> f64 {
 /// iterative method the NSC example would be compared against. Returns
 /// `max |update|`.
 pub fn sor_sweep_host(u: &mut Grid3, f: &Grid3, omega: f64) -> f64 {
+    sor_sweep_host_layers(u, f, omega, 0..u.nz)
+}
+
+/// [`sor_sweep_host`] restricted to a run of z-layers (clipped to the
+/// grid interior) — the unit the overlapped sweep engine phases a block
+/// relaxation by. Sweeping disjoint layer runs in ascending order is the
+/// full sweep, update for update.
+pub fn sor_sweep_host_layers(
+    u: &mut Grid3,
+    f: &Grid3,
+    omega: f64,
+    layers: std::ops::Range<usize>,
+) -> f64 {
     let h2 = u.h * u.h;
     let mut res = 0.0f64;
-    for k in 1..u.nz - 1 {
+    for k in layers.start.max(1)..layers.end.min(u.nz - 1) {
         for j in 1..u.ny - 1 {
             for i in 1..u.nx - 1 {
                 let sum = u.at(i + 1, j, k)

@@ -30,19 +30,19 @@
 //! at every cube size — asserted down to the residual history in tests.
 
 use crate::diagrams::{
-    build_damped_jacobi_sweep_document, JacobiGeometry, PLANE_G, PLANE_MASK, PLANE_U0, PLANE_U1,
-    RESIDUAL_CACHE,
+    build_damped_jacobi_sweep_document_windows, JacobiGeometry, PLANE_G, PLANE_MASK, PLANE_U0,
+    PLANE_U1, RESIDUAL_CACHE,
 };
-use crate::distributed::{
-    attribute_part, check_same_machine, compile_pair_per_part, host_halo_exchange,
-    measure_system_run,
-};
+use crate::distributed::{check_same_machine, measure_system_run};
 use crate::grid::{Grid3, PaddedField};
 use crate::multigrid::{
     full_weight_at, lap_at, prolong_value, restrict, vcycle_level, MgOptions, MgStats,
 };
-use crate::partition::{BlockPartition, GridShape, HaloSpec, Partition};
-use nsc_core::{run_compiled_on_pool, CompiledProgram, NscError, Session, Workload};
+use crate::overlap::{CompiledSweep, SweepEngine, SweepIo};
+use crate::partition::{
+    host_halo_exchange, read_slabs, BlockPartition, GridShape, HaloSpec, Partition,
+};
+use nsc_core::{NscError, Session, Workload};
 use nsc_sim::{NscSystem, PerfCounters, RunOptions};
 
 /// One distributed V-cycle level: its grid, its derived partition, and
@@ -54,8 +54,10 @@ struct DistLevel {
     /// Mesh spacing at this level.
     h: f64,
     part: BlockPartition,
-    even: Vec<CompiledProgram>,
-    odd: Vec<CompiledProgram>,
+    even: CompiledSweep,
+    odd: CompiledSweep,
+    /// Whether the level's sweeps run latency-hidden.
+    overlap: bool,
     /// Aligned-padded interior masks, one per block (static per level).
     masks: Vec<Vec<f64>>,
 }
@@ -93,6 +95,7 @@ fn build_levels(
     n0: usize,
     h0: f64,
     omega: f64,
+    overlap: bool,
 ) -> Result<Vec<DistLevel>, NscError> {
     let torus = system.cube.torus2d_near_square();
     let mut part = BlockPartition::new(GridShape::volume3d(n0, n0, n0), torus)?;
@@ -100,10 +103,21 @@ fn build_levels(
     let mut h = h0;
     let mut levels = Vec::new();
     loop {
-        let (even, odd) = compile_pair_per_part(session, &part, |p, parity| {
-            let (lnx, lny, lnz) = p.local_shape();
-            build_damped_jacobi_sweep_document(JacobiGeometry::slab(lnx, lny, lnz), parity, omega)
-        })?;
+        let (even, odd) = {
+            let engine = SweepEngine::new(&part, HaloSpec::stencil(), overlap);
+            let build = |parity: bool| {
+                move |p: &crate::partition::Part, windows: &[crate::partition::SweepWindow]| {
+                    let (lnx, lny, lnz) = p.local_shape();
+                    build_damped_jacobi_sweep_document_windows(
+                        JacobiGeometry::slab(lnx, lny, lnz),
+                        parity,
+                        omega,
+                        windows,
+                    )
+                }
+            };
+            (engine.compile(session, build(true))?, engine.compile(session, build(false))?)
+        };
         let masks = part
             .parts()
             .iter()
@@ -113,7 +127,7 @@ fn build_levels(
                 PaddedField::aligned(&local.interior_mask()).words
             })
             .collect();
-        levels.push(DistLevel { n, h, part: part.clone(), even, odd, masks });
+        levels.push(DistLevel { n, h, part: part.clone(), even, odd, overlap, masks });
         let nc = n.div_ceil(2);
         if nc <= 3 {
             break;
@@ -163,25 +177,29 @@ fn machine_smooth(
         mem.plane_mut(PLANE_G).write_slice(0, &padded_g.words);
         mem.plane_mut(PLANE_MASK).write_slice(0, &level.masks[pi]);
     }
-    // Ghosts may be stale after prolongation: refresh before the first read.
-    part.halo_exchange(system, PLANE_U0, 1, &halo);
-    let even_refs: Vec<&CompiledProgram> = level.even.iter().collect();
-    let odd_refs: Vec<&CompiledProgram> = level.odd.iter().collect();
-    let pool = part.node_pool();
+    let engine = SweepEngine::new(part, halo, level.overlap);
+    if !level.overlap {
+        // Ghosts may be stale after prolongation: refresh before the first
+        // read (the overlapped mode folds this into sweep 0's exchange).
+        part.halo_exchange(system, PLANE_U0, 1, &halo);
+    }
     let opts = RunOptions::default();
     for s in 0..sweeps {
-        let (progs, out) = if s % 2 == 0 { (&even_refs, PLANE_U1) } else { (&odd_refs, PLANE_U0) };
-        run_compiled_on_pool(progs, system.nodes_mut(), &pool, &opts)
-            .map_err(|e| attribute_part(parts, e))?;
-        part.halo_exchange(system, out, 1, &halo);
+        let (sweep, io) = if s % 2 == 0 {
+            (&level.even, SweepIo::steady(PLANE_U0, PLANE_U1))
+        } else {
+            (&level.odd, SweepIo::steady(PLANE_U1, PLANE_U0))
+        };
+        engine.sweep(system, sweep, io, &opts)?;
     }
     let final_plane = if sweeps.is_multiple_of(2) { PLANE_U0 } else { PLANE_U1 };
-    for (pi, p) in parts.iter().enumerate() {
-        u_slabs[pi] = system
-            .node(p.node)
-            .mem
-            .plane(final_plane)
-            .read_vec(part.word_offset(pi, 1, 0), p.local_words() as u64);
+    if level.overlap {
+        // The last sweep's faces never travelled; the slab readback below
+        // hands ghosts to the host transfer operators, so refresh now.
+        engine.refresh(system, final_plane);
+    }
+    for (dst, src) in u_slabs.iter_mut().zip(read_slabs(part, system, final_plane)) {
+        *dst = src;
     }
     Ok(())
 }
@@ -411,6 +429,9 @@ pub struct DistributedMultigridWorkload {
     pub max_cycles: usize,
     /// Cycle shape and smoothing parameters.
     pub opts: MgOptions,
+    /// Hide halo latency inside every machine-resident smoothing sweep
+    /// (see [`SweepEngine`]); bit-identical to the synchronized mode.
+    pub overlap: bool,
 }
 
 impl Workload<NscSystem> for DistributedMultigridWorkload {
@@ -436,7 +457,7 @@ impl Workload<NscSystem> for DistributedMultigridWorkload {
         if (self.u0.nx, self.u0.ny, self.u0.nz) != (self.f.nx, self.f.ny, self.f.nz) {
             return Err(NscError::Workload("iterate and right-hand side grids differ".into()));
         }
-        let levels = build_levels(session, system, n, self.u0.h, self.opts.omega)?;
+        let levels = build_levels(session, system, n, self.u0.h, self.opts.omega, self.overlap)?;
         let before: Vec<PerfCounters> = system.nodes().iter().map(|nd| nd.counters).collect();
 
         let mut u_slabs = levels[0].part.scatter(&self.u0.data);
@@ -508,7 +529,7 @@ mod tests {
         let serial = serial_run(n, tol, 25);
         assert!(serial.converged);
         let session = Session::nsc_1988();
-        for dim in [0u32, 2, 3] {
+        for (dim, overlap) in [(0u32, false), (0, true), (2, true), (3, false), (3, true)] {
             let (u0, f, _) = manufactured_problem(n);
             let mut sys = system(dim, &session);
             let w = DistributedMultigridWorkload {
@@ -517,6 +538,7 @@ mod tests {
                 tol,
                 max_cycles: 25,
                 opts: MgOptions::default(),
+                overlap,
             };
             let run = w.execute(&session, &mut sys).expect("distributed multigrid runs");
             assert!(run.converged, "{} nodes: residual {}", sys.node_count(), run.residual);
@@ -540,6 +562,12 @@ mod tests {
                 assert!(run.total.comm_ns > 0, "halos cost router time");
                 assert!(run.distributed_levels >= 2, "coarse levels stay distributed");
             }
+            if dim > 0 && overlap {
+                assert!(
+                    run.per_node.iter().any(|c| c.comm_hidden_ns > 0),
+                    "overlapped smoothing must hide some halo time"
+                );
+            }
             assert!(run.per_node.iter().all(|c| c.flops > 0), "every node smoothed");
             assert!(run.aggregate_mflops > 0.0);
         }
@@ -556,6 +584,7 @@ mod tests {
             tol: 1e-8,
             max_cycles: 5,
             opts: MgOptions::default(),
+            overlap: false,
         };
         assert!(matches!(w.execute(&session, &mut sys), Err(NscError::Workload(_))));
     }
@@ -567,7 +596,8 @@ mod tests {
         // agglomerates.
         let session = Session::nsc_1988();
         let sys = system(3, &session);
-        let levels = build_levels(&session, &sys, 17, 1.0 / 16.0, 0.8).expect("levels build");
+        let levels =
+            build_levels(&session, &sys, 17, 1.0 / 16.0, 0.8, false).expect("levels build");
         assert!(levels.len() >= 2, "only {} distributed levels", levels.len());
         assert_eq!(levels[0].n, 17);
         assert_eq!(levels[1].n, 9);

@@ -68,6 +68,19 @@ impl GridShape {
         debug_assert!(i < self.nx && j < self.ny && k < self.nz);
         i + self.nx * (j + self.ny * k)
     }
+
+    /// The slowest (stream-outermost) axis — the only axis along which a
+    /// sweep pipeline can be *windowed* into contiguous layer ranges, and
+    /// therefore the axis whose halo exchange the overlapped sweep engine
+    /// can hide under interior compute (2 for volume grids, 1 for plane
+    /// grids).
+    pub fn overlap_axis(&self) -> usize {
+        if self.is_2d() {
+            1
+        } else {
+            2
+        }
+    }
 }
 
 /// One axis of one part: the owned global range plus the ghost layers
@@ -151,6 +164,136 @@ impl Part {
         let sp = &self.spans[axis];
         sp.start.max(1)..(sp.start + sp.len).min(extent - 1)
     }
+
+    /// Iterate the x-contiguous runs covering one layer of this part — the
+    /// cells with global index `g` along `axis`, over the part's full
+    /// local extent of the other axes — as `(flat local start, run
+    /// length)` pairs. This is the shared face walk behind both the
+    /// router-resident face exchange and the host-side halo staging.
+    pub fn face_runs(&self, axis: usize, g: usize, mut f: impl FnMut(usize, usize)) {
+        let (lnx, lny, lnz) = self.local_shape();
+        let a = self.spans[axis].local_of(g);
+        match axis {
+            0 => {
+                for lz in 0..lnz {
+                    for ly in 0..lny {
+                        f(self.local_index(a, ly, lz), 1);
+                    }
+                }
+            }
+            1 => {
+                for lz in 0..lnz {
+                    f(self.local_index(0, a, lz), lnx);
+                }
+            }
+            _ => f(self.local_index(0, 0, a), lnx * lny),
+        }
+    }
+
+    /// Split this part's sweep along `axis` into latency-hiding phases:
+    /// an *interior* window whose stencils (of reach `spec.layers`) read
+    /// no ghost layer, plus up to one *boundary-shell* window per ghost
+    /// face. Windows cover exactly the part's **owned** layers, each once
+    /// — pure ghost layers are computed by their owning neighbour, and
+    /// their stale copies are overwritten by the next halo exchange
+    /// before anything reads them. When the shells would overlap (a slab
+    /// too thin to have an interior), the whole owned range folds into a
+    /// single shell-phase window.
+    pub fn overlap_split(&self, axis: usize, spec: &HaloSpec) -> SweepSplit {
+        let sp = &self.spans[axis];
+        let reach = spec.layers;
+        let lo_len = if sp.lo_ghost > 0 { reach } else { 0 };
+        let hi_len = if sp.hi_ghost > 0 { reach } else { 0 };
+        let owned = sp.lo_ghost..sp.lo_ghost + sp.len;
+        if lo_len + hi_len == 0 {
+            return SweepSplit {
+                interior: Some(SweepWindow { start: owned.start, len: sp.len, slot: 0 }),
+                lo: None,
+                hi: None,
+            };
+        }
+        if lo_len + hi_len >= sp.len {
+            // No interior to hide behind: the whole owned range is one
+            // merged shell-phase window (it reads ghosts on both sides).
+            // One instruction beats two adjacent shells — each window
+            // pays its own warm-up and setup.
+            return SweepSplit {
+                interior: None,
+                lo: Some(SweepWindow { start: owned.start, len: sp.len, slot: 0 }),
+                hi: None,
+            };
+        }
+        let lo = (lo_len > 0).then_some(SweepWindow {
+            start: owned.start,
+            len: lo_len,
+            slot: SweepWindow::LO_SLOT,
+        });
+        let hi = (hi_len > 0).then_some(SweepWindow {
+            start: owned.end - hi_len,
+            len: hi_len,
+            slot: SweepWindow::HI_SLOT,
+        });
+        let interior_len = sp.len - lo_len - hi_len;
+        let interior = (interior_len > 0).then_some(SweepWindow {
+            start: owned.start + lo_len,
+            len: interior_len,
+            slot: 0,
+        });
+        SweepSplit { interior, lo, hi }
+    }
+}
+
+/// One output window of a split sweep: a contiguous run of *layers* along
+/// the overlap axis (xy-planes of a 3-D slab, rows of a 2-D one), in
+/// local layer coordinates (ghost layers count in the numbering). The
+/// windowed sweep builders turn one of these into one pipeline
+/// instruction streaming only the layers the window needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SweepWindow {
+    /// First local layer of the window.
+    pub start: usize,
+    /// Layers in the window.
+    pub len: usize,
+    /// Cache slot receiving this window's residual scalar.
+    pub slot: u64,
+}
+
+impl SweepWindow {
+    /// Residual slot of the low boundary shell.
+    pub const LO_SLOT: u64 = 1;
+    /// Residual slot of the high boundary shell.
+    pub const HI_SLOT: u64 = 2;
+
+    /// The window covering all `layers` of a slab (the fused sweep).
+    pub fn whole(layers: usize) -> Self {
+        SweepWindow { start: 0, len: layers, slot: 0 }
+    }
+}
+
+/// How one part's sweep splits into latency-hiding phases along the
+/// overlap axis (see [`Part::overlap_split`]). The windows are disjoint
+/// and cover the part's owned layers exactly once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepSplit {
+    /// The ghost-independent interior (`None` when the slab is too thin).
+    pub interior: Option<SweepWindow>,
+    /// The shell against the low ghost face — or, when the slab has no
+    /// interior, the single merged shell-phase window.
+    pub lo: Option<SweepWindow>,
+    /// The shell against the high ghost face.
+    pub hi: Option<SweepWindow>,
+}
+
+impl SweepSplit {
+    /// All windows, ascending by start layer.
+    pub fn windows(&self) -> impl Iterator<Item = SweepWindow> + '_ {
+        [self.lo, self.interior, self.hi].into_iter().flatten()
+    }
+
+    /// The shell-phase windows (everything that reads ghost layers).
+    pub fn shell_windows(&self) -> Vec<SweepWindow> {
+        [self.lo, self.hi].into_iter().flatten().collect()
+    }
 }
 
 /// Which ghost faces a halo exchange refreshes, and how many layers deep.
@@ -186,6 +329,27 @@ impl HaloSpec {
         let mut faces = [[false; 2]; 3];
         faces[axis][usize::from(hi)] = true;
         HaloSpec { layers: 1, faces }
+    }
+
+    /// This spec restricted to the faces of a single axis (the portion of
+    /// an exchange the overlapped engine hides under interior compute).
+    pub fn only_axis(&self, axis: usize) -> Self {
+        let mut faces = [[false; 2]; 3];
+        faces[axis] = self.faces[axis];
+        HaloSpec { layers: self.layers, faces }
+    }
+
+    /// This spec with the faces of `axis` removed (the portion an
+    /// overlapped sweep must still exchange synchronously).
+    pub fn without_axis(&self, axis: usize) -> Self {
+        let mut faces = self.faces;
+        faces[axis] = [false; 2];
+        HaloSpec { layers: self.layers, faces }
+    }
+
+    /// Whether any face is selected at all.
+    pub fn wants_any(&self) -> bool {
+        self.faces.iter().any(|f| f[0] || f[1])
     }
 }
 
@@ -301,6 +465,117 @@ pub trait Partition: std::fmt::Debug + Send + Sync {
     fn member_nodes(&self) -> Vec<NodeId> {
         self.parts().iter().map(|p| p.node).collect()
     }
+}
+
+/// Read every part's full local slab (ghost layers included) back from
+/// `plane`, in partition order — the common readback step of every
+/// distributed driver (front pad 1, the stencil layout).
+pub fn read_slabs(partition: &dyn Partition, system: &NscSystem, plane: PlaneId) -> Vec<Vec<f64>> {
+    partition
+        .parts()
+        .iter()
+        .enumerate()
+        .map(|(pi, p)| {
+            system
+                .node(p.node)
+                .mem
+                .plane(plane)
+                .read_vec(partition.word_offset(pi, 1, 0), p.local_words() as u64)
+        })
+        .collect()
+}
+
+/// Host-resident halo exchange: stage each slab's owned boundary faces
+/// into `plane`, swap them through the router, and pull the refreshed
+/// ghost faces back into the host-side slabs. This is how host-computed
+/// block solvers (block SOR, multigrid transfer operators) pay the same
+/// communication model as the machine-resident sweeps. Returns the
+/// slowest per-node communication time in nanoseconds.
+pub fn host_halo_exchange(
+    partition: &dyn Partition,
+    system: &mut NscSystem,
+    plane: PlaneId,
+    slabs: &mut [Vec<f64>],
+    spec: &HaloSpec,
+) -> u64 {
+    for (pi, p) in partition.parts().iter().enumerate() {
+        for axis in 0..3 {
+            let sp = p.spans[axis];
+            for l in 0..spec.layers {
+                // A part's bottom owned layers travel *down* (they fill
+                // the lower neighbour's high ghosts), its top owned layers
+                // travel *up*: stage only what the spec will send.
+                if sp.lo_ghost > 0 && spec.faces[axis][1] {
+                    stage_layer(partition, system, plane, slabs, pi, axis, sp.start + l);
+                }
+                if sp.hi_ghost > 0 && spec.faces[axis][0] {
+                    stage_layer(
+                        partition,
+                        system,
+                        plane,
+                        slabs,
+                        pi,
+                        axis,
+                        sp.start + sp.len - 1 - l,
+                    );
+                }
+            }
+        }
+    }
+    let ns = partition.halo_exchange(system, plane, 1, spec);
+    for (pi, p) in partition.parts().iter().enumerate() {
+        for axis in 0..3 {
+            let sp = p.spans[axis];
+            for l in 0..spec.layers {
+                if sp.lo_ghost > 0 && spec.faces[axis][0] {
+                    pull_layer(partition, system, plane, slabs, pi, axis, sp.start - 1 - l);
+                }
+                if sp.hi_ghost > 0 && spec.faces[axis][1] {
+                    pull_layer(partition, system, plane, slabs, pi, axis, sp.start + sp.len + l);
+                }
+            }
+        }
+    }
+    ns
+}
+
+/// Copy one host-slab layer into the staged plane image.
+fn stage_layer(
+    partition: &dyn Partition,
+    system: &mut NscSystem,
+    plane: PlaneId,
+    slabs: &[Vec<f64>],
+    pi: usize,
+    axis: usize,
+    g: usize,
+) {
+    let p = &partition.parts()[pi];
+    p.face_runs(axis, g, |start, len| {
+        let off = partition.word_offset(pi, 1, start);
+        system
+            .node_mut(p.node)
+            .mem
+            .plane_mut(plane)
+            .write_slice(off, &slabs[pi][start..start + len]);
+    });
+}
+
+/// Copy one refreshed plane layer back into the host slab.
+fn pull_layer(
+    partition: &dyn Partition,
+    system: &mut NscSystem,
+    plane: PlaneId,
+    slabs: &mut [Vec<f64>],
+    pi: usize,
+    axis: usize,
+    g: usize,
+) {
+    let p = &partition.parts()[pi];
+    p.face_runs(axis, g, |start, len| {
+        let off = partition.word_offset(pi, 1, start);
+        let words = system.node(p.node).mem.plane(plane).read_vec(off, len as u64);
+        slabs[pi][start..start + len].copy_from_slice(&words);
+    });
 }
 
 /// Split `items` points along one axis into `parts` balanced owned
@@ -592,33 +867,12 @@ impl BlockPartition {
     /// receiver's ghost face pair up chunk for chunk).
     fn face_chunks(&self, part: usize, front_pad: usize, axis: usize, g: usize) -> (Vec<u64>, u64) {
         let p = &self.parts[part];
-        let (lnx, lny, lnz) = p.local_shape();
-        let a = p.spans[axis].local_of(g);
         let mut offs = Vec::new();
-        let chunk_len;
-        match axis {
-            0 => {
-                // A yz-column of single words (2-D grids only split x).
-                chunk_len = 1;
-                for lz in 0..lnz {
-                    for ly in 0..lny {
-                        offs.push(self.word_offset(part, front_pad, p.local_index(a, ly, lz)));
-                    }
-                }
-            }
-            1 => {
-                // An xz-sheet: one x-row per local z.
-                chunk_len = lnx as u64;
-                for lz in 0..lnz {
-                    offs.push(self.word_offset(part, front_pad, p.local_index(0, a, lz)));
-                }
-            }
-            _ => {
-                // An xy-plane: contiguous.
-                chunk_len = (lnx * lny) as u64;
-                offs.push(self.word_offset(part, front_pad, p.local_index(0, 0, a)));
-            }
-        }
+        let mut chunk_len = 1u64;
+        p.face_runs(axis, g, |start, len| {
+            chunk_len = len as u64;
+            offs.push(self.word_offset(part, front_pad, start));
+        });
         (offs, chunk_len)
     }
 
@@ -1021,6 +1275,71 @@ mod tests {
             .plane(plane)
             .read_vec(d.word_offset(2, 1, p2.local_index(0, 0, 0)), lnx as u64);
         assert!(lo_ghost.iter().all(|&v| v == 3.0), "stale own value: {lo_ghost:?}");
+    }
+
+    #[test]
+    fn overlap_split_tiles_the_owned_layers_exactly_once() {
+        let spec = HaloSpec::stencil();
+        // A middle strip: ghosts both sides, room for an interior.
+        let p = Part {
+            node: NodeId(0),
+            spans: [
+                AxisSpan::whole(5),
+                AxisSpan::whole(5),
+                AxisSpan { start: 8, len: 8, lo_ghost: 1, hi_ghost: 1 },
+            ],
+        };
+        let s = p.overlap_split(2, &spec);
+        assert_eq!(s.lo, Some(SweepWindow { start: 1, len: 1, slot: SweepWindow::LO_SLOT }));
+        assert_eq!(s.interior, Some(SweepWindow { start: 2, len: 6, slot: 0 }));
+        assert_eq!(s.hi, Some(SweepWindow { start: 8, len: 1, slot: SweepWindow::HI_SLOT }));
+        let covered: Vec<usize> = s.windows().flat_map(|w| w.start..w.start + w.len).collect();
+        assert_eq!(covered, (1..9).collect::<Vec<_>>(), "owned layers, each once");
+
+        // An edge strip: one ghost side only, the interior reaches the wall.
+        let edge = Part {
+            node: NodeId(1),
+            spans: [
+                AxisSpan::whole(5),
+                AxisSpan::whole(5),
+                AxisSpan { start: 0, len: 8, lo_ghost: 0, hi_ghost: 1 },
+            ],
+        };
+        let s = edge.overlap_split(2, &spec);
+        assert_eq!(s.lo, None);
+        assert_eq!(s.interior, Some(SweepWindow { start: 0, len: 7, slot: 0 }));
+        assert_eq!(s.hi, Some(SweepWindow { start: 7, len: 1, slot: SweepWindow::HI_SLOT }));
+
+        // Too thin for an interior: one merged shell-phase window.
+        let thin = Part {
+            node: NodeId(2),
+            spans: [
+                AxisSpan::whole(5),
+                AxisSpan::whole(5),
+                AxisSpan { start: 4, len: 1, lo_ghost: 1, hi_ghost: 1 },
+            ],
+        };
+        let s = thin.overlap_split(2, &spec);
+        assert_eq!(s.interior, None);
+        assert_eq!(s.lo, Some(SweepWindow { start: 1, len: 1, slot: 0 }));
+        assert_eq!(s.hi, None);
+        assert_eq!(s.shell_windows().len(), 1);
+
+        // An unsplit axis: everything is interior.
+        let s = edge.overlap_split(1, &spec);
+        assert_eq!(s.interior, Some(SweepWindow { start: 0, len: 5, slot: 0 }));
+        assert!(s.lo.is_none() && s.hi.is_none());
+    }
+
+    #[test]
+    fn halo_spec_axis_filters() {
+        let spec = HaloSpec::stencil();
+        let only = spec.only_axis(2);
+        assert_eq!(only.faces, [[false; 2], [false; 2], [true; 2]]);
+        let rest = spec.without_axis(2);
+        assert_eq!(rest.faces, [[true; 2], [true; 2], [false; 2]]);
+        assert!(only.wants_any() && rest.wants_any());
+        assert!(!spec.without_axis(0).without_axis(1).without_axis(2).wants_any());
     }
 
     #[test]

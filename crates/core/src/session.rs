@@ -25,7 +25,7 @@ use nsc_checker::{diag, Checker, Diagnostic};
 use nsc_codegen::GenOutput;
 use nsc_diagram::Document;
 use nsc_microcode::MicroProgram;
-use nsc_sim::{HaltReason, NodeSim, PerfCounters, RunOptions, RunStats};
+use nsc_sim::{HaltReason, NodeSim, NscSystem, PerfCounters, RunOptions, RunStats};
 use std::sync::atomic::{AtomicBool, Ordering};
 
 /// A compile-and-run session over one machine configuration.
@@ -199,6 +199,83 @@ pub fn run_compiled_on_pool(
         })
         .collect();
     run_compiled_on_lanes(programs, picked, opts)
+}
+
+/// The phased pool driver behind the overlapped sweep engine: run each
+/// lane's *interior* program, perform the communication step with an
+/// overlappable window open, then run each lane's *boundary-shell*
+/// program.
+///
+/// `interior[i]` and `shell[i]` (either may be `None` — thin parts fold
+/// their whole sweep into one phase) run on `system`'s node `pool[i]`,
+/// each phase concurrently across lanes through
+/// [`run_compiled_on_pool`]. Between the phases, `exchange` is invoked
+/// with an overlap window open ([`NscSystem::open_comm_window`]) whose
+/// per-node budget is exactly the simulated time each pool node just
+/// spent in its interior phase: message time the exchange charges to
+/// those nodes is hidden up to that budget, modelling halo sendrecvs
+/// issued concurrently with the interior compute. Returns the total
+/// hidden nanoseconds.
+///
+/// Failures are reported as [`NscError::Batch`] with `doc` equal to the
+/// *lane* index, so callers can attribute them to the lane's part/node.
+pub fn run_compiled_phased(
+    system: &mut NscSystem,
+    pool: &[usize],
+    interior: &[Option<&CompiledProgram>],
+    shell: &[Option<&CompiledProgram>],
+    opts: &RunOptions,
+    exchange: impl FnOnce(&mut NscSystem),
+) -> Result<u64, NscError> {
+    assert_eq!(interior.len(), pool.len(), "one interior slot per pool lane");
+    assert_eq!(shell.len(), pool.len(), "one shell slot per pool lane");
+
+    // Run one sparse phase: the lanes that have a program, concurrently.
+    fn run_phase(
+        system: &mut NscSystem,
+        pool: &[usize],
+        progs: &[Option<&CompiledProgram>],
+        opts: &RunOptions,
+    ) -> Result<(), NscError> {
+        let mut sub_progs = Vec::new();
+        let mut sub_pool = Vec::new();
+        let mut lanes = Vec::new();
+        for (lane, prog) in progs.iter().enumerate() {
+            if let Some(p) = prog {
+                sub_progs.push(*p);
+                sub_pool.push(pool[lane]);
+                lanes.push(lane);
+            }
+        }
+        if sub_progs.is_empty() {
+            return Ok(());
+        }
+        run_compiled_on_pool(&sub_progs, system.nodes_mut(), &sub_pool, opts).map(|_| ()).map_err(
+            |e| match e {
+                NscError::Batch { doc, source } => NscError::Batch { doc: lanes[doc], source },
+                other => other,
+            },
+        )
+    }
+
+    let before: Vec<u64> = pool.iter().map(|&i| system.nodes()[i].counters.cycles).collect();
+    run_phase(system, pool, interior, opts)?;
+    // The interior window: what each pool node just spent computing, in ns.
+    let clock = system.nodes()[0].kb.config().clock_hz;
+    let budgets: Vec<(nsc_arch::NodeId, u64)> = pool
+        .iter()
+        .zip(&before)
+        .map(|(&i, &b)| {
+            let cycles = system.nodes()[i].counters.cycles.saturating_sub(b);
+            let ns = (cycles as u128 * 1_000_000_000 / clock as u128) as u64;
+            (nsc_arch::NodeId(i as u16), ns)
+        })
+        .collect();
+    system.open_comm_window(&budgets);
+    exchange(system);
+    let hidden = system.close_comm_window();
+    run_phase(system, pool, shell, opts)?;
+    Ok(hidden)
 }
 
 fn run_compiled_on_lanes(

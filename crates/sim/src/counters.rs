@@ -28,6 +28,12 @@ pub struct PerfCounters {
     /// communication (halo exchanges, reductions). Charged by
     /// `NscSystem::exchange`; independent of the clock-cycle count.
     pub comm_ns: u64,
+    /// The portion of `comm_ns` that was *hidden* under concurrently
+    /// issued compute — messages charged inside an overlappable
+    /// communication window (`NscSystem::open_comm_window`). Hidden time
+    /// does not extend the node's wall clock: only the non-overlapped
+    /// remainder `comm_ns - comm_hidden_ns` does.
+    pub comm_hidden_ns: u64,
 }
 
 impl PerfCounters {
@@ -45,9 +51,11 @@ impl PerfCounters {
     }
 
     /// Simulated wall time including router communication: compute cycles
-    /// at the clock rate plus this node's accumulated message time.
+    /// at the clock rate plus the *non-overlapped* remainder of this
+    /// node's message time (messages hidden under an overlap window cost
+    /// no wall clock).
     pub fn seconds_with_comm(&self, clock_hz: u64) -> f64 {
-        self.seconds(clock_hz) + self.comm_ns as f64 * 1e-9
+        self.seconds(clock_hz) + self.comm_ns.saturating_sub(self.comm_hidden_ns) as f64 * 1e-9
     }
 
     /// Fraction of the machine's peak achieved.
@@ -69,6 +77,7 @@ impl PerfCounters {
                 .saturating_sub(earlier.completion_interrupts),
             exceptions: self.exceptions.saturating_sub(earlier.exceptions),
             comm_ns: self.comm_ns.saturating_sub(earlier.comm_ns),
+            comm_hidden_ns: self.comm_hidden_ns.saturating_sub(earlier.comm_hidden_ns),
         }
     }
 
@@ -83,6 +92,7 @@ impl PerfCounters {
         self.completion_interrupts += other.completion_interrupts;
         self.exceptions += other.exceptions;
         self.comm_ns += other.comm_ns;
+        self.comm_hidden_ns += other.comm_hidden_ns;
     }
 
     /// Merge another node's counters (for system totals).
@@ -95,6 +105,7 @@ impl PerfCounters {
         self.completion_interrupts += other.completion_interrupts;
         self.exceptions += other.exceptions;
         self.comm_ns = self.comm_ns.max(other.comm_ns); // messages overlap too
+        self.comm_hidden_ns = self.comm_hidden_ns.max(other.comm_hidden_ns);
     }
 }
 
@@ -156,5 +167,23 @@ mod tests {
         assert!((a.seconds_with_comm(20_000_000) - 7e-6).abs() < 1e-12);
         let delta = a.since(&PerfCounters { comm_ns: 1_500, ..Default::default() });
         assert_eq!(delta.comm_ns, 500);
+    }
+
+    #[test]
+    fn hidden_comm_does_not_extend_the_wall_clock() {
+        // 100 cycles at 20 MHz = 5 us compute; 2 us of messages, 1.5 us of
+        // which overlapped the compute: only 0.5 us extends the clock.
+        let c = PerfCounters {
+            cycles: 100,
+            comm_ns: 2_000,
+            comm_hidden_ns: 1_500,
+            ..Default::default()
+        };
+        assert!((c.seconds_with_comm(20_000_000) - 5.5e-6).abs() < 1e-15);
+        let mut a = c;
+        a.accumulate(&PerfCounters { comm_ns: 300, comm_hidden_ns: 300, ..Default::default() });
+        assert_eq!(a.comm_hidden_ns, 1_800, "sequential windows add");
+        let d = a.since(&c);
+        assert_eq!((d.comm_ns, d.comm_hidden_ns), (300, 300));
     }
 }

@@ -18,7 +18,12 @@
 //! without explicit skip programming, and keeps warm-up garbage out of
 //! feedback reductions. The instruction completes when every stream-mode
 //! write has stored its quota and reductions have drained — the event the
-//! paper's completion interrupt signals.
+//! paper's completion interrupt signals. Drain detection is precise: a
+//! scalar capture is done the first cycle its data-valid line goes low
+//! again after having carried data (source validity windows are contiguous
+//! once streaming starts, so quiet means drained), with a conservative
+//! ring-plus-pipeline bound kept only as a fallback for pipelines whose
+//! capture is fed by always-valid (constant or feedback) operands.
 
 use crate::counters::PerfCounters;
 use crate::memory::NodeMemory;
@@ -116,6 +121,9 @@ struct WriteDma {
     skipped: u64,
     written: u64,
     last_val: Option<f64>,
+    /// Whether the driving source presented a valid word *this* cycle
+    /// (scalar captures complete when this goes low after data flowed).
+    live: bool,
     label: String,
 }
 
@@ -260,6 +268,7 @@ pub fn execute_instruction(
                 skipped: 0,
                 written: 0,
                 last_val: None,
+                live: false,
                 label: format!("MP{i}.wr"),
             });
         }
@@ -277,6 +286,7 @@ pub fn execute_instruction(
                 skipped: 0,
                 written: 0,
                 last_val: None,
+                live: false,
                 label: format!("DC{i}.wr"),
             });
         }
@@ -338,6 +348,7 @@ pub fn execute_instruction(
         // --- phase 2: commit ---
         for w in &mut writes {
             let val = w.driver.and_then(|d| source_vals[d as usize]);
+            w.live = val.is_some();
             if let Some(v) = val {
                 match w.mode {
                     WriteMode::Stream => {
@@ -415,7 +426,18 @@ pub fn execute_instruction(
         let streams_done =
             writes.iter().all(|w| w.mode != WriteMode::Stream || w.written >= w.count);
         let lastonly_present = writes.iter().any(|w| w.mode == WriteMode::LastOnly);
-        if streams_done && reads_done && (!lastonly_present || cycles_after_reads > drain_bound) {
+        // A scalar capture has drained once its data-valid line drops after
+        // having carried data: source validity windows are contiguous, so
+        // quiet can never be followed by more data. Captures that never saw
+        // data (or are fed by always-valid constants) fall back to the
+        // conservative ring-plus-pipeline drain bound.
+        let lastonly_drained = writes
+            .iter()
+            .all(|w| w.mode != WriteMode::LastOnly || (w.last_val.is_some() && !w.live));
+        if streams_done
+            && reads_done
+            && (!lastonly_present || lastonly_drained || cycles_after_reads > drain_bound)
+        {
             completed = true;
             break;
         }
@@ -565,6 +587,37 @@ mod tests {
         ins.switch.route(&kb, SourceRef::Fu(FuId(2)), SinkRef::CacheWrite(CacheId(0)));
         execute_instruction(&kb, &ins, &mut mem, &mut counters).expect("runs");
         assert_eq!(mem.caches[0].read(0, 7), 7.0, "max |x| of the stream");
+    }
+
+    #[test]
+    fn reductions_complete_when_the_datapath_quiesces() {
+        // The completion interrupt follows the last element through the
+        // pipeline (a handful of transport cycles), not the conservative
+        // ring-plus-pipeline drain bound.
+        let kb = kb();
+        let (mut mem, mut counters) = setup(&kb);
+        let data: Vec<f64> = (0..128).map(|i| (i as f64) - 64.0).collect();
+        mem.planes[0].write_slice(0, &data);
+        let mut ins = MicroInstruction::empty(&kb);
+        *ins.fu_mut(FuId(2)) = FuField {
+            enabled: true,
+            op: FuOp::MaxAbs,
+            in_a: FuInputSel::Switch,
+            in_b: FuInputSel::Feedback(0),
+            const_slot: 0,
+            preload: Some(0.0),
+        };
+        *ins.plane_rd_mut(PlaneId(0)) = PlaneDmaField::contiguous(0, 128);
+        *ins.cache_wr_mut(CacheId(0)) = CacheDmaField::scalar_capture(0);
+        ins.switch.route(&kb, SourceRef::PlaneRead(PlaneId(0)), SinkRef::FuIn(FuId(2), InPort::A));
+        ins.switch.route(&kb, SourceRef::Fu(FuId(2)), SinkRef::CacheWrite(CacheId(0)));
+        execute_instruction(&kb, &ins, &mut mem, &mut counters).expect("runs");
+        assert_eq!(mem.caches[0].read(0, 0), 64.0);
+        assert!(
+            counters.cycles < SETUP_CYCLES + 128 + 16,
+            "drain should cost transport cycles, not a bound: {}",
+            counters.cycles
+        );
     }
 
     #[test]

@@ -35,6 +35,16 @@ impl std::error::Error for NodeExecError {
     }
 }
 
+/// An open overlappable communication window: per-node budgets of
+/// concurrently issued compute that messages may hide under.
+#[derive(Debug)]
+struct CommWindow {
+    /// Remaining hideable nanoseconds, indexed by node.
+    budget: Vec<u64>,
+    /// Total nanoseconds hidden since the window opened.
+    hidden: u64,
+}
+
 /// A hypercube of simulated nodes.
 #[derive(Debug)]
 pub struct NscSystem {
@@ -46,13 +56,55 @@ pub struct NscSystem {
     /// view; per-node overlap-aware accounting lives in each node's
     /// [`crate::PerfCounters::comm_ns`]).
     pub comm_ns: u64,
+    /// The open overlap window, if any.
+    comm_window: Option<CommWindow>,
 }
 
 impl NscSystem {
     /// A system of `2^dimension` identical nodes.
     pub fn new(cube: HypercubeConfig, kb: &KnowledgeBase) -> Self {
         let nodes = (0..cube.nodes()).map(|_| NodeSim::new(kb.clone())).collect();
-        NscSystem { cube, nodes, comm_ns: 0 }
+        NscSystem { cube, nodes, comm_ns: 0, comm_window: None }
+    }
+
+    /// Open an overlappable communication window: until
+    /// [`NscSystem::close_comm_window`], each listed node may hide up to
+    /// its budget of message nanoseconds under compute it has already
+    /// issued concurrently (the phased sweep drivers measure the interior
+    /// phase and pass its per-node elapsed time here). Hidden time lands
+    /// in [`crate::PerfCounters::comm_hidden_ns`] and does not extend the
+    /// node's wall clock; unlisted nodes hide nothing. Windows model one
+    /// concurrent compute phase and therefore do not nest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a window is already open.
+    pub fn open_comm_window(&mut self, budgets: &[(NodeId, u64)]) {
+        assert!(self.comm_window.is_none(), "overlap windows do not nest");
+        let mut budget = vec![0u64; self.nodes.len()];
+        for &(node, ns) in budgets {
+            budget[node.index()] = ns;
+        }
+        self.comm_window = Some(CommWindow { budget, hidden: 0 });
+    }
+
+    /// Close the open overlap window (a no-op when none is open) and
+    /// return the total message nanoseconds it hid across all nodes.
+    pub fn close_comm_window(&mut self) -> u64 {
+        self.comm_window.take().map(|w| w.hidden).unwrap_or(0)
+    }
+
+    /// Charge `ns` of message time to a node, hiding whatever fits in the
+    /// node's remaining overlap-window budget.
+    fn charge_comm(&mut self, node: NodeId, ns: u64) {
+        let counters = &mut self.nodes[node.index()].counters;
+        counters.comm_ns += ns;
+        if let Some(win) = &mut self.comm_window {
+            let hide = ns.min(win.budget[node.index()]);
+            win.budget[node.index()] -= hide;
+            win.hidden += hide;
+            counters.comm_hidden_ns += hide;
+        }
     }
 
     /// Number of nodes.
@@ -155,9 +207,9 @@ impl NscSystem {
         // Both endpoints spend the message time (the sender streams it out,
         // the receiver waits for it); messages between *different* node
         // pairs overlap, which is what per-node accounting captures.
-        self.nodes[from.index()].counters.comm_ns += ns;
+        self.charge_comm(from, ns);
         if to != from {
-            self.nodes[to.index()].counters.comm_ns += ns;
+            self.charge_comm(to, ns);
         }
         ns
     }
@@ -208,9 +260,9 @@ impl NscSystem {
         let words = chunk_len * a_send.len().max(b_send.len()) as u64;
         let ns = self.cube.message_ns(a, b, words);
         self.comm_ns += 2 * ns;
-        self.nodes[a.index()].counters.comm_ns += ns;
+        self.charge_comm(a, ns);
         if b != a {
-            self.nodes[b.index()].counters.comm_ns += ns;
+            self.charge_comm(b, ns);
         }
         ns
     }
@@ -245,7 +297,7 @@ impl NscSystem {
         let ns = self.cube.router.message_ns(1, 1) * rounds;
         self.comm_ns += ns;
         for &m in members {
-            self.nodes[m.index()].counters.comm_ns += ns;
+            self.charge_comm(m, ns);
         }
         (value, ns)
     }
@@ -445,6 +497,38 @@ mod tests {
         assert_eq!(sys.comm_ns, 2 * msg);
         assert_eq!(sys.node(NodeId(1)).counters.comm_ns, msg);
         assert_eq!(sys.node(NodeId(3)).counters.comm_ns, msg);
+    }
+
+    #[test]
+    fn comm_window_hides_message_time_up_to_the_budget() {
+        let mut sys = small_system(2);
+        let msg = sys.cube.router.message_ns(1, 100);
+        // Node 1 can hide 1.5 messages' worth; node 3 nothing.
+        sys.open_comm_window(&[(NodeId(1), msg + msg / 2)]);
+        sys.exchange(NodeId(1), PlaneId(0), 0, NodeId(3), PlaneId(0), 0, 100);
+        sys.exchange(NodeId(1), PlaneId(0), 0, NodeId(3), PlaneId(0), 200, 100);
+        let hidden = sys.close_comm_window();
+        assert_eq!(hidden, msg + msg / 2, "budget fully consumed");
+        let n1 = sys.node(NodeId(1)).counters;
+        assert_eq!(n1.comm_ns, 2 * msg);
+        assert_eq!(n1.comm_hidden_ns, msg + msg / 2, "second message only half hides");
+        assert_eq!(sys.node(NodeId(3)).counters.comm_hidden_ns, 0, "no budget, no hiding");
+        // Wall clock: node 1 pays only the remainder, node 3 pays in full.
+        let clock = sys.node(NodeId(0)).kb.config().clock_hz;
+        let n3 = sys.node(NodeId(3)).counters;
+        assert!(n1.seconds_with_comm(clock) < n3.seconds_with_comm(clock));
+        // Outside a window nothing hides.
+        sys.exchange(NodeId(1), PlaneId(0), 0, NodeId(3), PlaneId(0), 400, 100);
+        assert_eq!(sys.node(NodeId(1)).counters.comm_hidden_ns, msg + msg / 2);
+        assert_eq!(sys.close_comm_window(), 0, "closing a closed window is a no-op");
+    }
+
+    #[test]
+    #[should_panic(expected = "do not nest")]
+    fn comm_windows_do_not_nest() {
+        let mut sys = small_system(1);
+        sys.open_comm_window(&[(NodeId(0), 10)]);
+        sys.open_comm_window(&[(NodeId(1), 10)]);
     }
 
     #[test]

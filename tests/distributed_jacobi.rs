@@ -34,6 +34,7 @@ fn eight_node_distributed_jacobi_matches_the_serial_solution() {
         tol,
         max_pairs: 2000,
         partition: nsc::cfd::PartitionSpec::Auto,
+        overlap: true,
     };
     let run = dist.execute(&session, &mut sys).expect("distributed solve");
     assert!(run.converged, "residual {}", run.residual);

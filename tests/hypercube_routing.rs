@@ -161,6 +161,7 @@ fn halo_exchange_ghost_cells_match_the_serial_solver_bit_for_bit() {
         tol: 0.0,
         max_pairs: 2,
         partition: PartitionSpec::Strip,
+        overlap: false,
     };
     let run = w.execute(&session, &mut sys).expect("distributed run");
     assert_eq!(run.sweeps, 4);
