@@ -5,15 +5,22 @@
 //! them as JSON, and compares against the committed baseline, failing when
 //! any figure drops more than 20%.
 //!
+//! The one exception to "simulated figures only" is the `host` section:
+//! wall-clock measurements of the compiled-kernel fast path against the
+//! interpreter. Those are machine-dependent, so the baseline copy is
+//! informational; the gate instead enforces the *freshly measured*
+//! kernel-vs-interpreter speedup (a property of the code, not the host).
+//!
 //! ```text
 //! perf_gate --write out.json                        # emit current figures
 //! perf_gate --check crates/bench/BENCH_baseline.json [--write out.json]
 //! perf_gate --write-baseline                        # refresh the committed baseline
+//! perf_gate --check ... --summary summary.md        # append a markdown table
 //! ```
 
 use nsc_bench::{
-    cavity_point, jacobi_node_mflops, multigrid_point, strong_scaling_point, CavityPoint,
-    ScalingPoint,
+    cavity_point, host_comparison_point, jacobi_node_mflops, multigrid_point, strong_scaling_point,
+    CavityPoint, HostPoint, ScalingPoint,
 };
 use serde::{Deserialize, Serialize};
 use std::process::ExitCode;
@@ -41,11 +48,20 @@ struct Baseline {
     /// Distributed multigrid 17^3 at 8 nodes, overlapped smoothing; same
     /// strictly-faster-than-synchronized assertion.
     multigrid_overlap_8: ScalingPoint,
+    /// Host wall-clock of the kernel fast path vs the interpreter on
+    /// Jacobi 64^3 @ 8 nodes. Machine-dependent, so the committed copy is
+    /// informational only — the gate enforces the freshly measured
+    /// speedup, never a comparison against this snapshot.
+    host: HostPoint,
 }
 
 /// Simulated figures never flake, but they may legitimately improve; only
 /// a drop beyond this fraction fails the gate.
 const TOLERATED_DROP: f64 = 0.20;
+
+/// The kernel fast path must beat the interpreter's host wall-clock by at
+/// least this factor on the gate workload (Jacobi 64^3 @ 8 nodes).
+const REQUIRED_KERNEL_SPEEDUP: f64 = 3.0;
 
 fn measure() -> Baseline {
     Baseline {
@@ -55,6 +71,9 @@ fn measure() -> Baseline {
         multigrid: [0u32, 2, 3].iter().map(|&dim| multigrid_point(dim, 17, 2, false)).collect(),
         jacobi_overlap_8: strong_scaling_point(3, 64, 1, true),
         multigrid_overlap_8: multigrid_point(3, 17, 2, true),
+        // Four pairs so the streamed sweeps, not compilation and problem
+        // scatter (which both paths share), dominate the wall-clock.
+        host: host_comparison_point(3, 64, 4, 2),
     }
 }
 
@@ -139,6 +158,22 @@ fn check(current: &Baseline, baseline: &Baseline) -> Result<(), String> {
             current.multigrid_overlap_8.simulated_seconds
         ));
     }
+    // Host wall-clock never gates against the (machine-dependent)
+    // baseline copy; the freshly measured speedup is what must hold.
+    eprintln!(
+        "  {:<32} {:>12.1}x     (interpreter {:.3}s vs kernels {:.3}s, floor {:.1}x)",
+        "kernel speedup 64^3 @ 8",
+        current.host.kernel_speedup,
+        current.host.host_seconds_interpreted,
+        current.host.host_seconds_kernel,
+        REQUIRED_KERNEL_SPEEDUP,
+    );
+    if current.host.kernel_speedup < REQUIRED_KERNEL_SPEEDUP {
+        failures.push(format!(
+            "kernel fast path only {:.2}x over the interpreter (need {:.1}x)",
+            current.host.kernel_speedup, REQUIRED_KERNEL_SPEEDUP
+        ));
+    }
     if failures.is_empty() {
         Ok(())
     } else {
@@ -146,15 +181,72 @@ fn check(current: &Baseline, baseline: &Baseline) -> Result<(), String> {
     }
 }
 
+/// The `--summary` markdown: every simulated figure next to the host
+/// wall-clock figures, in the shape `$GITHUB_STEP_SUMMARY` renders.
+fn summary_markdown(current: &Baseline) -> String {
+    let mut md = String::from("## NSC performance gate\n\n");
+    md.push_str("### Simulated figures (bit-deterministic)\n\n");
+    md.push_str("| figure | nodes | simulated MFLOPS | simulated seconds |\n");
+    md.push_str("|---|---:|---:|---:|\n");
+    md.push_str(&format!("| jacobi 12^3 serial | 1 | {:.1} | — |\n", current.jacobi_mflops));
+    for p in &current.strong_scaling {
+        md.push_str(&format!(
+            "| jacobi 64^3 | {} | {:.1} | {:.5} |\n",
+            p.nodes, p.aggregate_mflops, p.simulated_seconds
+        ));
+    }
+    for p in &current.cavity {
+        md.push_str(&format!(
+            "| cavity 17^2 | {} | {:.1} | {:.5}/step |\n",
+            p.nodes, p.aggregate_mflops, p.seconds_per_step
+        ));
+    }
+    for p in &current.multigrid {
+        md.push_str(&format!(
+            "| multigrid 17^3 | {} | {:.1} | {:.5} |\n",
+            p.nodes, p.aggregate_mflops, p.simulated_seconds
+        ));
+    }
+    let jo = &current.jacobi_overlap_8;
+    let mo = &current.multigrid_overlap_8;
+    md.push_str(&format!(
+        "| jacobi 64^3 overlapped | {} | {:.1} | {:.5} |\n",
+        jo.nodes, jo.aggregate_mflops, jo.simulated_seconds
+    ));
+    md.push_str(&format!(
+        "| multigrid 17^3 overlapped | {} | {:.1} | {:.5} |\n",
+        mo.nodes, mo.aggregate_mflops, mo.simulated_seconds
+    ));
+    let h = &current.host;
+    md.push_str("\n### Host wall-clock (this runner; jacobi 64^3 @ 8 nodes)\n\n");
+    md.push_str("| path | host seconds | host MFLOPS |\n|---|---:|---:|\n");
+    md.push_str(&format!(
+        "| compiled kernels | {:.4} | {:.1} |\n",
+        h.host_seconds_kernel, h.host_mflops_kernel
+    ));
+    md.push_str(&format!(
+        "| interpreter | {:.4} | {:.1} |\n",
+        h.host_seconds_interpreted, h.host_mflops_interpreted
+    ));
+    md.push_str(&format!(
+        "\nKernel speedup: **{:.1}x** (gate floor {REQUIRED_KERNEL_SPEEDUP:.1}x).\n",
+        h.kernel_speedup
+    ));
+    md
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut write_path = None;
     let mut check_path = None;
+    let mut summary_path = None;
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--write" => write_path = it.next().cloned(),
             "--check" => check_path = it.next().cloned(),
+            // CI passes $GITHUB_STEP_SUMMARY here; any writable path works.
+            "--summary" => summary_path = it.next().cloned(),
             // Refreshing the committed baseline is one command instead of
             // hand-edited JSON; an optional path overrides the default.
             "--write-baseline" => {
@@ -166,7 +258,7 @@ fn main() -> ExitCode {
             other => {
                 eprintln!(
                     "unknown argument '{other}' (wanted --write <path> / --check <path> / \
-                     --write-baseline [path])"
+                     --write-baseline [path] / --summary <path>)"
                 );
                 return ExitCode::FAILURE;
             }
@@ -175,7 +267,7 @@ fn main() -> ExitCode {
     if write_path.is_none() && check_path.is_none() {
         eprintln!(
             "usage: perf_gate [--check <baseline.json>] [--write <out.json>] [--write-baseline \
-             [path]]"
+             [path]] [--summary <markdown.md>]"
         );
         return ExitCode::FAILURE;
     }
@@ -186,6 +278,17 @@ fn main() -> ExitCode {
     if let Some(path) = &write_path {
         std::fs::write(path, format!("{json}\n")).expect("baseline written");
         eprintln!("wrote {path}");
+    }
+    if let Some(path) = &summary_path {
+        use std::io::Write;
+        // Append (not truncate): $GITHUB_STEP_SUMMARY accumulates steps.
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .unwrap_or_else(|e| panic!("cannot open summary {path}: {e}"));
+        f.write_all(summary_markdown(&current).as_bytes()).expect("summary written");
+        eprintln!("appended summary to {path}");
     }
     if let Some(path) = &check_path {
         let text = std::fs::read_to_string(path)

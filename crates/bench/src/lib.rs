@@ -113,6 +113,78 @@ pub fn multigrid_point(dim: u32, n: usize, cycles: usize, overlap: bool) -> Scal
     }
 }
 
+/// Host-side (wall-clock) figures for the compiled-kernel fast path
+/// against the interpreter on the same workload. Unlike every other
+/// figure in this crate these depend on the machine running them, so the
+/// gate never compares them against a committed baseline — it only
+/// enforces the freshly measured kernel-vs-interpreter speedup, which is
+/// a property of the code, not of the host.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct HostPoint {
+    /// Hypercube size.
+    pub nodes: usize,
+    /// Simulated flops the workload executes (identical on both paths).
+    pub flops: u64,
+    /// Host wall-clock seconds with kernel specialization (the default).
+    pub host_seconds_kernel: f64,
+    /// Host wall-clock seconds with the fast path disabled.
+    pub host_seconds_interpreted: f64,
+    /// Simulated flops per host second through the kernels.
+    pub host_mflops_kernel: f64,
+    /// Simulated flops per host second through the interpreter.
+    pub host_mflops_interpreted: f64,
+    /// `host_seconds_interpreted / host_seconds_kernel`.
+    pub kernel_speedup: f64,
+}
+
+/// Measure the distributed Jacobi workload's host wall-clock on both
+/// execution paths (best of `reps` runs each) and cross-check that the
+/// two paths simulate identical work: same counters, same residual bits.
+pub fn host_comparison_point(dim: u32, n: usize, pairs: u32, reps: usize) -> HostPoint {
+    let run_once = |fast: bool| {
+        let session =
+            if fast { Session::nsc_1988() } else { Session::nsc_1988().with_fast_path(false) };
+        let mut sys = NscSystem::new(nsc_arch::HypercubeConfig::new(dim), session.kb());
+        let (u0, f, _) = manufactured_problem(n);
+        let w = DistributedJacobiWorkload {
+            u0,
+            f,
+            tol: 0.0,
+            max_pairs: pairs,
+            partition: nsc_cfd::PartitionSpec::Strip,
+            overlap: false,
+        };
+        let start = std::time::Instant::now();
+        let run = w.execute(&session, &mut sys).expect("distributed jacobi runs");
+        (start.elapsed().as_secs_f64(), run)
+    };
+    let reps = reps.max(1);
+    let (mut kernel_secs, kernel_run) = run_once(true);
+    let (mut interp_secs, interp_run) = run_once(false);
+    for _ in 1..reps {
+        kernel_secs = kernel_secs.min(run_once(true).0);
+        interp_secs = interp_secs.min(run_once(false).0);
+    }
+    // The fast path may only change wall-clock: identical simulated work
+    // is its contract, and the gate double-checks it on every run.
+    assert_eq!(kernel_run.total, interp_run.total, "kernel and interpreter counters diverged");
+    assert_eq!(
+        kernel_run.residual.to_bits(),
+        interp_run.residual.to_bits(),
+        "kernel and interpreter residuals diverged"
+    );
+    let flops = kernel_run.total.flops;
+    HostPoint {
+        nodes: 1 << dim,
+        flops,
+        host_seconds_kernel: kernel_secs,
+        host_seconds_interpreted: interp_secs,
+        host_mflops_kernel: flops as f64 / kernel_secs / 1.0e6,
+        host_mflops_interpreted: flops as f64 / interp_secs / 1.0e6,
+        kernel_speedup: interp_secs / kernel_secs,
+    }
+}
+
 /// The benches honour `NSC_BENCH_QUICK` (set by the CI gate job) by
 /// cutting the sample count: wall-clock statistics are not what CI
 /// checks, the simulated figures are.

@@ -189,27 +189,28 @@ impl<'p> SweepEngine<'p> {
 
     /// Compile one sweep for this engine's mode. `build` constructs the
     /// windowed document for a part — typically one of the
-    /// `*_document_windows` builders on the part's local geometry. The
-    /// document must depend on the part only through its local shape (true
-    /// of every sweep builder), so a balanced decomposition compiles a
-    /// handful of distinct programs and shares them across parts. Compile
-    /// failures are attributed to the part's node.
+    /// `*_document_windows` builders on the part's local geometry.
+    /// Deduplication is by [`Document::digest`]: parts whose builders
+    /// produce identical documents (a balanced decomposition produces a
+    /// handful of distinct shapes) share one compile — and through the
+    /// session's digest-keyed `KernelCache`, repeated `compile` calls on
+    /// the same engine (the even/odd sweeps of every V-cycle level, or a
+    /// re-run) skip codegen entirely. Compile failures are attributed to
+    /// the part's node.
     pub fn compile(
         &self,
         session: &Session,
         build: impl Fn(&Part, &[SweepWindow]) -> Document,
     ) -> Result<CompiledSweep, NscError> {
-        type Key = ((usize, usize, usize), Vec<SweepWindow>);
-        let mut cache: HashMap<Key, CompiledProgram> = HashMap::new();
+        let mut cache: HashMap<u128, CompiledProgram> = HashMap::new();
         let mut compile_windows =
             |p: &Part, windows: &[SweepWindow]| -> Result<CompiledProgram, NscError> {
-                let key = (p.local_shape(), windows.to_vec());
+                let mut doc = build(p, windows);
+                let key = doc.digest();
                 if let Some(prog) = cache.get(&key) {
                     return Ok(prog.clone());
                 }
-                let prog = session
-                    .compile(&mut build(p, windows))
-                    .map_err(|e| NscError::on_node(p.node, e))?;
+                let prog = session.compile(&mut doc).map_err(|e| NscError::on_node(p.node, e))?;
                 cache.insert(key, prog.clone());
                 Ok(prog)
             };

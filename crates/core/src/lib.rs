@@ -71,6 +71,8 @@
 //! packages whole solver problems (see `nsc-cfd`'s Jacobi/SOR/multigrid
 //! workloads) behind it.
 
+#![warn(missing_docs)]
+
 pub mod debugger;
 pub mod environment;
 pub mod error;
@@ -81,5 +83,5 @@ pub use self::environment::VisualEnvironment;
 pub use self::error::{DiagnosticSet, NscError};
 pub use self::session::{
     run_compiled_batch, run_compiled_on_pool, run_compiled_phased, BatchReport, CompiledProgram,
-    RunReport, Session, Workload,
+    KernelCache, RunReport, Session, Workload,
 };

@@ -25,17 +25,132 @@ use nsc_checker::{diag, Checker, Diagnostic};
 use nsc_codegen::GenOutput;
 use nsc_diagram::Document;
 use nsc_microcode::MicroProgram;
-use nsc_sim::{HaltReason, NodeSim, NscSystem, PerfCounters, RunOptions, RunStats};
-use std::sync::atomic::{AtomicBool, Ordering};
+use nsc_sim::{CompiledKernel, HaltReason, NodeSim, NscSystem, PerfCounters, RunOptions, RunStats};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One cached compilation: the generator output plus the host fast-path
+/// kernel specialized from it.
+#[derive(Debug)]
+struct CacheEntry {
+    output: GenOutput,
+    warnings: Vec<Diagnostic>,
+    kernel: Arc<CompiledKernel>,
+}
+
+/// The session's compile cache, keyed by [`Document::digest`].
+///
+/// A digest hit returns the cached microcode *and* the pre-specialized
+/// [`CompiledKernel`], skipping check, codegen and kernel analysis
+/// entirely — the compile-once/run-many shape Jacobi iterations, V-cycle
+/// smoothing passes and ensemble re-runs all have. The cache is shared by
+/// clones of its [`Session`] (it is an `Arc` internally) and is safe to
+/// use from many threads.
+///
+/// ```
+/// use nsc_arch::{AlsKind, FuOp, InPort, MachineConfig, PlaneId};
+/// use nsc_core::Session;
+/// use nsc_diagram::{DmaAttrs, Document, FuAssign, IconKind, PadLoc, PadRef};
+/// use nsc_sim::RunOptions;
+///
+/// # fn main() -> Result<(), nsc_core::NscError> {
+/// // Draw: plane 0 -> (x * 2) -> plane 1.
+/// let mut doc = Document::new("double");
+/// let pid = doc.add_pipeline("double");
+/// let d = doc.pipeline_mut(pid).unwrap();
+/// d.stream_len = 4;
+/// let src = d.add_icon(IconKind::Memory { plane: Some(PlaneId(0)) });
+/// let als = d.add_icon(IconKind::als(AlsKind::Singlet));
+/// let dst = d.add_icon(IconKind::Memory { plane: Some(PlaneId(1)) });
+/// d.connect(
+///     PadLoc::new(src, PadRef::Io),
+///     PadLoc::new(als, PadRef::FuIn { pos: 0, port: InPort::A }),
+///     Some(DmaAttrs::at_address(0)),
+/// )?;
+/// d.assign_fu(als, 0, FuAssign::with_const(FuOp::Mul, 2.0))?;
+/// d.connect(
+///     PadLoc::new(als, PadRef::FuOut { pos: 0 }),
+///     PadLoc::new(dst, PadRef::Io),
+///     Some(DmaAttrs::at_address(0)),
+/// )?;
+///
+/// // Compile once, run many: iterations 2 and 3 hit the kernel cache.
+/// let session = Session::new(MachineConfig::nsc_1988());
+/// let mut node = session.node();
+/// for _ in 0..3 {
+///     let compiled = session.compile(&mut doc)?;
+///     compiled.run(&mut node, &RunOptions::default())?;
+/// }
+/// assert_eq!(session.kernel_cache().misses(), 1, "first compile populates");
+/// assert_eq!(session.kernel_cache().hits(), 2, "re-compiles are cache hits");
+/// assert_eq!(session.kernel_cache().len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct KernelCache {
+    inner: Arc<CacheInner>,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    entries: Mutex<HashMap<u128, Arc<CacheEntry>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl KernelCache {
+    /// Number of distinct documents cached.
+    pub fn len(&self) -> usize {
+        self.inner.entries.lock().expect("cache lock").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Compiles served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.inner.hits.load(Ordering::Relaxed)
+    }
+
+    /// Compiles that ran the full pipeline and populated the cache.
+    pub fn misses(&self) -> u64 {
+        self.inner.misses.load(Ordering::Relaxed)
+    }
+
+    /// Drop every cached entry (statistics are kept).
+    pub fn clear(&self) {
+        self.inner.entries.lock().expect("cache lock").clear();
+    }
+
+    fn lookup(&self, digest: u128) -> Option<Arc<CacheEntry>> {
+        let found = self.inner.entries.lock().expect("cache lock").get(&digest).cloned();
+        match &found {
+            Some(_) => self.inner.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.inner.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    fn insert(&self, digest: u128, entry: Arc<CacheEntry>) {
+        self.inner.entries.lock().expect("cache lock").insert(digest, entry);
+    }
+}
 
 /// A compile-and-run session over one machine configuration.
 ///
 /// Cheap to construct (one knowledge-base clone, reused by every stage)
 /// and freely cloneable; every stage takes `&self`, so one session can
-/// compile documents from many threads.
+/// compile documents from many threads. Clones share the [`KernelCache`],
+/// so a document compiled through any clone is a cache hit for all.
 #[derive(Debug, Clone)]
 pub struct Session {
     checker: Checker,
+    kernels: KernelCache,
+    fast_path: bool,
 }
 
 impl Session {
@@ -46,12 +161,31 @@ impl Session {
 
     /// A session over an existing knowledge base.
     pub fn from_kb(kb: KnowledgeBase) -> Self {
-        Session { checker: Checker::new(kb) }
+        Session { checker: Checker::new(kb), kernels: KernelCache::default(), fast_path: true }
     }
 
     /// A session for the published 1988 machine.
     pub fn nsc_1988() -> Self {
         Self::from_kb(KnowledgeBase::nsc_1988())
+    }
+
+    /// Toggle the host fast path (on by default). With it off,
+    /// [`Session::compile`] skips both the kernel cache and kernel
+    /// specialization, so every run interprets — the reference mode the
+    /// fast path is bit-compared against.
+    pub fn with_fast_path(mut self, enabled: bool) -> Self {
+        self.fast_path = enabled;
+        self
+    }
+
+    /// Whether compiles specialize host kernels and use the cache.
+    pub fn fast_path(&self) -> bool {
+        self.fast_path
+    }
+
+    /// The digest-keyed compile cache.
+    pub fn kernel_cache(&self) -> &KernelCache {
+        &self.kernels
     }
 
     /// The knowledge base.
@@ -103,17 +237,42 @@ impl Session {
         Ok(nsc_codegen::generate(self.kb(), doc)?)
     }
 
-    /// The full front half of the Figure 3 loop: bind, check, generate.
+    /// The full front half of the Figure 3 loop: bind, check, generate —
+    /// then specialize the host fast-path kernel, all behind the
+    /// digest-keyed [`KernelCache`].
     ///
     /// The document is mutated in place by binding (exactly what the
-    /// interactive environment does before generation). The global check
-    /// runs exactly once: generation reuses this stage's verdict instead
-    /// of re-checking internally.
+    /// interactive environment does before generation). The digest is
+    /// taken *after* binding, so documents that bind identically share a
+    /// cache slot. On a hit, check, codegen and kernel analysis are all
+    /// skipped and the cached program (with its kernel) is returned. The
+    /// global check runs exactly once per distinct document: generation
+    /// reuses this stage's verdict instead of re-checking internally.
     pub fn compile(&self, doc: &mut Document) -> Result<CompiledProgram, NscError> {
         self.auto_bind(doc)?;
+        if !self.fast_path {
+            let warnings = self.check(doc)?;
+            let output = nsc_codegen::generate_prechecked(self.kb(), doc)?;
+            return Ok(CompiledProgram { output, warnings, kernel: None });
+        }
+        let digest = doc.digest();
+        if let Some(hit) = self.kernels.lookup(digest) {
+            return Ok(CompiledProgram {
+                output: hit.output.clone(),
+                warnings: hit.warnings.clone(),
+                kernel: Some(hit.kernel.clone()),
+            });
+        }
         let warnings = self.check(doc)?;
         let output = nsc_codegen::generate_prechecked(self.kb(), doc)?;
-        Ok(CompiledProgram { output, warnings })
+        let kernel = Arc::new(CompiledKernel::compile(self.kb(), &output.program));
+        let entry = Arc::new(CacheEntry { output, warnings, kernel });
+        self.kernels.insert(digest, entry.clone());
+        Ok(CompiledProgram {
+            output: entry.output.clone(),
+            warnings: entry.warnings.clone(),
+            kernel: Some(entry.kernel.clone()),
+        })
     }
 
     /// Compile many documents and execute them across a pool of nodes.
@@ -358,12 +517,21 @@ pub struct CompiledProgram {
     pub output: GenOutput,
     /// Non-fatal findings from the global check.
     pub warnings: Vec<Diagnostic>,
+    /// The host fast-path kernel, when the session compiled one; shared
+    /// with the cache entry, so clones are cheap and thread-safe.
+    kernel: Option<Arc<CompiledKernel>>,
 }
 
 impl CompiledProgram {
     /// The executable microcode.
     pub fn program(&self) -> &MicroProgram {
         &self.output.program
+    }
+
+    /// The host fast-path kernel, if this program was compiled with the
+    /// fast path enabled. [`CompiledProgram::run`] uses it automatically.
+    pub fn kernel(&self) -> Option<&CompiledKernel> {
+        self.kernel.as_deref()
     }
 
     /// Execute on a node.
@@ -375,7 +543,8 @@ impl CompiledProgram {
     /// [`HaltReason`] for callers that probe budgets deliberately.)
     pub fn run(&self, node: &mut NodeSim, opts: &RunOptions) -> Result<RunReport, NscError> {
         let before = node.counters;
-        let stats = node.run_program(&self.output.program, opts)?;
+        let stats =
+            node.run_program_with_kernel(&self.output.program, self.kernel.as_deref(), opts)?;
         if stats.halted == HaltReason::MaxInstructions {
             return Err(NscError::MaxInstructions {
                 executed: stats.executed,

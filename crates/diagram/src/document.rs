@@ -272,6 +272,72 @@ impl Document {
         stripped.layouts.clear();
         serde_json::to_string_pretty(&stripped).expect("document serializes")
     }
+
+    /// A 128-bit content digest of the document's *semantic* information —
+    /// the same data [`Document::semantic_json`] keeps, so display-only
+    /// edits (moving icons around) do not change the digest. Used as the
+    /// kernel-cache key: equal digests mean the documents compile to the
+    /// same program.
+    ///
+    /// FNV-1a (128-bit) over the serialized value tree, with every node
+    /// shape tagged so differently-shaped trees cannot collide by byte
+    /// coincidence.
+    pub fn digest(&self) -> u128 {
+        let mut stripped = self.clone();
+        stripped.layouts.clear();
+        let mut h: u128 = 0x6c62272e07bb014262b821756295c58d;
+        digest_value(&stripped.to_value(), &mut h);
+        h
+    }
+}
+
+fn digest_bytes(h: &mut u128, bytes: &[u8]) {
+    const PRIME: u128 = 0x0000000001000000000000000000013B;
+    for &b in bytes {
+        *h ^= b as u128;
+        *h = h.wrapping_mul(PRIME);
+    }
+}
+
+fn digest_value(v: &serde::Value, h: &mut u128) {
+    use serde::Value;
+    match v {
+        Value::Null => digest_bytes(h, &[0]),
+        Value::Bool(b) => digest_bytes(h, &[1, *b as u8]),
+        Value::Int(i) => {
+            digest_bytes(h, &[2]);
+            digest_bytes(h, &i.to_le_bytes());
+        }
+        Value::UInt(u) => {
+            digest_bytes(h, &[3]);
+            digest_bytes(h, &u.to_le_bytes());
+        }
+        Value::Float(f) => {
+            digest_bytes(h, &[4]);
+            digest_bytes(h, &f.to_bits().to_le_bytes());
+        }
+        Value::Str(s) => {
+            digest_bytes(h, &[5]);
+            digest_bytes(h, &(s.len() as u64).to_le_bytes());
+            digest_bytes(h, s.as_bytes());
+        }
+        Value::Array(items) => {
+            digest_bytes(h, &[6]);
+            digest_bytes(h, &(items.len() as u64).to_le_bytes());
+            for item in items {
+                digest_value(item, h);
+            }
+        }
+        Value::Object(entries) => {
+            digest_bytes(h, &[7]);
+            digest_bytes(h, &(entries.len() as u64).to_le_bytes());
+            for (k, val) in entries {
+                digest_bytes(h, &(k.len() as u64).to_le_bytes());
+                digest_bytes(h, k.as_bytes());
+                digest_value(val, h);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -295,6 +361,33 @@ mod tests {
         assert_eq!(removed.name, "between");
         assert_eq!(doc.pipeline_count(), 2);
         assert!(!doc.renumber(5, 0), "out-of-range renumber refused");
+    }
+
+    #[test]
+    fn digest_ignores_layout_but_tracks_semantics() {
+        let mut doc = Document::new("prog");
+        let p = doc.add_pipeline("sweep");
+        let icon = doc.pipeline_mut(p).unwrap().add_icon(IconKind::memory());
+        let d0 = doc.digest();
+        assert_eq!(doc.digest(), d0, "digest is deterministic");
+
+        doc.layout_mut(p).unwrap().place(icon, Point::new(40, 12));
+        assert_eq!(doc.digest(), d0, "display-only edits keep the digest");
+
+        doc.pipeline_mut(p).unwrap().add_icon(IconKind::memory());
+        assert_ne!(doc.digest(), d0, "semantic edits change the digest");
+    }
+
+    #[test]
+    fn digests_of_distinct_documents_differ() {
+        let mut a = Document::new("a");
+        a.add_pipeline("one");
+        let mut b = a.clone();
+        b.name = "b".into();
+        assert_ne!(a.digest(), b.digest());
+        let mut c = a.clone();
+        c.add_pipeline("two");
+        assert_ne!(a.digest(), c.digest());
     }
 
     #[test]

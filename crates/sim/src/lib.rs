@@ -22,15 +22,25 @@
 //!   arithmetic exceptions;
 //! * performance counters report cycles and FLOPs so that a saturated node
 //!   measurably approaches the published 640 MFLOPS peak (experiment T1).
+//!
+//! Two execution paths share these semantics: the lockstep interpreter in
+//! [`exec`] (the reference model) and the host fast path in [`kernel`],
+//! which specializes instructions into flat element loops at compile time
+//! while charging identical simulated cycles. See `ARCHITECTURE.md` at the
+//! repository root for how the paths fit into the wider pipeline.
+
+#![warn(missing_docs)]
 
 pub mod counters;
 pub mod exec;
+pub mod kernel;
 pub mod memory;
 pub mod node;
 pub mod system;
 
 pub use self::counters::PerfCounters;
 pub use self::exec::{ExecError, SourceTrace};
+pub use self::kernel::CompiledKernel;
 pub use self::memory::{DataCache, MemoryPlane, NodeMemory};
 pub use self::node::{HaltReason, NodeSim, RunOptions, RunStats};
 pub use self::system::{NodeExecError, NscSystem};

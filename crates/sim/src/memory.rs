@@ -66,6 +66,68 @@ impl MemoryPlane {
         (0..len).map(|i| self.read(base + i)).collect()
     }
 
+    /// Bulk strided load: append `count` words starting at `base` to
+    /// `out`. Unit-stride transfers copy page-at-a-time; other strides
+    /// fall back to per-word reads. Matches [`MemoryPlane::read`] exactly,
+    /// including reading unwritten words as zero.
+    ///
+    /// # Panics
+    /// If any addressed word is outside the plane.
+    pub fn read_strided_into(&self, base: i64, stride: i64, count: usize, out: &mut Vec<f64>) {
+        out.reserve(count);
+        if stride == 1 && base >= 0 && count > 0 {
+            let end = base as u64 + count as u64;
+            assert!(end <= self.words, "plane read at {} beyond {} words", end - 1, self.words);
+            let mut addr = base as u64;
+            let mut left = count;
+            while left > 0 {
+                let off = (addr % PAGE_WORDS) as usize;
+                let n = (PAGE_WORDS as usize - off).min(left);
+                match self.pages.get(&(addr / PAGE_WORDS)) {
+                    Some(page) => out.extend_from_slice(&page[off..off + n]),
+                    None => out.resize(out.len() + n, 0.0),
+                }
+                addr += n as u64;
+                left -= n;
+            }
+        } else {
+            for k in 0..count {
+                out.push(self.read((base + k as i64 * stride) as u64));
+            }
+        }
+    }
+
+    /// Bulk strided store of `vals` starting at `base`. Unit-stride
+    /// transfers copy page-at-a-time; other strides fall back to per-word
+    /// writes (stride 0 stores sequentially, so the last value wins, as a
+    /// word-at-a-time DMA would behave).
+    ///
+    /// # Panics
+    /// If any addressed word is outside the plane.
+    pub fn write_strided(&mut self, base: i64, stride: i64, vals: &[f64]) {
+        if stride == 1 && base >= 0 && !vals.is_empty() {
+            let end = base as u64 + vals.len() as u64;
+            assert!(end <= self.words, "plane write at {} beyond {} words", end - 1, self.words);
+            let mut addr = base as u64;
+            let mut rest = vals;
+            while !rest.is_empty() {
+                let page = self
+                    .pages
+                    .entry(addr / PAGE_WORDS)
+                    .or_insert_with(|| vec![0.0; PAGE_WORDS as usize]);
+                let off = (addr % PAGE_WORDS) as usize;
+                let n = (PAGE_WORDS as usize - off).min(rest.len());
+                page[off..off + n].copy_from_slice(&rest[..n]);
+                addr += n as u64;
+                rest = &rest[n..];
+            }
+        } else {
+            for (k, &v) in vals.iter().enumerate() {
+                self.write((base + k as i64 * stride) as u64, v);
+            }
+        }
+    }
+
     /// Pages currently resident (for memory-footprint assertions).
     pub fn resident_pages(&self) -> usize {
         self.pages.len()
@@ -188,6 +250,27 @@ mod tests {
         // Crossing a page boundary on purpose.
         p.write_slice(PAGE_WORDS - 500, &data);
         assert_eq!(p.read_vec(PAGE_WORDS - 500, 1000), data);
+    }
+
+    #[test]
+    fn strided_helpers_match_per_word_access() {
+        let mut p = MemoryPlane::new(1 << 20);
+        // Unit stride across a page boundary, including unwritten words.
+        let data: Vec<f64> = (0..2000).map(|i| i as f64 * 0.25).collect();
+        p.write_strided(PAGE_WORDS as i64 - 1000, 1, &data);
+        let mut out = Vec::new();
+        p.read_strided_into(PAGE_WORDS as i64 - 1200, 1, 2400, &mut out);
+        for (k, &v) in out.iter().enumerate() {
+            assert_eq!(v, p.read((PAGE_WORDS - 1200) + k as u64));
+        }
+        // Negative and zero strides take the per-word path.
+        p.write_strided(100, -2, &[1.0, 2.0, 3.0]);
+        assert_eq!((p.read(100), p.read(98), p.read(96)), (1.0, 2.0, 3.0));
+        p.write_strided(7, 0, &[4.0, 5.0]);
+        assert_eq!(p.read(7), 5.0, "stride 0: last value wins");
+        let mut rev = Vec::new();
+        p.read_strided_into(100, -2, 3, &mut rev);
+        assert_eq!(rev, vec![1.0, 2.0, 3.0]);
     }
 
     #[test]

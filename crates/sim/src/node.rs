@@ -9,6 +9,7 @@
 
 use crate::counters::PerfCounters;
 use crate::exec::{execute_instruction, ExecError, SourceTrace};
+use crate::kernel::CompiledKernel;
 use crate::memory::NodeMemory;
 use nsc_arch::KnowledgeBase;
 use nsc_microcode::{MicroProgram, SeqCtl};
@@ -82,12 +83,29 @@ impl NodeSim {
         self.counters = PerfCounters::default();
     }
 
-    /// Run a program from instruction 0.
+    /// Run a program from instruction 0 through the interpreter.
     pub fn run_program(
         &mut self,
         prog: &MicroProgram,
         opts: &RunOptions,
     ) -> Result<RunStats, ExecError> {
+        self.run_program_with_kernel(prog, None, opts)
+    }
+
+    /// Run a program, executing instructions through a pre-compiled
+    /// [`CompiledKernel`] where one is supplied and covers them.
+    ///
+    /// Specialized instructions produce bit-identical memory effects,
+    /// counters and traces to the interpreter; unspecialized ones (and any
+    /// program the kernel was not built for) interpret as usual.
+    pub fn run_program_with_kernel(
+        &mut self,
+        prog: &MicroProgram,
+        kernel: Option<&CompiledKernel>,
+        opts: &RunOptions,
+    ) -> Result<RunStats, ExecError> {
+        // A kernel for a different program would index the wrong plans.
+        let kernel = kernel.filter(|k| k.instructions() == prog.instrs.len());
         let mut pc: usize = 0;
         let mut executed: u64 = 0;
         let mut traces = Vec::new();
@@ -103,7 +121,12 @@ impl NodeSim {
             if let Some((ctr, val)) = ins.seq.set_counter {
                 self.loop_counters[ctr as usize & 15] = val;
             }
-            let trace = execute_instruction(&self.kb, ins, &mut self.mem, &mut self.counters)?;
+            let trace = match kernel.and_then(|k| k.plan(pc)) {
+                Some(plan) => {
+                    crate::kernel::run_plan(plan, &mut self.mem, &mut self.counters, opts.trace)
+                }
+                None => execute_instruction(&self.kb, ins, &mut self.mem, &mut self.counters)?,
+            };
             executed += 1;
             if opts.trace && traces.len() < opts.trace_cap {
                 traces.push((pc, trace));
