@@ -242,6 +242,8 @@ pub struct SubCubeAllocator {
     dimension: u32,
     /// `free[k]` holds the bases of free sub-cubes of dimension `k`.
     free: Vec<Vec<u16>>,
+    /// Sub-cubes handed out and not yet freed, in allocation order.
+    outstanding: Vec<SubCube>,
 }
 
 impl SubCubeAllocator {
@@ -249,7 +251,7 @@ impl SubCubeAllocator {
     pub fn new(cube: &HypercubeConfig) -> Self {
         let mut free = vec![Vec::new(); cube.dimension as usize + 1];
         free[cube.dimension as usize].push(0);
-        SubCubeAllocator { dimension: cube.dimension, free }
+        SubCubeAllocator { dimension: cube.dimension, free, outstanding: Vec::new() }
     }
 
     /// Allocate a sub-cube of `2^dim` nodes, or `None` when no aligned
@@ -268,12 +270,27 @@ impl SubCubeAllocator {
             self.free[k as usize].push(base | (1 << k));
         }
         base &= !((1u16 << dim) - 1);
-        Some(SubCube { base: NodeId(base), dimension: dim })
+        let sc = SubCube { base: NodeId(base), dimension: dim };
+        self.outstanding.push(sc);
+        Some(sc)
     }
 
     /// Return a sub-cube to the pool, merging it with its free buddy at
-    /// every level it can.
-    pub fn release(&mut self, sc: SubCube) {
+    /// every level it can — so once everything is freed, the whole cube
+    /// re-coalesces into one block of the allocator's own dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `sc` is not an outstanding allocation of this
+    /// allocator (a double free, or a sub-cube it never handed out):
+    /// silently accepting one would inflate capacity and let later
+    /// allocations overlap.
+    pub fn free(&mut self, sc: SubCube) {
+        let pos =
+            self.outstanding.iter().position(|o| *o == sc).unwrap_or_else(|| {
+                panic!("freeing {sc:?}, which is not an outstanding allocation")
+            });
+        self.outstanding.swap_remove(pos);
         let mut base = sc.base.0;
         let mut dim = sc.dimension;
         while dim < self.dimension {
@@ -288,9 +305,43 @@ impl SubCubeAllocator {
         self.free[dim as usize].push(base);
     }
 
+    /// Alias of [`SubCubeAllocator::free`], kept for the embedding
+    /// drivers that pair `allocate` with `release`.
+    pub fn release(&mut self, sc: SubCube) {
+        self.free(sc);
+    }
+
     /// Nodes currently unallocated.
     pub fn free_nodes(&self) -> usize {
         self.free.iter().enumerate().map(|(k, list)| list.len() << k).sum()
+    }
+
+    /// Total nodes the allocator manages (free or not).
+    pub fn capacity_nodes(&self) -> usize {
+        1usize << self.dimension
+    }
+
+    /// Nodes currently handed out.
+    pub fn allocated_nodes(&self) -> usize {
+        self.outstanding.iter().map(|sc| sc.nodes()).sum()
+    }
+
+    /// Sub-cubes handed out and not yet freed, in allocation order.
+    pub fn outstanding(&self) -> &[SubCube] {
+        &self.outstanding
+    }
+
+    /// Largest sub-cube dimension an [`SubCubeAllocator::allocate`] call
+    /// would currently succeed for, or `None` when nothing is free. The
+    /// scheduler's admission test: a job of dimension `d` fits iff
+    /// `largest_free_dim() >= Some(d)`.
+    pub fn largest_free_dim(&self) -> Option<u32> {
+        (0..=self.dimension).rev().find(|&k| !self.free[k as usize].is_empty())
+    }
+
+    /// Whether an aligned block of `2^dim` nodes is free right now.
+    pub fn can_allocate(&self, dim: u32) -> bool {
+        dim <= self.dimension && self.largest_free_dim().is_some_and(|k| k >= dim)
     }
 }
 

@@ -1,0 +1,84 @@
+//! Property tests for the buddy [`SubCubeAllocator`] the machine park's
+//! admission layer leans on: arbitrary alloc/free interleavings must
+//! never leak capacity, never hand out overlapping sub-cubes, and must
+//! re-coalesce to the whole cube once everything is freed.
+
+use nsc_arch::{HypercubeConfig, SubCubeAllocator};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn prop_alloc_free_never_leaks_and_recoalesces(
+        dim in 0u32..=6,
+        // Each step either allocates (Some(request dim), taken modulo
+        // dim + 2 so oversized requests are exercised too) or frees the
+        // oldest/newest live allocation.
+        steps in prop::collection::vec((prop::option::of(0u32..8), any::<bool>()), 1..64),
+    ) {
+        let cube = HypercubeConfig::new(dim);
+        let mut alloc = SubCubeAllocator::new(&cube);
+        let mut live = Vec::new();
+        for (req, oldest) in steps {
+            match req {
+                Some(d) => {
+                    let d = d % (dim + 2); // sometimes > dim: must refuse
+                    if let Some(sc) = alloc.allocate(d) {
+                        prop_assert!(d <= dim);
+                        prop_assert_eq!(sc.dimension, d, "exact size served");
+                        prop_assert_eq!(
+                            sc.base.0 & ((1u16 << d) - 1), 0,
+                            "aligned base"
+                        );
+                        live.push(sc);
+                    } else {
+                        // A refusal must be honest: either the request
+                        // exceeds the cube or no aligned block is free.
+                        prop_assert!(d > dim || !alloc.can_allocate(d));
+                    }
+                }
+                None if !live.is_empty() => {
+                    let sc = if oldest { live.remove(0) } else { live.pop().unwrap() };
+                    alloc.free(sc);
+                }
+                None => {}
+            }
+            // Capacity conservation at every step: free + allocated
+            // nodes always account for the whole cube.
+            prop_assert_eq!(
+                alloc.free_nodes() + alloc.allocated_nodes(),
+                alloc.capacity_nodes(),
+                "no capacity leaked or invented"
+            );
+            prop_assert_eq!(alloc.outstanding().len(), live.len());
+            // Live sub-cubes stay pairwise disjoint.
+            let mut seen = std::collections::HashSet::new();
+            for sc in &live {
+                for n in sc.members() {
+                    prop_assert!(seen.insert(n), "overlapping allocations");
+                }
+            }
+        }
+        // Drain everything: the allocator must re-coalesce to one block
+        // of the full dimension, allocatable as the whole cube.
+        for sc in live.drain(..) {
+            alloc.free(sc);
+        }
+        prop_assert_eq!(alloc.free_nodes(), alloc.capacity_nodes());
+        prop_assert_eq!(alloc.largest_free_dim(), Some(dim), "fully re-coalesced");
+        let whole = alloc.allocate(dim).expect("whole cube allocatable again");
+        prop_assert_eq!(whole.nodes(), cube.nodes());
+        prop_assert_eq!(whole.base.0, 0);
+    }
+}
+
+#[test]
+#[should_panic(expected = "not an outstanding allocation")]
+fn double_free_panics_instead_of_inflating_capacity() {
+    let cube = HypercubeConfig::new(3);
+    let mut alloc = SubCubeAllocator::new(&cube);
+    let sc = alloc.allocate(2).expect("4 nodes");
+    alloc.free(sc);
+    alloc.free(sc);
+}

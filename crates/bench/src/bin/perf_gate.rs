@@ -19,9 +19,10 @@
 //! ```
 
 use nsc_bench::{
-    cavity_point, host_comparison_point, jacobi_node_mflops, multigrid_point, strong_scaling_point,
-    CavityPoint, HostPoint, ScalingPoint,
+    cavity_point, host_comparison_point, jacobi_node_mflops, multigrid_point, park_mixed_point,
+    park_small_stream_point, strong_scaling_point, CavityPoint, HostPoint, ParkPoint, ScalingPoint,
 };
+use nsc_park::SchedPolicy;
 use serde::{Deserialize, Serialize};
 use std::process::ExitCode;
 
@@ -48,6 +49,18 @@ struct Baseline {
     /// Distributed multigrid 17^3 at 8 nodes, overlapped smoothing; same
     /// strictly-faster-than-synchronized assertion.
     multigrid_overlap_8: ScalingPoint,
+    /// The machine-park benchmark job mix (4-node park: a running 2-node
+    /// job, a blocked whole-machine job, a 1-node stream behind it)
+    /// under plain FIFO — the reference backfill must beat.
+    park_fifo: ParkPoint,
+    /// The same mix under backfill. The gate asserts backfill strictly
+    /// beats FIFO on utilization AND throughput, and gates both figures
+    /// against this baseline.
+    park_backfill: ParkPoint,
+    /// Twelve 1-node jobs saturating the 4-node park: the scheduler's
+    /// small-job-stream throughput (jobs per simulated second) and the
+    /// park utilization figure the gate holds at its committed floor.
+    park_small_stream: ParkPoint,
     /// Host wall-clock of the kernel fast path vs the interpreter on
     /// Jacobi 64^3 @ 8 nodes. Machine-dependent, so the committed copy is
     /// informational only — the gate enforces the freshly measured
@@ -71,6 +84,9 @@ fn measure() -> Baseline {
         multigrid: [0u32, 2, 3].iter().map(|&dim| multigrid_point(dim, 17, 2, false)).collect(),
         jacobi_overlap_8: strong_scaling_point(3, 64, 1, true),
         multigrid_overlap_8: multigrid_point(3, 17, 2, true),
+        park_fifo: park_mixed_point(SchedPolicy::Fifo),
+        park_backfill: park_mixed_point(SchedPolicy::Backfill),
+        park_small_stream: park_small_stream_point(),
         // Four pairs so the streamed sweeps, not compilation and problem
         // scatter (which both paths share), dominate the wall-clock.
         host: host_comparison_point(3, 64, 4, 2),
@@ -136,6 +152,32 @@ fn check(current: &Baseline, baseline: &Baseline) -> Result<(), String> {
         // Simulated time gates as a rate so "bigger is better" holds.
         gate(name.into(), 1.0 / c.simulated_seconds, 1.0 / b.simulated_seconds, "runs/s");
     }
+    // Machine-park scheduler figures: the backfill mix and the
+    // small-job stream gate against the committed baseline.
+    gate(
+        "park mix backfill util".into(),
+        100.0 * current.park_backfill.utilization,
+        100.0 * baseline.park_backfill.utilization,
+        "%",
+    );
+    gate(
+        "park mix backfill throughput".into(),
+        current.park_backfill.jobs_per_second,
+        baseline.park_backfill.jobs_per_second,
+        "jobs/s",
+    );
+    gate(
+        "park small-job stream".into(),
+        current.park_small_stream.jobs_per_second,
+        baseline.park_small_stream.jobs_per_second,
+        "jobs/s",
+    );
+    gate(
+        "park small-job stream util".into(),
+        100.0 * current.park_small_stream.utilization,
+        100.0 * baseline.park_small_stream.utilization,
+        "%",
+    );
     // The acceptance bars are absolute, not relative to the baseline.
     let one = current.strong_scaling.first().map(|p| p.aggregate_mflops).unwrap_or(0.0);
     let eight = current.strong_scaling.last().map(|p| p.aggregate_mflops).unwrap_or(0.0);
@@ -156,6 +198,21 @@ fn check(current: &Baseline, baseline: &Baseline) -> Result<(), String> {
         failures.push(format!(
             "overlapped multigrid 17^3 @ 8 ({:.5}s) not faster than synchronized ({sync_mg_8:.5}s)",
             current.multigrid_overlap_8.simulated_seconds
+        ));
+    }
+    // Backfill must *strictly* beat FIFO on the mix, on both
+    // utilization and throughput: looking past a blocked queue head is
+    // the scheduler's whole reason to exist.
+    if current.park_backfill.utilization <= current.park_fifo.utilization {
+        failures.push(format!(
+            "backfill utilization {:.3} not above fifo {:.3}",
+            current.park_backfill.utilization, current.park_fifo.utilization
+        ));
+    }
+    if current.park_backfill.jobs_per_second <= current.park_fifo.jobs_per_second {
+        failures.push(format!(
+            "backfill throughput {:.1} jobs/s not above fifo {:.1}",
+            current.park_backfill.jobs_per_second, current.park_fifo.jobs_per_second
         ));
     }
     // Host wall-clock never gates against the (machine-dependent)
@@ -217,6 +274,22 @@ fn summary_markdown(current: &Baseline) -> String {
         "| multigrid 17^3 overlapped | {} | {:.1} | {:.5} |\n",
         mo.nodes, mo.aggregate_mflops, mo.simulated_seconds
     ));
+    md.push_str("\n### Machine park (4-node park, simulated scheduler figures)\n\n");
+    md.push_str("| stream | policy | jobs | utilization | jobs/s | makespan |\n");
+    md.push_str("|---|---|---:|---:|---:|---:|\n");
+    for (stream, policy, p) in [
+        ("benchmark mix", "fifo", &current.park_fifo),
+        ("benchmark mix", "backfill", &current.park_backfill),
+        ("small-job stream", "backfill", &current.park_small_stream),
+    ] {
+        md.push_str(&format!(
+            "| {stream} | {policy} | {} | {:.1}% | {:.1} | {:.5}s |\n",
+            p.jobs,
+            100.0 * p.utilization,
+            p.jobs_per_second,
+            p.makespan
+        ));
+    }
     let h = &current.host;
     md.push_str("\n### Host wall-clock (this runner; jacobi 64^3 @ 8 nodes)\n\n");
     md.push_str("| path | host seconds | host MFLOPS |\n|---|---:|---:|\n");
@@ -235,6 +308,49 @@ fn summary_markdown(current: &Baseline) -> String {
     md
 }
 
+/// The `--help` text. Spells out what `--write-baseline` does to the
+/// machine-dependent `host` section, because a refreshed baseline is a
+/// committed artifact: everything else in it is bit-deterministic, the
+/// `host` numbers are whatever machine ran the refresh.
+fn usage() -> String {
+    format!(
+        "perf_gate: the CI performance-regression gate over simulated figures.
+
+usage: perf_gate [--check <baseline.json>] [--write <out.json>]
+                 [--write-baseline [path]] [--summary <markdown.md>] [--help]
+
+  --check <baseline.json>   Measure the current figures and compare them
+                            against the committed baseline; any simulated
+                            figure more than {drop:.0}% below its baseline
+                            fails the gate. Also enforces the absolute
+                            bars: 8-node scaling, overlap strictly faster
+                            than synchronized, backfill strictly above
+                            FIFO on park utilization and throughput, and
+                            a freshly measured kernel speedup of at least
+                            {speedup:.1}x over the interpreter.
+  --write <out.json>        Write the measured figures as JSON.
+  --summary <markdown.md>   Append a markdown figure table (CI passes
+                            $GITHUB_STEP_SUMMARY).
+  --write-baseline [path]   Refresh the committed baseline in place
+                            (default {path}).
+
+refresh semantics of --write-baseline:
+  Every figure except the `host` section is simulated and
+  bit-deterministic, so a refresh records the same numbers on any
+  machine and the {drop:.0}% drop tolerance is meaningful. The `host`
+  section is different: it is wall-clock, so a refresh overwrites it
+  with measurements of *whatever machine ran the refresh*. That is fine
+  — the committed `host` numbers are informational only. The gate never
+  compares them against a baseline; the only host-side requirement is
+  the freshly measured kernel-vs-interpreter speedup (at least
+  {speedup:.1}x), which is a property of the code, not of the runner.
+  There is no need to refresh the baseline from any particular machine.",
+        drop = TOLERATED_DROP * 100.0,
+        speedup = REQUIRED_KERNEL_SPEEDUP,
+        path = BASELINE_PATH,
+    )
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut write_path = None;
@@ -243,6 +359,10 @@ fn main() -> ExitCode {
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--help" | "-h" => {
+                eprintln!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
             "--write" => write_path = it.next().cloned(),
             "--check" => check_path = it.next().cloned(),
             // CI passes $GITHUB_STEP_SUMMARY here; any writable path works.
@@ -256,19 +376,13 @@ fn main() -> ExitCode {
                 }
             }
             other => {
-                eprintln!(
-                    "unknown argument '{other}' (wanted --write <path> / --check <path> / \
-                     --write-baseline [path] / --summary <path>)"
-                );
+                eprintln!("unknown argument '{other}'\n\n{}", usage());
                 return ExitCode::FAILURE;
             }
         }
     }
     if write_path.is_none() && check_path.is_none() {
-        eprintln!(
-            "usage: perf_gate [--check <baseline.json>] [--write <out.json>] [--write-baseline \
-             [path]] [--summary <markdown.md>]"
-        );
+        eprintln!("{}", usage());
         return ExitCode::FAILURE;
     }
 

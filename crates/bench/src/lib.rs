@@ -185,6 +185,86 @@ pub fn host_comparison_point(dim: u32, n: usize, pairs: u32, reps: usize) -> Hos
     }
 }
 
+/// One machine-park scheduling measurement: the aggregate figures of a
+/// deterministic job stream under one policy.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ParkPoint {
+    /// Machine size in nodes.
+    pub nodes: usize,
+    /// Jobs completed.
+    pub jobs: usize,
+    /// Busy node-seconds over capacity node-seconds.
+    pub utilization: f64,
+    /// Jobs per simulated second (scheduler throughput).
+    pub jobs_per_second: f64,
+    /// Simulated seconds from first arrival to last completion.
+    pub makespan: f64,
+}
+
+fn park_point_from(report: &nsc_park::ParkReport) -> ParkPoint {
+    ParkPoint {
+        nodes: report.capacity_nodes,
+        jobs: report.jobs.len(),
+        utilization: report.utilization,
+        jobs_per_second: report.jobs_per_second,
+        makespan: report.makespan,
+    }
+}
+
+/// A fixed-length distributed Jacobi payload (tolerance zero, exactly
+/// `pairs` ping-pong pairs) — deterministic duration for the park mixes.
+fn fixed_jacobi(n: usize, pairs: u32) -> DistributedJacobiWorkload {
+    let (u0, f, _) = manufactured_problem(n);
+    DistributedJacobiWorkload {
+        u0,
+        f,
+        tol: 0.0,
+        max_pairs: pairs,
+        partition: nsc_cfd::PartitionSpec::Auto,
+        overlap: false,
+    }
+}
+
+/// The benchmark job mix the scheduler baselines are committed against,
+/// run on a 4-node park under `policy`: a 2-node job starts first, a
+/// whole-machine multigrid job blocks the queue behind it, and a stream
+/// of 1-node jobs waits behind *that* — runnable immediately on the two
+/// idle nodes, but only by a policy willing to look past the blocked
+/// head. Deterministic, so the figures gate against a committed
+/// baseline.
+pub fn park_mixed_point(policy: nsc_park::SchedPolicy) -> ParkPoint {
+    use nsc_park::Job;
+    let mut park = nsc_park::MachinePark::new(Session::nsc_1988(), 2);
+    park.submit(Job::new("ada", 1, fixed_jacobi(8, 40))).expect("fits");
+    let (u0, f, _) = manufactured_problem(17);
+    let mg = DistributedMultigridWorkload {
+        u0,
+        f,
+        tol: 0.0,
+        max_cycles: 2,
+        opts: MgOptions::default(),
+        overlap: false,
+    };
+    park.submit(Job::new("mary", 2, mg)).expect("fits");
+    for _ in 0..4 {
+        park.submit(Job::new("grace", 0, fixed_jacobi(6, 10))).expect("fits");
+    }
+    park_point_from(&park.run(policy).expect("park mix runs"))
+}
+
+/// Saturation throughput of the small-job stream: a 4-node park fed
+/// twelve 1-node jobs under backfill, every node busy end to end — the
+/// jobs-per-second figure the gate tracks as scheduler throughput.
+pub fn park_small_stream_point() -> ParkPoint {
+    use nsc_park::Job;
+    let mut park = nsc_park::MachinePark::new(Session::nsc_1988(), 2);
+    for i in 0..12 {
+        let tenant = ["ada", "grace", "mary"][i % 3];
+        park.submit(Job::new(tenant, 0, fixed_jacobi(6, 10))).expect("fits");
+    }
+    park_point_from(&park.run(nsc_park::SchedPolicy::Backfill).expect("park stream runs"))
+}
+
 /// The benches honour `NSC_BENCH_QUICK` (set by the CI gate job) by
 /// cutting the sample count: wall-clock statistics are not what CI
 /// checks, the simulated figures are.

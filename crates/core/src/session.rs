@@ -506,6 +506,7 @@ fn run_compiled_on_lanes(
         report.total.absorb(lane);
     }
     report.nodes_used = lanes.min(report.runs.len());
+    report.per_lane = lane_totals;
     Ok(report)
 }
 
@@ -576,6 +577,11 @@ pub struct BatchReport {
     /// Pool-level aggregate: work sums across all runs; elapsed cycles are
     /// the busiest node's total (nodes overlap in time).
     pub total: PerfCounters,
+    /// Per-lane totals, indexed like the pool the batch ran on: lane `i`
+    /// accumulated every document it was dealt (`i`, `i + lanes`, ...).
+    /// Job accounting reads busy time per node from here instead of
+    /// re-deriving it from the round-robin deal.
+    pub per_lane: Vec<PerfCounters>,
     /// Nodes that actually received work.
     pub nodes_used: usize,
 }
@@ -584,6 +590,12 @@ impl BatchReport {
     /// Aggregate achieved MFLOPS of the pool at a clock rate.
     pub fn mflops(&self, clock_hz: u64) -> f64 {
         self.total.mflops(clock_hz)
+    }
+
+    /// Per-document counters, in submission order — what document `i`
+    /// alone charged its node (already a delta, not a lifetime total).
+    pub fn document_counters(&self) -> impl Iterator<Item = &PerfCounters> + '_ {
+        self.runs.iter().map(|r| &r.counters)
     }
 }
 

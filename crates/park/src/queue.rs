@@ -1,0 +1,93 @@
+//! The admission queue: submitted jobs, their arrival times, and their
+//! lifecycle from waiting through running to done.
+//!
+//! The queue is deliberately policy-free — it only knows submission
+//! order and arrival times. Which waiting job starts next is the
+//! scheduler's call ([`crate::SchedPolicy`]); when capacity frees up is
+//! the allocator's ([`nsc_arch::SubCubeAllocator`]).
+
+use crate::job::{Job, JobId};
+
+/// Lifecycle of one submitted job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    /// Submitted; not started (may not have arrived yet).
+    Waiting,
+    /// On the machine, holding a sub-cube.
+    Running,
+    /// Finished (successfully or not) and its sub-cube returned.
+    Done,
+}
+
+/// The park's submission-ordered job queue.
+#[derive(Debug, Default)]
+pub struct JobQueue {
+    entries: Vec<(Job, State)>,
+}
+
+impl JobQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a job; its [`JobId`] is its submission index.
+    pub fn submit(&mut self, job: Job) -> JobId {
+        self.entries.push((job, State::Waiting));
+        self.entries.len() - 1
+    }
+
+    /// Jobs submitted so far.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been submitted.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// One job by id.
+    pub fn job(&self, id: JobId) -> &Job {
+        &self.entries[id].0
+    }
+
+    /// Ids of jobs that have arrived by `now` and are still waiting, in
+    /// submission order — the scheduler's candidate list.
+    pub fn arrived_waiting(&self, now: f64) -> Vec<JobId> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, (job, state))| *state == State::Waiting && job.submit_at <= now)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// The earliest arrival strictly after `now`, if any job is still
+    /// waiting to arrive — the event the park clock may jump to when
+    /// nothing is running.
+    pub fn next_arrival_after(&self, now: f64) -> Option<f64> {
+        self.entries
+            .iter()
+            .filter(|(job, state)| *state == State::Waiting && job.submit_at > now)
+            .map(|(job, _)| job.submit_at)
+            .fold(None, |best, t| Some(best.map_or(t, |b: f64| b.min(t))))
+    }
+
+    /// Move a waiting job onto the machine.
+    pub fn mark_running(&mut self, id: JobId) {
+        debug_assert_eq!(self.entries[id].1, State::Waiting);
+        self.entries[id].1 = State::Running;
+    }
+
+    /// Retire a running job.
+    pub fn mark_done(&mut self, id: JobId) {
+        debug_assert_eq!(self.entries[id].1, State::Running);
+        self.entries[id].1 = State::Done;
+    }
+
+    /// Whether every submitted job has retired.
+    pub fn all_done(&self) -> bool {
+        self.entries.iter().all(|(_, state)| *state == State::Done)
+    }
+}

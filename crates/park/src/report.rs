@@ -1,0 +1,191 @@
+//! What the park hands back: per-job reports and the aggregate
+//! machine-level figures an operator watches (utilization, throughput,
+//! fairness across tenants).
+
+use nsc_arch::SubCube;
+use nsc_sim::PerfCounters;
+use serde::Serialize;
+use std::collections::HashMap;
+
+use crate::job::JobId;
+
+/// The full record of one job's pass through the park.
+///
+/// All counters and timings are *measured by the park* — it snapshots
+/// the leased nodes' counters around the run — so a payload cannot
+/// mis-report its own usage.
+#[derive(Debug, Clone, Serialize)]
+pub struct JobReport {
+    /// The job's queue id.
+    pub id: JobId,
+    /// Submitting tenant.
+    pub tenant: String,
+    /// Workload name.
+    pub name: String,
+    /// The sub-cube the job ran on.
+    pub subcube: SubCube,
+    /// Nodes leased (`subcube.nodes()`).
+    pub nodes: usize,
+    /// Arrival time on the park clock, seconds.
+    pub submitted_at: f64,
+    /// When the job started on the machine, seconds.
+    pub started_at: f64,
+    /// When the job finished, seconds.
+    pub finished_at: f64,
+    /// Seconds spent waiting in the queue (`started_at - submitted_at`).
+    pub queue_wait: f64,
+    /// Simulated machine time the job ran for (critical-path node,
+    /// compute plus non-overlapped communication).
+    pub simulated_seconds: f64,
+    /// System-level counter deltas across the leased nodes (parallel
+    /// merge: elapsed time is the critical path, work sums).
+    pub counters: PerfCounters,
+    /// Achieved MFLOPS over the lease.
+    pub mflops: f64,
+    /// The payload's reported convergence figure.
+    pub residual: f64,
+    /// The payload's error, when it failed. Failed jobs still release
+    /// their sub-cube and appear in the aggregate's `failed` count.
+    pub error: Option<String>,
+}
+
+/// One tenant's accumulated consumption.
+#[derive(Debug, Clone, Serialize)]
+pub struct TenantUsage {
+    /// Tenant name.
+    pub tenant: String,
+    /// Jobs completed (including failed ones — they held nodes too).
+    pub jobs: usize,
+    /// Node-seconds consumed: `Σ nodes × simulated_seconds`.
+    pub node_seconds: f64,
+}
+
+/// Aggregate figures for one park run — the operator's dashboard.
+#[derive(Debug, Clone, Serialize)]
+pub struct ParkReport {
+    /// Scheduling policy label ([`crate::SchedPolicy::label`]).
+    pub policy: String,
+    /// Nodes in the whole machine.
+    pub capacity_nodes: usize,
+    /// Per-job records, in completion order.
+    pub jobs: Vec<JobReport>,
+    /// Park-clock time from zero to the last completion, seconds.
+    pub makespan: f64,
+    /// `Σ nodes × simulated_seconds` over all jobs.
+    pub busy_node_seconds: f64,
+    /// Fraction of the machine's node-seconds spent running jobs:
+    /// `busy_node_seconds / (capacity_nodes × makespan)`.
+    pub utilization: f64,
+    /// Completed jobs per park-clock second (`jobs / makespan`).
+    pub jobs_per_second: f64,
+    /// Per-tenant consumption, sorted by tenant name.
+    pub per_tenant: Vec<TenantUsage>,
+    /// Jain's fairness index over per-tenant node-seconds:
+    /// `(Σx)² / (n · Σx²)` — 1.0 is perfectly even, `1/n` is one tenant
+    /// taking everything.
+    pub fairness: f64,
+    /// Jobs whose payload returned an error.
+    pub failed: usize,
+}
+
+impl ParkReport {
+    /// Assemble the aggregate from completed job reports.
+    pub(crate) fn assemble(
+        policy: &str,
+        capacity_nodes: usize,
+        jobs: Vec<JobReport>,
+        usage: &HashMap<String, (usize, f64)>,
+    ) -> ParkReport {
+        let makespan = jobs.iter().map(|j| j.finished_at).fold(0.0, f64::max);
+        let busy_node_seconds =
+            jobs.iter().map(|j| j.nodes as f64 * j.simulated_seconds).sum::<f64>();
+        let utilization = if makespan > 0.0 {
+            busy_node_seconds / (capacity_nodes as f64 * makespan)
+        } else {
+            0.0
+        };
+        let jobs_per_second = if makespan > 0.0 { jobs.len() as f64 / makespan } else { 0.0 };
+        let mut per_tenant: Vec<TenantUsage> = usage
+            .iter()
+            .map(|(tenant, &(jobs, node_seconds))| TenantUsage {
+                tenant: tenant.clone(),
+                jobs,
+                node_seconds,
+            })
+            .collect();
+        per_tenant.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+        let fairness = jain_index(per_tenant.iter().map(|t| t.node_seconds));
+        let failed = jobs.iter().filter(|j| j.error.is_some()).count();
+        ParkReport {
+            policy: policy.to_string(),
+            capacity_nodes,
+            jobs,
+            makespan,
+            busy_node_seconds,
+            utilization,
+            jobs_per_second,
+            per_tenant,
+            fairness,
+            failed,
+        }
+    }
+
+    /// The report for one job by queue id.
+    pub fn job(&self, id: JobId) -> Option<&JobReport> {
+        self.jobs.iter().find(|j| j.id == id)
+    }
+}
+
+/// Jain's fairness index `(Σx)² / (n · Σx²)` over a set of shares.
+/// Empty or all-zero shares count as perfectly fair (1.0).
+fn jain_index(shares: impl Iterator<Item = f64>) -> f64 {
+    let (n, sum, sum_sq) =
+        shares.fold((0usize, 0.0f64, 0.0f64), |(n, s, q), x| (n + 1, s + x, q + x * x));
+    if n == 0 || sum_sq == 0.0 {
+        return 1.0;
+    }
+    sum * sum / (n as f64 * sum_sq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jain_index_brackets() {
+        assert_eq!(jain_index([].into_iter()), 1.0);
+        assert!((jain_index([3.0, 3.0, 3.0].into_iter()) - 1.0).abs() < 1e-12);
+        let skew = jain_index([9.0, 0.0, 0.0].into_iter());
+        assert!((skew - 1.0 / 3.0).abs() < 1e-12, "one tenant hogging = 1/n");
+    }
+
+    #[test]
+    fn aggregate_math() {
+        let mk = |id: usize, nodes: usize, fin: f64, dur: f64| JobReport {
+            id,
+            tenant: "t".into(),
+            name: "j".into(),
+            subcube: SubCube { base: nsc_arch::NodeId(0), dimension: 0 },
+            nodes,
+            submitted_at: 0.0,
+            started_at: fin - dur,
+            finished_at: fin,
+            queue_wait: 0.0,
+            simulated_seconds: dur,
+            counters: PerfCounters::default(),
+            mflops: 0.0,
+            residual: 0.0,
+            error: None,
+        };
+        let mut usage = HashMap::new();
+        usage.insert("t".to_string(), (2usize, 6.0f64));
+        let r =
+            ParkReport::assemble("fifo", 4, vec![mk(0, 2, 2.0, 2.0), mk(1, 1, 2.0, 2.0)], &usage);
+        assert_eq!(r.makespan, 2.0);
+        assert_eq!(r.busy_node_seconds, 6.0);
+        assert!((r.utilization - 6.0 / 8.0).abs() < 1e-12);
+        assert!((r.jobs_per_second - 1.0).abs() < 1e-12);
+        assert_eq!(r.failed, 0);
+        assert_eq!(r.fairness, 1.0, "single tenant is trivially fair");
+    }
+}

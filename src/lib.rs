@@ -18,6 +18,7 @@
 //! | [`expr`] | `nsc-expr` | the §3 compilation/allocation problem |
 //! | [`cfd`] | `nsc-cfd` | 3-D Poisson Jacobi (Equation 1), SOR, multigrid |
 //! | [`mod@env`] | `nsc-core` | the integrated environment, the `Session` compile-and-run pipeline + visual debugger |
+//! | [`park`] | `nsc-park` | machine-park job service: queue, schedule, and serve many workloads on one machine |
 //!
 //! See `README.md` for the quickstart, `DESIGN.md` for the system
 //! inventory, and `EXPERIMENTS.md` for the paper-versus-measured record.
@@ -31,4 +32,5 @@ pub use nsc_diagram as diagram;
 pub use nsc_editor as editor;
 pub use nsc_expr as expr;
 pub use nsc_microcode as microcode;
+pub use nsc_park as park;
 pub use nsc_sim as sim;
