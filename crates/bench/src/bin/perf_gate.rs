@@ -19,8 +19,9 @@
 //! ```
 
 use nsc_bench::{
-    cavity_point, host_comparison_point, jacobi_node_mflops, multigrid_point, park_mixed_point,
-    park_small_stream_point, strong_scaling_point, CavityPoint, HostPoint, ParkPoint, ScalingPoint,
+    cavity_point, ensemble_point, host_comparison_point, jacobi_node_mflops, multigrid_point,
+    park_mixed_point, park_small_stream_point, strong_scaling_point, CavityPoint, EnsemblePoint,
+    HostPoint, ParkPoint, ScalingPoint,
 };
 use nsc_park::SchedPolicy;
 use serde::{Deserialize, Serialize};
@@ -61,6 +62,11 @@ struct Baseline {
     /// small-job-stream throughput (jobs per simulated second) and the
     /// park utilization figure the gate holds at its committed floor.
     park_small_stream: ParkPoint,
+    /// The ensemble engine's benchmark sweep (12-member Reynolds×steps
+    /// cavity study): members/second with the 4-node park saturated,
+    /// plus the compile-cache hit rate of a serial run — the gate holds
+    /// the rate at an absolute floor on top of the relative gates.
+    ensemble: EnsemblePoint,
     /// Host wall-clock of the kernel fast path vs the interpreter on
     /// Jacobi 64^3 @ 8 nodes. Machine-dependent, so the committed copy is
     /// informational only — the gate enforces the freshly measured
@@ -76,6 +82,11 @@ const TOLERATED_DROP: f64 = 0.20;
 /// least this factor on the gate workload (Jacobi 64^3 @ 8 nodes).
 const REQUIRED_KERNEL_SPEEDUP: f64 = 3.0;
 
+/// On the benchmark ensemble sweep, at least this fraction of compiles
+/// must be served from the session cache (full digest hits plus preload
+/// rebinds): compile-once is the ensemble layer's contract.
+const ENSEMBLE_HIT_RATE_FLOOR: f64 = 0.9;
+
 fn measure() -> Baseline {
     Baseline {
         jacobi_mflops: jacobi_node_mflops(12),
@@ -87,6 +98,7 @@ fn measure() -> Baseline {
         park_fifo: park_mixed_point(SchedPolicy::Fifo),
         park_backfill: park_mixed_point(SchedPolicy::Backfill),
         park_small_stream: park_small_stream_point(),
+        ensemble: ensemble_point(),
         // Four pairs so the streamed sweeps, not compilation and problem
         // scatter (which both paths share), dominate the wall-clock.
         host: host_comparison_point(3, 64, 4, 2),
@@ -178,6 +190,21 @@ fn check(current: &Baseline, baseline: &Baseline) -> Result<(), String> {
         100.0 * baseline.park_small_stream.utilization,
         "%",
     );
+    // Ensemble figures: throughput and utilization gate against the
+    // committed baseline like every simulated figure; the cache hit
+    // rate holds an absolute floor further down.
+    gate(
+        "ensemble saturated throughput".into(),
+        current.ensemble.members_per_second,
+        baseline.ensemble.members_per_second,
+        "mem/s",
+    );
+    gate(
+        "ensemble park utilization".into(),
+        100.0 * current.ensemble.utilization,
+        100.0 * baseline.ensemble.utilization,
+        "%",
+    );
     // The acceptance bars are absolute, not relative to the baseline.
     let one = current.strong_scaling.first().map(|p| p.aggregate_mflops).unwrap_or(0.0);
     let eight = current.strong_scaling.last().map(|p| p.aggregate_mflops).unwrap_or(0.0);
@@ -213,6 +240,18 @@ fn check(current: &Baseline, baseline: &Baseline) -> Result<(), String> {
         failures.push(format!(
             "backfill throughput {:.1} jobs/s not above fifo {:.1}",
             current.park_backfill.jobs_per_second, current.park_fifo.jobs_per_second
+        ));
+    }
+    // The ensemble sweep must be served by rebinds and digest hits,
+    // not recompiles: compile-once is the layer's contract.
+    eprintln!(
+        "  {:<32} {:>12.3}       ({} compiles, floor {ENSEMBLE_HIT_RATE_FLOOR})",
+        "ensemble cache hit rate", current.ensemble.cache_hit_rate, current.ensemble.compiles,
+    );
+    if current.ensemble.cache_hit_rate < ENSEMBLE_HIT_RATE_FLOOR {
+        failures.push(format!(
+            "ensemble compile-cache hit rate {:.3} below the {ENSEMBLE_HIT_RATE_FLOOR} floor",
+            current.ensemble.cache_hit_rate
         ));
     }
     // Host wall-clock never gates against the (machine-dependent)
@@ -290,6 +329,18 @@ fn summary_markdown(current: &Baseline) -> String {
             p.makespan
         ));
     }
+    let e = &current.ensemble;
+    md.push_str("\n### Ensemble engine (12-member cavity study, simulated figures)\n\n");
+    md.push_str("| members | members/s saturated | utilization | compiles | cache hit rate |\n");
+    md.push_str("|---:|---:|---:|---:|---:|\n");
+    md.push_str(&format!(
+        "| {} | {:.1} | {:.1}% | {} | {:.3} (floor {ENSEMBLE_HIT_RATE_FLOOR}) |\n",
+        e.members,
+        e.members_per_second,
+        100.0 * e.utilization,
+        e.compiles,
+        e.cache_hit_rate
+    ));
     let h = &current.host;
     md.push_str("\n### Host wall-clock (this runner; jacobi 64^3 @ 8 nodes)\n\n");
     md.push_str("| path | host seconds | host MFLOPS |\n|---|---:|---:|\n");
@@ -325,9 +376,11 @@ usage: perf_gate [--check <baseline.json>] [--write <out.json>]
                             fails the gate. Also enforces the absolute
                             bars: 8-node scaling, overlap strictly faster
                             than synchronized, backfill strictly above
-                            FIFO on park utilization and throughput, and
-                            a freshly measured kernel speedup of at least
-                            {speedup:.1}x over the interpreter.
+                            FIFO on park utilization and throughput, an
+                            ensemble compile-cache hit rate of at least
+                            {hit}, and a freshly measured kernel speedup
+                            of at least {speedup:.1}x over the
+                            interpreter.
   --write <out.json>        Write the measured figures as JSON.
   --summary <markdown.md>   Append a markdown figure table (CI passes
                             $GITHUB_STEP_SUMMARY).
@@ -347,6 +400,7 @@ refresh semantics of --write-baseline:
   There is no need to refresh the baseline from any particular machine.",
         drop = TOLERATED_DROP * 100.0,
         speedup = REQUIRED_KERNEL_SPEEDUP,
+        hit = ENSEMBLE_HIT_RATE_FLOOR,
         path = BASELINE_PATH,
     )
 }

@@ -265,6 +265,66 @@ pub fn park_small_stream_point() -> ParkPoint {
     park_point_from(&park.run(nsc_park::SchedPolicy::Backfill).expect("park stream runs"))
 }
 
+/// One ensemble-engine measurement: a parameter sweep batched over the
+/// park, with the compile-cache economics that motivate the layer.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct EnsemblePoint {
+    /// Sweep members.
+    pub members: usize,
+    /// Members per simulated second with the 4-node park saturated by
+    /// 1-node members (the ensemble throughput figure the gate tracks).
+    pub members_per_second: f64,
+    /// Park utilization over the saturated run.
+    pub utilization: f64,
+    /// Compile-cache hit rate over a serial run of the same sweep —
+    /// full hits plus preload rebinds over all compiles. Measured on a
+    /// 1-node park so the counters are deterministic (concurrent leases
+    /// can race to first-compile a shape, which never changes results
+    /// but does perturb the counters).
+    pub cache_hit_rate: f64,
+    /// Compiles the serial run asked for (hits + rebinds + misses).
+    pub compiles: u64,
+}
+
+/// The benchmark sweep the ensemble baselines are committed against: a
+/// 12-member Reynolds×ω lid-driven-cavity study on the 9^2 grid. The
+/// FTCS coefficients are document constants, so every member past the
+/// first is served by the session cache — ψ-solver programs as full
+/// digest hits, transport programs as preload rebinds per distinct
+/// (Re, dt).
+fn ensemble_sweep() -> nsc_ensemble::Sweep {
+    nsc_ensemble::Sweep::new("bench cavity study")
+        .axis("re", [1.0, 5.0, 20.0, 80.0, 200.0, 500.0])
+        .axis("steps", [1.0, 2.0])
+}
+
+fn ensemble_member(point: &nsc_ensemble::ParamPoint) -> Result<nsc_park::Job, nsc_core::NscError> {
+    let w = CavityWorkload::new(9, point.value("re"), point.value("steps") as usize);
+    Ok(nsc_park::Job::new("study", 0, w))
+}
+
+/// Measure the committed ensemble figures: saturated throughput on the
+/// 4-node park, cache economics on a serial park.
+pub fn ensemble_point() -> EnsemblePoint {
+    let sweep = ensemble_sweep();
+    let mut saturated = nsc_park::MachinePark::new(Session::nsc_1988(), 2);
+    let fast = sweep
+        .run(&mut saturated, nsc_park::SchedPolicy::Backfill, ensemble_member)
+        .expect("saturated ensemble runs");
+    let mut serial = nsc_park::MachinePark::new(Session::nsc_1988(), 0);
+    let counted = sweep
+        .run(&mut serial, nsc_park::SchedPolicy::Fifo, ensemble_member)
+        .expect("serial ensemble runs");
+    let cache = &counted.cache;
+    EnsemblePoint {
+        members: fast.members.len(),
+        members_per_second: fast.members_per_second,
+        utilization: fast.utilization,
+        cache_hit_rate: cache.hit_rate(),
+        compiles: cache.hits + cache.rebinds + cache.misses,
+    }
+}
+
 /// The benches honour `NSC_BENCH_QUICK` (set by the CI gate job) by
 /// cutting the sample count: wall-clock statistics are not what CI
 /// checks, the simulated figures are.

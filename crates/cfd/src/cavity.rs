@@ -253,6 +253,8 @@ pub struct CavityRun {
     pub psi_pairs: u64,
     /// Residual of the last Poisson solve.
     pub last_residual: f64,
+    /// Residual of each time step's Poisson solve, in step order.
+    pub residual_history: Vec<f64>,
     /// Per-node counter deltas for the whole run, indexed by node.
     pub per_node: Vec<PerfCounters>,
     /// System aggregate: work summed, elapsed overlapped.
@@ -303,6 +305,22 @@ impl CavityWorkload {
             partition: PartitionSpec::Auto,
             overlap: false,
         }
+    }
+
+    /// Set the lid speed (builder style) — one of the cavity's natural
+    /// sweep axes, alongside `re`.
+    pub fn with_lid(mut self, lid: f64) -> Self {
+        self.lid = lid;
+        self
+    }
+
+    /// Set the time step explicitly (builder style), overriding the
+    /// FTCS-stable default [`CavityWorkload::new`] derives from `re`.
+    /// Sweeping `dt` past the stability limit is how an ensemble maps the
+    /// divergence boundary.
+    pub fn with_dt(mut self, dt: f64) -> Self {
+        self.dt = dt;
+        self
     }
 
     /// Thom's wall-vorticity update from the current stream function.
@@ -405,11 +423,13 @@ impl Workload<NscSystem> for CavityWorkload {
         let before: Vec<PerfCounters> = system.nodes().iter().map(|n| n.counters).collect();
         let mut psi_pairs = 0u64;
         let mut last_residual = f64::INFINITY;
+        let mut residual_history = Vec::with_capacity(self.steps);
         for step in 0..self.steps {
             // ∇²ψ = -ω, warm-started from the previous step's ψ.
             let stats = solver.solve(system, &mut psi, &omega, self.psi_tol, self.psi_max_pairs)?;
             psi_pairs += stats.pairs;
             last_residual = stats.residual;
+            residual_history.push(stats.residual);
             if !stats.converged {
                 // Advancing the vorticity on an unconverged ψ silently
                 // corrupts the flow field; fail loudly instead.
@@ -439,6 +459,7 @@ impl Workload<NscSystem> for CavityWorkload {
             steps: self.steps,
             psi_pairs,
             last_residual,
+            residual_history,
             per_node: m.per_node,
             total: m.total,
             simulated_seconds: m.simulated_seconds,

@@ -136,6 +136,9 @@ pub struct DistributedJacobiRun {
     pub sweeps: u64,
     /// Whether the tolerance (not the pair cap) ended it.
     pub converged: bool,
+    /// The global residual after each sweep pair, in order — the
+    /// convergence trace ensemble reports aggregate.
+    pub residual_history: Vec<f64>,
     /// Per-node counter deltas for this run, indexed by node.
     pub per_node: Vec<PerfCounters>,
     /// System aggregate of this run: work summed, elapsed overlapped.
@@ -217,6 +220,7 @@ impl Workload<NscSystem> for DistributedJacobiWorkload {
         let opts = RunOptions::default();
         let mut pairs = 0u64;
         let mut residual = f64::INFINITY;
+        let mut residual_history = Vec::new();
         let mut converged = false;
         while pairs < u64::from(self.max_pairs) && !converged {
             // Even sweep (u0 -> u1): the scatter loaded fresh ghosts, so
@@ -235,6 +239,7 @@ impl Workload<NscSystem> for DistributedJacobiWorkload {
             // the per-node residual scalars (the odd sweep's).
             let (r, _) = system.pool_max_cache_scalar(&members, RESIDUAL_CACHE, 0);
             residual = r;
+            residual_history.push(residual);
             pairs += 1;
             converged = residual < self.tol;
         }
@@ -252,6 +257,7 @@ impl Workload<NscSystem> for DistributedJacobiWorkload {
             residual,
             sweeps: pairs * 2,
             converged,
+            residual_history,
             per_node: m.per_node,
             total: m.total,
             simulated_seconds: m.simulated_seconds,
@@ -271,6 +277,8 @@ pub struct DistributedSorRun {
     pub sweeps: usize,
     /// Whether the tolerance (not the sweep cap) ended it.
     pub converged: bool,
+    /// The global residual after each sweep, in order.
+    pub residual_history: Vec<f64>,
     /// Router nanoseconds this run spent on halos and reductions
     /// (system-serialized view).
     pub comm_ns: u64,
@@ -303,6 +311,26 @@ pub struct DistributedSorWorkload {
     /// same fixed point — and the written faces travel one exchange
     /// later.
     pub overlap: bool,
+}
+
+impl DistributedSorWorkload {
+    /// The manufactured `sin·sin·sin` Poisson problem on an `n³` grid at a
+    /// given relaxation factor — the sweepable constructor an ω-ensemble
+    /// fans out over. `omega` is deliberately *not* validated here: a
+    /// sweep is allowed to include diverging members and read the verdict
+    /// off the stability map.
+    pub fn manufactured(n: usize, omega: f64, tol: f64, max_sweeps: usize) -> Self {
+        let (u0, f, _) = crate::grid::manufactured_problem(n);
+        DistributedSorWorkload {
+            u0,
+            f,
+            omega,
+            tol,
+            max_sweeps,
+            partition: PartitionSpec::Auto,
+            overlap: false,
+        }
+    }
 }
 
 impl Workload<NscSystem> for DistributedSorWorkload {
@@ -348,6 +376,7 @@ impl Workload<NscSystem> for DistributedSorWorkload {
         };
         let mut sweeps = 0;
         let mut residual = f64::INFINITY;
+        let mut residual_history = Vec::new();
         let mut converged = false;
         while sweeps < self.max_sweeps && !converged {
             // One phased sweep: halos travel through the router between
@@ -360,6 +389,7 @@ impl Workload<NscSystem> for DistributedSorWorkload {
             }
             let (r, _) = system.pool_max_cache_scalar(&members, RESIDUAL_CACHE, 0);
             residual = r;
+            residual_history.push(residual);
             sweeps += 1;
             converged = residual < self.tol;
         }
@@ -372,6 +402,7 @@ impl Workload<NscSystem> for DistributedSorWorkload {
             residual,
             sweeps,
             converged,
+            residual_history,
             comm_ns: system.comm_ns - comm_before,
         })
     }

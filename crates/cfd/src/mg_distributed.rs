@@ -434,6 +434,25 @@ pub struct DistributedMultigridWorkload {
     pub overlap: bool,
 }
 
+impl DistributedMultigridWorkload {
+    /// The manufactured `sin·sin·sin` Poisson problem on an `n³` grid
+    /// (`n = 2^m + 1`) with a given damped-Jacobi smoothing weight — the
+    /// sweepable constructor an ω-ensemble fans out over. The weight is a
+    /// *document constant* of the smoothing pipelines, so members of the
+    /// same grid size rebind the base compile instead of recompiling.
+    pub fn manufactured(n: usize, omega: f64, tol: f64, max_cycles: usize) -> Self {
+        let (u0, f, _) = crate::grid::manufactured_problem(n);
+        DistributedMultigridWorkload {
+            u0,
+            f,
+            tol,
+            max_cycles,
+            opts: MgOptions { omega, ..MgOptions::default() },
+            overlap: false,
+        }
+    }
+}
+
 impl Workload<NscSystem> for DistributedMultigridWorkload {
     type Report = DistributedMultigridRun;
 

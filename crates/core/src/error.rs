@@ -118,6 +118,15 @@ pub enum NscError {
     /// A workload's own preconditions failed (mismatched grids, bad
     /// parameters) before any document was built.
     Workload(String),
+    /// A rebind was asked to bind a document onto a compiled program of a
+    /// different shape — the documents differ structurally, not just in
+    /// their constants.
+    ShapeMismatch {
+        /// The compiled program's shape digest.
+        expected: u128,
+        /// The offered document's shape digest.
+        got: u128,
+    },
 }
 
 impl NscError {
@@ -158,6 +167,11 @@ impl fmt::Display for NscError {
             NscError::EmptyPool => write!(f, "batch submitted with no nodes to run on"),
             NscError::WorkerPanic => write!(f, "a batch worker thread panicked"),
             NscError::Workload(msg) => write!(f, "workload rejected: {msg}"),
+            NscError::ShapeMismatch { expected, got } => write!(
+                f,
+                "rebind refused: document shape {got:032x} does not match \
+                 the compiled program's shape {expected:032x}"
+            ),
         }
     }
 }
@@ -175,7 +189,8 @@ impl Error for NscError {
             NscError::MaxInstructions { .. }
             | NscError::EmptyPool
             | NscError::WorkerPanic
-            | NscError::Workload(_) => None,
+            | NscError::Workload(_)
+            | NscError::ShapeMismatch { .. } => None,
         }
     }
 }

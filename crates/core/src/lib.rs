@@ -82,6 +82,6 @@ pub use self::debugger::{DebugFrame, DebugReport};
 pub use self::environment::VisualEnvironment;
 pub use self::error::{DiagnosticSet, NscError};
 pub use self::session::{
-    run_compiled_batch, run_compiled_on_pool, run_compiled_phased, BatchReport, CompiledProgram,
-    KernelCache, RunReport, Session, Workload,
+    run_compiled_batch, run_compiled_on_pool, run_compiled_phased, BatchReport, CacheStats,
+    CompiledProgram, KernelCache, RunReport, Session, Workload,
 };

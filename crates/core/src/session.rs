@@ -26,6 +26,7 @@ use nsc_codegen::GenOutput;
 use nsc_diagram::Document;
 use nsc_microcode::MicroProgram;
 use nsc_sim::{CompiledKernel, HaltReason, NodeSim, NscSystem, PerfCounters, RunOptions, RunStats};
+use serde::Serialize;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -39,12 +40,19 @@ struct CacheEntry {
     kernel: Arc<CompiledKernel>,
 }
 
-/// The session's compile cache, keyed by [`Document::digest`].
+/// The session's compile cache, keyed by [`Document::digest`] with a
+/// secondary index keyed by [`Document::shape_digest`].
 ///
 /// A digest hit returns the cached microcode *and* the pre-specialized
 /// [`CompiledKernel`], skipping check, codegen and kernel analysis
 /// entirely — the compile-once/run-many shape Jacobi iterations, V-cycle
-/// smoothing passes and ensemble re-runs all have. The cache is shared by
+/// smoothing passes and ensemble re-runs all have. A digest *miss* whose
+/// shape digest matches a previous compile takes the rebind fast path
+/// instead: the cached program is cloned, its functional-unit preloads are
+/// re-patched to the new document's constants, and only kernel
+/// specialization re-runs — check and codegen are skipped. Exactly one of
+/// [`KernelCache::hits`], [`KernelCache::rebinds`] or
+/// [`KernelCache::misses`] ticks per compile. The cache is shared by
 /// clones of its [`Session`] (it is an `Arc` internally) and is safe to
 /// use from many threads.
 ///
@@ -96,7 +104,9 @@ pub struct KernelCache {
 #[derive(Debug, Default)]
 struct CacheInner {
     entries: Mutex<HashMap<u128, Arc<CacheEntry>>>,
+    shapes: Mutex<HashMap<u128, Arc<CacheEntry>>>,
     hits: AtomicU64,
+    rebinds: AtomicU64,
     misses: AtomicU64,
 }
 
@@ -111,9 +121,21 @@ impl KernelCache {
         self.len() == 0
     }
 
-    /// Compiles served from the cache.
+    /// Number of distinct document *shapes* cached (the rebind index).
+    pub fn shape_count(&self) -> usize {
+        self.inner.shapes.lock().expect("cache lock").len()
+    }
+
+    /// Compiles served whole from the cache (same document digest).
     pub fn hits(&self) -> u64 {
         self.inner.hits.load(Ordering::Relaxed)
+    }
+
+    /// Compiles served through the rebind fast path: a new document digest
+    /// whose shape matched a cached compile, so only the functional-unit
+    /// preloads were re-patched and the kernel re-specialized.
+    pub fn rebinds(&self) -> u64 {
+        self.inner.rebinds.load(Ordering::Relaxed)
     }
 
     /// Compiles that ran the full pipeline and populated the cache.
@@ -121,22 +143,78 @@ impl KernelCache {
         self.inner.misses.load(Ordering::Relaxed)
     }
 
-    /// Drop every cached entry (statistics are kept).
+    /// Statistics snapshot ([`Session::cache_stats`] re-exports this).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits(),
+            rebinds: self.rebinds(),
+            misses: self.misses(),
+            entries: self.len(),
+            shapes: self.shape_count(),
+        }
+    }
+
+    /// Drop every cached entry, in both indexes (statistics are kept).
     pub fn clear(&self) {
         self.inner.entries.lock().expect("cache lock").clear();
+        self.inner.shapes.lock().expect("cache lock").clear();
     }
 
     fn lookup(&self, digest: u128) -> Option<Arc<CacheEntry>> {
-        let found = self.inner.entries.lock().expect("cache lock").get(&digest).cloned();
-        match &found {
-            Some(_) => self.inner.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.inner.misses.fetch_add(1, Ordering::Relaxed),
-        };
-        found
+        self.inner.entries.lock().expect("cache lock").get(&digest).cloned()
     }
 
-    fn insert(&self, digest: u128, entry: Arc<CacheEntry>) {
-        self.inner.entries.lock().expect("cache lock").insert(digest, entry);
+    fn lookup_shape(&self, shape: u128) -> Option<Arc<CacheEntry>> {
+        self.inner.shapes.lock().expect("cache lock").get(&shape).cloned()
+    }
+
+    fn note_hit(&self) {
+        self.inner.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn note_rebind(&self) {
+        self.inner.rebinds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn note_miss(&self) {
+        self.inner.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn insert(&self, digest: u128, shape: u128, entry: Arc<CacheEntry>) {
+        self.inner.entries.lock().expect("cache lock").insert(digest, entry.clone());
+        // First compile of a shape becomes the rebind base for the whole
+        // family; later members keep rebinding from it.
+        self.inner.shapes.lock().expect("cache lock").entry(shape).or_insert(entry);
+    }
+}
+
+/// A serializable snapshot of [`KernelCache`] counters — what ensemble
+/// reports and the CI perf gate consume instead of reaching into the
+/// cache's internals.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct CacheStats {
+    /// Compiles served whole from the cache.
+    pub hits: u64,
+    /// Compiles served through the rebind fast path.
+    pub rebinds: u64,
+    /// Compiles that ran the full pipeline.
+    pub misses: u64,
+    /// Distinct documents currently cached.
+    pub entries: usize,
+    /// Distinct document shapes currently cached.
+    pub shapes: usize,
+}
+
+impl CacheStats {
+    /// Fraction of compiles that avoided the full pipeline (whole hits
+    /// plus rebinds over all lookups); `1.0` when nothing compiled yet.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.rebinds + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            (self.hits + self.rebinds) as f64 / total as f64
+        }
     }
 }
 
@@ -245,34 +323,111 @@ impl Session {
     /// interactive environment does before generation). The digest is
     /// taken *after* binding, so documents that bind identically share a
     /// cache slot. On a hit, check, codegen and kernel analysis are all
-    /// skipped and the cached program (with its kernel) is returned. The
-    /// global check runs exactly once per distinct document: generation
-    /// reuses this stage's verdict instead of re-checking internally.
+    /// skipped and the cached program (with its kernel) is returned. On a
+    /// miss whose [`Document::shape_digest`] matches a previous compile —
+    /// a parameter-sweep member differing only in constants — the cached
+    /// program is rebound instead: its preloads are re-patched and only
+    /// the kernel re-specializes, skipping check and codegen. The global
+    /// check runs exactly once per distinct document *shape*: generation
+    /// reuses this stage's verdict instead of re-checking internally, and
+    /// rebinding reuses the base compile's warnings (constants cannot
+    /// change the check verdict).
     pub fn compile(&self, doc: &mut Document) -> Result<CompiledProgram, NscError> {
         self.auto_bind(doc)?;
         if !self.fast_path {
             let warnings = self.check(doc)?;
             let output = nsc_codegen::generate_prechecked(self.kb(), doc)?;
-            return Ok(CompiledProgram { output, warnings, kernel: None });
+            let shape = doc.shape_digest();
+            return Ok(CompiledProgram { output, warnings, kernel: None, shape });
         }
         let digest = doc.digest();
+        let shape = doc.shape_digest();
         if let Some(hit) = self.kernels.lookup(digest) {
+            self.kernels.note_hit();
             return Ok(CompiledProgram {
                 output: hit.output.clone(),
                 warnings: hit.warnings.clone(),
                 kernel: Some(hit.kernel.clone()),
+                shape,
             });
         }
+        if let Some(base) = self.kernels.lookup_shape(shape) {
+            // Same shape, different constants: re-patch the preloads and
+            // re-specialize the kernel. Patching only fails on a shape
+            // collision (distinct structures, equal 128-bit digest) — fall
+            // through to the full pipeline in that case, which is always
+            // correct, merely slower.
+            let mut output = base.output.clone();
+            if rebind_preloads(doc, &mut output).is_ok() {
+                let kernel = Arc::new(CompiledKernel::compile(self.kb(), &output.program));
+                let warnings = base.warnings.clone();
+                let entry = Arc::new(CacheEntry { output, warnings, kernel });
+                self.kernels.note_rebind();
+                self.kernels.insert(digest, shape, entry.clone());
+                return Ok(CompiledProgram {
+                    output: entry.output.clone(),
+                    warnings: entry.warnings.clone(),
+                    kernel: Some(entry.kernel.clone()),
+                    shape,
+                });
+            }
+        }
+        self.kernels.note_miss();
         let warnings = self.check(doc)?;
         let output = nsc_codegen::generate_prechecked(self.kb(), doc)?;
         let kernel = Arc::new(CompiledKernel::compile(self.kb(), &output.program));
         let entry = Arc::new(CacheEntry { output, warnings, kernel });
-        self.kernels.insert(digest, entry.clone());
+        self.kernels.insert(digest, shape, entry.clone());
         Ok(CompiledProgram {
             output: entry.output.clone(),
             warnings: entry.warnings.clone(),
             kernel: Some(entry.kernel.clone()),
+            shape,
         })
+    }
+
+    /// Rebind a compiled program's constant icons to a new document of the
+    /// same shape, without consulting or populating the [`KernelCache`].
+    ///
+    /// `doc` is bound in place, its shape is required to equal `base`'s
+    /// ([`NscError::ShapeMismatch`] otherwise), and the result is `base`'s
+    /// microcode with every functional-unit preload re-patched to `doc`'s
+    /// constants and feedback seeds — bit-identical to what a from-scratch
+    /// [`Session::compile`] of `doc` produces, because constants lower
+    /// *only* into preloads. The kernel re-specializes when the fast path
+    /// is on (preload values are baked into specialized kernels).
+    ///
+    /// This is the manual counterpart of the rebind fast path `compile`
+    /// takes automatically; sweep engines use it to hold a family's base
+    /// compile and stamp out members without touching the shared cache.
+    pub fn rebind(
+        &self,
+        base: &CompiledProgram,
+        doc: &mut Document,
+    ) -> Result<CompiledProgram, NscError> {
+        self.auto_bind(doc)?;
+        let shape = doc.shape_digest();
+        if shape != base.shape {
+            return Err(NscError::ShapeMismatch { expected: base.shape, got: shape });
+        }
+        let mut output = base.output.clone();
+        // Equal shape digests with a failing patch means a digest
+        // collision between genuinely different structures.
+        rebind_preloads(doc, &mut output)
+            .map_err(|_| NscError::ShapeMismatch { expected: base.shape, got: shape })?;
+        let kernel = if self.fast_path {
+            Some(Arc::new(CompiledKernel::compile(self.kb(), &output.program)))
+        } else {
+            None
+        };
+        Ok(CompiledProgram { output, warnings: base.warnings.clone(), kernel, shape })
+    }
+
+    /// Snapshot of the kernel cache's counters — hit/rebind/miss counts
+    /// and sizes — for reports and gates that must not reach into the
+    /// cache's internals.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.kernels.stats()
     }
 
     /// Compile many documents and execute them across a pool of nodes.
@@ -310,6 +465,30 @@ impl Session {
         let programs: Vec<&CompiledProgram> = compiled.iter().collect();
         run_compiled_batch(&programs, nodes, opts)
     }
+}
+
+/// Re-patch a generated program's functional-unit preloads to `doc`'s
+/// constants and feedback seeds, instruction slot by instruction slot
+/// through the generator's diagram back-references.
+///
+/// Constants lower *only* into `FuField::preload` (the generator rejects
+/// units whose operands both carry values, so each unit has at most one),
+/// which is what makes this equivalent to recompiling: everything else in
+/// the program — routing, compensation, DMA, loop sequencing — is
+/// value-independent. Slots without a back-reference (loop headers and
+/// tails) carry no units and are skipped. Fails only when `doc` does not
+/// actually match the program's structure (a shape-digest collision).
+fn rebind_preloads(doc: &Document, output: &mut GenOutput) -> Result<(), ()> {
+    for (slot, map) in output.maps.iter().enumerate() {
+        let Some(map) = map else { continue };
+        let diagram = doc.pipeline(map.pipeline).ok_or(())?;
+        for (icon, pos, assign) in diagram.fu_assigns() {
+            let Some(value) = assign.preload_value() else { continue };
+            let fu = *map.unit_to_fu.get(&(icon, pos)).ok_or(())?;
+            output.program.instrs[slot].fu_mut(fu).preload = Some(value);
+        }
+    }
+    Ok(())
 }
 
 /// Execute already-compiled programs across a pool of nodes: program `i`
@@ -521,12 +700,21 @@ pub struct CompiledProgram {
     /// The host fast-path kernel, when the session compiled one; shared
     /// with the cache entry, so clones are cheap and thread-safe.
     kernel: Option<Arc<CompiledKernel>>,
+    /// The source document's shape digest, for [`Session::rebind`]'s
+    /// same-shape guard.
+    shape: u128,
 }
 
 impl CompiledProgram {
     /// The executable microcode.
     pub fn program(&self) -> &MicroProgram {
         &self.output.program
+    }
+
+    /// The source document's [`Document::shape_digest`] — the key under
+    /// which [`Session::rebind`] accepts new constants for this program.
+    pub fn shape_digest(&self) -> u128 {
+        self.shape
     }
 
     /// The host fast-path kernel, if this program was compiled with the

@@ -130,6 +130,29 @@ impl InputSpec {
     pub fn wants_wire(&self) -> bool {
         matches!(self, InputSpec::Wire | InputSpec::DelayedWire { .. })
     }
+
+    /// The register-file value this operand preloads, if any: the constant
+    /// of a [`InputSpec::Constant`] operand or the seed of a
+    /// [`InputSpec::Feedback`] accumulator.
+    pub fn preload_value(&self) -> Option<f64> {
+        match self {
+            InputSpec::Constant(v) => Some(*v),
+            InputSpec::Feedback { init } => Some(*init),
+            _ => None,
+        }
+    }
+
+    /// The same operand with any embedded register-file value replaced by
+    /// `0.0` — the canonical form used by
+    /// `Document::shape_digest`, under which two documents that differ only
+    /// in swept constants hash identically.
+    pub fn masked(self) -> InputSpec {
+        match self {
+            InputSpec::Constant(_) => InputSpec::Constant(0.0),
+            InputSpec::Feedback { .. } => InputSpec::Feedback { init: 0.0 },
+            other => other,
+        }
+    }
 }
 
 /// The programming of one functional unit within an ALS icon — the result
@@ -168,6 +191,20 @@ impl FuAssign {
     /// Number of wires this assignment expects to land on the unit's pads.
     pub fn expected_wires(&self) -> usize {
         [self.in_a, self.in_b].iter().filter(|s| s.wants_wire()).count()
+    }
+
+    /// The register-file preload this unit carries, if any — operand A
+    /// first, matching the order the microcode generator consults the
+    /// operands (it rejects units where both carry values, so at most one
+    /// is ever present in a compilable document).
+    pub fn preload_value(&self) -> Option<f64> {
+        self.in_a.preload_value().or_else(|| self.in_b.preload_value())
+    }
+
+    /// The assignment with both operands in their
+    /// [masked](InputSpec::masked) canonical form.
+    pub fn masked(self) -> FuAssign {
+        FuAssign { op: self.op, in_a: self.in_a.masked(), in_b: self.in_b.masked() }
     }
 }
 

@@ -285,10 +285,36 @@ impl Document {
     pub fn digest(&self) -> u128 {
         let mut stripped = self.clone();
         stripped.layouts.clear();
-        let mut h: u128 = 0x6c62272e07bb014262b821756295c58d;
-        digest_value(&stripped.to_value(), &mut h);
-        h
+        semantic_digest(&stripped)
     }
+
+    /// A 128-bit digest of the document's *shape*: everything
+    /// [`Document::digest`] covers except the register-file values
+    /// (functional-unit constants and feedback seeds), which are replaced
+    /// by a canonical `0.0` before hashing.
+    ///
+    /// Two documents with equal shape digests compile to microcode that
+    /// differs only in functional-unit preload values, so a compiled
+    /// program for one can be *rebound* to the other's constants without
+    /// recompiling — the fast path a parameter sweep lives on. Control
+    /// structure is deliberately part of the shape: trip counts and
+    /// convergence thresholds lower into loop sequencing, so changing them
+    /// changes the shape, not just the constants.
+    pub fn shape_digest(&self) -> u128 {
+        let mut stripped = self.clone();
+        stripped.layouts.clear();
+        for p in &mut stripped.pipelines {
+            p.mask_preload_values();
+        }
+        semantic_digest(&stripped)
+    }
+}
+
+/// FNV-1a over an already-stripped document's value tree.
+fn semantic_digest(stripped: &Document) -> u128 {
+    let mut h: u128 = 0x6c62272e07bb014262b821756295c58d;
+    digest_value(&stripped.to_value(), &mut h);
+    h
 }
 
 fn digest_bytes(h: &mut u128, bytes: &[u8]) {
@@ -376,6 +402,37 @@ mod tests {
 
         doc.pipeline_mut(p).unwrap().add_icon(IconKind::memory());
         assert_ne!(doc.digest(), d0, "semantic edits change the digest");
+    }
+
+    #[test]
+    fn shape_digest_masks_swept_values_but_tracks_structure() {
+        use crate::attrs::FuAssign;
+        use nsc_arch::{AlsKind, FuOp};
+        let build = |omega: f64, seed: f64| {
+            let mut doc = Document::new("sweep");
+            let p = doc.add_pipeline("sor");
+            let pd = doc.pipeline_mut(p).unwrap();
+            let scale = pd.add_icon(IconKind::als(AlsKind::Singlet));
+            pd.assign_fu(scale, 0, FuAssign::with_const(FuOp::Mul, omega)).unwrap();
+            let reduce = pd.add_icon(IconKind::als(AlsKind::Singlet));
+            pd.assign_fu(reduce, 0, FuAssign::reduction(FuOp::MaxAbs, seed)).unwrap();
+            doc
+        };
+        let a = build(0.8, 0.0);
+        let b = build(1.6, 3.5);
+        assert_ne!(a.digest(), b.digest(), "constants and seeds are semantic");
+        assert_eq!(a.shape_digest(), b.shape_digest(), "...but not shape");
+        assert_eq!(a.shape_digest(), a.shape_digest(), "shape digest is deterministic");
+
+        // Structural edits (and names, thresholds, stream lengths — anything
+        // beyond register-file values) still change the shape.
+        let mut c = build(0.8, 0.0);
+        let p = c.pipelines()[0].id;
+        c.pipeline_mut(p).unwrap().add_icon(IconKind::memory());
+        assert_ne!(a.shape_digest(), c.shape_digest(), "structure is shape");
+        let mut d = build(0.8, 0.0);
+        d.name = "other".into();
+        assert_ne!(a.shape_digest(), d.shape_digest(), "the name is shape");
     }
 
     #[test]

@@ -1,0 +1,41 @@
+//! Ensemble engine: compile-once parameter sweeps over the machine park.
+//!
+//! CFD studies rarely run one solve. They run *families* of solves — the
+//! same scenario across a grid of Reynolds numbers, relaxation factors,
+//! grid sizes or node counts — to map where a scheme converges, where it
+//! stalls, and where it diverges. On the simulated Navier-Stokes
+//! Computer every member of such a family shares its document *shape*:
+//! only constant icons (ω, Re-dependent coefficients, time steps)
+//! differ. The [`nsc_core::Session`] compile cache exploits exactly
+//! that — the first member pays for check + codegen, later members
+//! rebind preloads on the cached program — so an ensemble is the
+//! workload where compile-once pays off hardest.
+//!
+//! The flow:
+//!
+//! * **axes** ([`Axis`], [`Sweep`]) — name the swept parameters and
+//!   their values; [`Sweep::points`] is the deterministic cartesian
+//!   product, first axis outermost.
+//! * **members** ([`ParamPoint`]) — each point is handed to a caller
+//!   closure that builds one [`nsc_park::Job`]; the sweep batches them
+//!   onto a [`nsc_park::MachinePark`] under a chosen
+//!   [`nsc_park::SchedPolicy`].
+//! * **report** ([`EnsembleReport`], [`MemberReport`]) — per-member
+//!   residual histories, counters and convergence verdicts, the park's
+//!   schedule figures, and the compile-cache delta for the whole run;
+//!   serializable, with markdown renderers for the stability map and
+//!   the cache-hit table.
+//!
+//! Members are allowed to fail: a diverging time step or an
+//! out-of-range relaxation factor surfaces as that member's error, not
+//! the sweep's. The stability map is where those verdicts become
+//! legible — the whole point of sweeping past the stability limit is to
+//! see where the boundary sits.
+
+#![warn(missing_docs)]
+
+mod report;
+mod sweep;
+
+pub use self::report::{EnsembleReport, MemberReport};
+pub use self::sweep::{Axis, AxisValue, ParamPoint, Sweep};

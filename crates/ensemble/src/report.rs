@@ -1,0 +1,260 @@
+//! What an ensemble run hands back: per-member records, the park's
+//! schedule figures, the compile-cache delta, and markdown renderers
+//! for the stability map and the cache-hit table.
+
+use nsc_core::CacheStats;
+use nsc_park::{JobId, ParkReport};
+use nsc_sim::PerfCounters;
+use serde::Serialize;
+
+use crate::sweep::{Axis, AxisValue};
+
+/// The full record of one sweep member.
+#[derive(Debug, Clone, Serialize)]
+pub struct MemberReport {
+    /// Member index in cartesian-product order.
+    pub index: usize,
+    /// The member's coordinates, one per axis, in axis order.
+    pub point: Vec<AxisValue>,
+    /// The park job id the member ran as.
+    pub job: JobId,
+    /// The tenant the member was submitted under.
+    pub tenant: String,
+    /// Workload name.
+    pub name: String,
+    /// Nodes the member ran on.
+    pub nodes: usize,
+    /// Final residual (NaN when the member failed).
+    pub residual: f64,
+    /// Whether the member's own convergence criterion ended the run.
+    /// `false` both for members that hit an iteration cap and for
+    /// members that failed outright (see `error`).
+    pub converged: bool,
+    /// The member's error, when it failed to run (diverged, rejected
+    /// parameters). Failed members still held nodes and appear in the
+    /// schedule figures.
+    pub error: Option<String>,
+    /// Per-iteration residual trace, in order; empty when the payload
+    /// keeps no trace or the member failed.
+    pub residual_history: Vec<f64>,
+    /// System-level counter deltas over the member's lease, measured by
+    /// the park.
+    pub counters: PerfCounters,
+    /// Simulated machine time the member ran for, seconds.
+    pub simulated_seconds: f64,
+    /// Achieved MFLOPS over the lease.
+    pub mflops: f64,
+    /// Seconds the member waited in the park queue.
+    pub queue_wait: f64,
+}
+
+impl MemberReport {
+    /// Whether this member diverged: it either failed to run or stopped
+    /// on an iteration cap instead of its convergence criterion.
+    pub fn diverged(&self) -> bool {
+        self.error.is_some() || !self.converged
+    }
+}
+
+/// Aggregate record of one ensemble run, serializable via
+/// [`EnsembleReport::to_json`].
+#[derive(Debug, Clone, Serialize)]
+pub struct EnsembleReport {
+    /// Sweep name.
+    pub name: String,
+    /// Scheduling policy label the park ran under.
+    pub policy: String,
+    /// Nodes in the park machine.
+    pub capacity_nodes: usize,
+    /// The swept axes, outermost first.
+    pub axes: Vec<Axis>,
+    /// Per-member records, in cartesian-product order.
+    pub members: Vec<MemberReport>,
+    /// Park-clock time from zero to the last completion, seconds.
+    pub makespan: f64,
+    /// Fraction of the machine's node-seconds spent running members.
+    pub utilization: f64,
+    /// Members completed per park-clock second.
+    pub members_per_second: f64,
+    /// Members that diverged ([`MemberReport::diverged`]).
+    pub diverged: usize,
+    /// Compile-cache activity attributable to this run: hit/rebind/miss
+    /// deltas across the sweep, entry/shape totals after it.
+    pub cache: CacheStats,
+}
+
+impl EnsembleReport {
+    /// Assemble the aggregate from the member records, the park's
+    /// schedule report, and the cache snapshots taken around the run.
+    pub(crate) fn assemble(
+        name: &str,
+        axes: &[Axis],
+        members: Vec<MemberReport>,
+        schedule: &ParkReport,
+        cache_before: CacheStats,
+        cache_after: CacheStats,
+    ) -> EnsembleReport {
+        let diverged = members.iter().filter(|m| m.diverged()).count();
+        let members_per_second =
+            if schedule.makespan > 0.0 { members.len() as f64 / schedule.makespan } else { 0.0 };
+        EnsembleReport {
+            name: name.to_string(),
+            policy: schedule.policy.clone(),
+            capacity_nodes: schedule.capacity_nodes,
+            axes: axes.to_vec(),
+            members,
+            makespan: schedule.makespan,
+            utilization: schedule.utilization,
+            members_per_second,
+            diverged,
+            // Counters delta by subtraction; entries/shapes are running
+            // totals, so the post-run values stand.
+            cache: CacheStats {
+                hits: cache_after.hits - cache_before.hits,
+                rebinds: cache_after.rebinds - cache_before.rebinds,
+                misses: cache_after.misses - cache_before.misses,
+                entries: cache_after.entries,
+                shapes: cache_after.shapes,
+            },
+        }
+    }
+
+    /// The report serialized as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("ensemble report serializes")
+    }
+
+    /// Members that diverged, in cartesian-product order.
+    pub fn diverged_members(&self) -> Vec<&MemberReport> {
+        self.members.iter().filter(|m| m.diverged()).collect()
+    }
+
+    /// The member at a cartesian-product index.
+    pub fn member(&self, index: usize) -> Option<&MemberReport> {
+        self.members.iter().find(|m| m.index == index)
+    }
+
+    /// The stability map as a markdown table over the first two axes:
+    /// first axis across the columns, second axis down the rows (a 1-D
+    /// sweep renders as a single row). Each cell shows the *worst*
+    /// verdict over any remaining axes: `✗` a member failed, `~` a
+    /// member stopped on an iteration cap, `✓` all members converged.
+    pub fn stability_map_markdown(&self) -> String {
+        let mut out = String::new();
+        if self.axes.is_empty() {
+            let verdict = self.members.first().map(cell_verdict_symbol).unwrap_or("✗");
+            out.push_str(&format!("single member: {verdict}\n"));
+            return out;
+        }
+        let cols = &self.axes[0];
+        let rows: Option<&Axis> = self.axes.get(1);
+        let corner = match rows {
+            Some(r) => format!("{} \\ {}", r.name, cols.name),
+            None => cols.name.clone(),
+        };
+        out.push_str(&format!("| {corner} |"));
+        for v in &cols.values {
+            out.push_str(&format!(" {v} |"));
+        }
+        out.push('\n');
+        out.push_str("|---|");
+        for _ in &cols.values {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        let row_values: Vec<Option<f64>> = match rows {
+            Some(r) => r.values.iter().copied().map(Some).collect(),
+            None => vec![None],
+        };
+        for row in &row_values {
+            match row {
+                Some(v) => out.push_str(&format!("| {v} |")),
+                None => out.push_str("| verdict |"),
+            }
+            for col in &cols.values {
+                let verdict = self
+                    .members
+                    .iter()
+                    .filter(|m| {
+                        coord_is(&m.point, &cols.name, *col)
+                            && row.is_none_or(|rv| {
+                                coord_is(&m.point, &rows.expect("row axis exists").name, rv)
+                            })
+                    })
+                    .map(verdict_rank)
+                    .max();
+                out.push_str(&format!(" {} |", rank_symbol(verdict)));
+            }
+            out.push('\n');
+        }
+        out.push_str("\n`✓` converged `~` hit iteration cap `✗` failed\n");
+        out
+    }
+
+    /// The compile-cache delta as a markdown table: hits, rebinds,
+    /// misses, distinct programs/shapes, and the hit rate (hits plus
+    /// rebinds over all compiles — both paths skip check + codegen).
+    pub fn cache_markdown(&self) -> String {
+        format!(
+            "| compiles | full hits | rebinds | misses | programs | shapes | hit rate |\n\
+             |---|---|---|---|---|---|---|\n\
+             | {} | {} | {} | {} | {} | {} | {:.3} |\n",
+            self.cache.hits + self.cache.rebinds + self.cache.misses,
+            self.cache.hits,
+            self.cache.rebinds,
+            self.cache.misses,
+            self.cache.entries,
+            self.cache.shapes,
+            self.cache.hit_rate(),
+        )
+    }
+
+    /// Stability map, cache table, and the headline schedule figures as
+    /// one markdown fragment — what the CI smoke job appends to its
+    /// step summary.
+    pub fn summary_markdown(&self) -> String {
+        format!(
+            "### Ensemble `{}` — {} members, `{}` policy\n\n\
+             {}\n{}\n\
+             makespan {:.3} s · utilization {:.2} · {:.2} members/s · {} diverged\n",
+            self.name,
+            self.members.len(),
+            self.policy,
+            self.stability_map_markdown(),
+            self.cache_markdown(),
+            self.makespan,
+            self.utilization,
+            self.members_per_second,
+            self.diverged,
+        )
+    }
+}
+
+fn coord_is(point: &[AxisValue], axis: &str, value: f64) -> bool {
+    point.iter().any(|c| c.axis == axis && c.value == value)
+}
+
+/// Verdict severity for worst-case cell aggregation: converged < cap <
+/// failed.
+fn verdict_rank(m: &MemberReport) -> u8 {
+    if m.error.is_some() {
+        2
+    } else if !m.converged {
+        1
+    } else {
+        0
+    }
+}
+
+fn rank_symbol(rank: Option<u8>) -> &'static str {
+    match rank {
+        None => "·",
+        Some(0) => "✓",
+        Some(1) => "~",
+        Some(_) => "✗",
+    }
+}
+
+fn cell_verdict_symbol(m: &MemberReport) -> &'static str {
+    rank_symbol(Some(verdict_rank(m)))
+}

@@ -1,0 +1,256 @@
+//! Sweep definition and execution: axes, their cartesian product, and
+//! the batched run over a machine park.
+
+use nsc_core::NscError;
+use nsc_park::{Job, MachinePark, SchedPolicy};
+use serde::Serialize;
+
+use crate::report::{EnsembleReport, MemberReport};
+
+/// One swept parameter: a name and the values it takes.
+#[derive(Debug, Clone, Serialize)]
+pub struct Axis {
+    /// Parameter name, e.g. `"re"` or `"omega"`.
+    pub name: String,
+    /// The values this axis sweeps over, in order.
+    pub values: Vec<f64>,
+}
+
+/// One coordinate of a [`ParamPoint`]: an axis name with the value the
+/// member takes on that axis.
+#[derive(Debug, Clone, Serialize)]
+pub struct AxisValue {
+    /// The axis this coordinate belongs to.
+    pub axis: String,
+    /// The member's value on that axis.
+    pub value: f64,
+}
+
+/// One member of the sweep: its index in submission order and its
+/// coordinates, one per axis, in axis order.
+#[derive(Debug, Clone, Serialize)]
+pub struct ParamPoint {
+    /// Member index in cartesian-product (= submission) order.
+    pub index: usize,
+    /// The member's coordinates, one per axis, in axis order.
+    pub coords: Vec<AxisValue>,
+}
+
+impl ParamPoint {
+    /// The member's value on the named axis, if that axis exists.
+    pub fn get(&self, axis: &str) -> Option<f64> {
+        self.coords.iter().find(|c| c.axis == axis).map(|c| c.value)
+    }
+
+    /// The member's value on the named axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sweep has no axis of that name — a typo in a
+    /// member-builder closure should fail loudly, not default silently.
+    pub fn value(&self, axis: &str) -> f64 {
+        self.get(axis).unwrap_or_else(|| panic!("sweep has no axis named '{axis}'"))
+    }
+}
+
+/// A named parameter sweep: a scenario fanned across one or more axes.
+///
+/// Build with [`Sweep::new`] + [`Sweep::axis`], then either enumerate
+/// the members with [`Sweep::points`] or run the whole ensemble with
+/// [`Sweep::run`].
+///
+/// ```
+/// use nsc_ensemble::Sweep;
+///
+/// let sweep = Sweep::new("cavity study")
+///     .axis("re", [100.0, 400.0])
+///     .axis("omega", [1.0, 1.5, 1.9]);
+/// let points = sweep.points();
+/// assert_eq!(points.len(), 6);
+/// // First axis is outermost: re=100 members come first.
+/// assert_eq!(points[0].value("re"), 100.0);
+/// assert_eq!(points[0].value("omega"), 1.0);
+/// assert_eq!(points[1].value("omega"), 1.5);
+/// assert_eq!(points[5].value("re"), 400.0);
+/// ```
+#[derive(Debug, Clone, Serialize)]
+pub struct Sweep {
+    /// Sweep name, used in reports.
+    pub name: String,
+    /// The swept axes, outermost first.
+    pub axes: Vec<Axis>,
+}
+
+impl Sweep {
+    /// An empty sweep with the given name; add axes with [`Sweep::axis`].
+    pub fn new(name: impl Into<String>) -> Self {
+        Sweep { name: name.into(), axes: Vec::new() }
+    }
+
+    /// Append an axis (builder style). Axes are swept in the order they
+    /// are added; the first axis varies slowest.
+    pub fn axis(mut self, name: impl Into<String>, values: impl Into<Vec<f64>>) -> Self {
+        self.axes.push(Axis { name: name.into(), values: values.into() });
+        self
+    }
+
+    /// Number of members: the product of the axis lengths (1 for a
+    /// sweep with no axes — the degenerate single-member ensemble).
+    pub fn member_count(&self) -> usize {
+        self.axes.iter().map(|a| a.values.len()).product()
+    }
+
+    /// The cartesian product of the axes, in deterministic submission
+    /// order: the first axis is outermost (varies slowest), the last
+    /// axis innermost.
+    pub fn points(&self) -> Vec<ParamPoint> {
+        let count = self.member_count();
+        let mut points = Vec::with_capacity(count);
+        for index in 0..count {
+            // Decompose the flat index in mixed radix, innermost axis
+            // being the least-significant digit.
+            let mut rem = index;
+            let mut coords = vec![None; self.axes.len()];
+            for (k, axis) in self.axes.iter().enumerate().rev() {
+                let len = axis.values.len();
+                coords[k] =
+                    Some(AxisValue { axis: axis.name.clone(), value: axis.values[rem % len] });
+                rem /= len;
+            }
+            points.push(ParamPoint {
+                index,
+                coords: coords.into_iter().map(|c| c.expect("every axis visited")).collect(),
+            });
+        }
+        points
+    }
+
+    /// Run the ensemble: build one job per member, batch them onto the
+    /// park, run the schedule, and aggregate the report.
+    ///
+    /// `make` receives each [`ParamPoint`] and returns the full
+    /// [`Job`] — tenant and sub-cube dimension included, so a node-count
+    /// axis is just `Job::new(tenant, point.value("dim") as u32, ...)`.
+    /// If any member fails to *build*, nothing is submitted and the
+    /// error is returned; members that fail to *run* (divergence,
+    /// rejected parameters) stay in the report as diverged entries.
+    ///
+    /// The compile-cache delta in the report is measured around this
+    /// call via [`nsc_core::Session::cache_stats`], so it reflects the
+    /// sweep alone as long as nothing else uses the park's session
+    /// concurrently. Likewise the schedule figures (makespan,
+    /// utilization, members/second) assume the park's queue holds only
+    /// this sweep's jobs; per-member figures are keyed by job id and
+    /// stay correct either way.
+    pub fn run<F>(
+        &self,
+        park: &mut MachinePark,
+        policy: SchedPolicy,
+        mut make: F,
+    ) -> Result<EnsembleReport, NscError>
+    where
+        F: FnMut(&ParamPoint) -> Result<Job, NscError>,
+    {
+        let points = self.points();
+        if points.is_empty() {
+            return Err(NscError::Workload(format!(
+                "sweep '{}' has an empty axis: no members to run",
+                self.name
+            )));
+        }
+        let jobs = points.iter().map(&mut make).collect::<Result<Vec<_>, _>>()?;
+        let cache_before = park.session().cache_stats();
+        let ids = park.submit_batch(jobs)?;
+        let schedule = park.run(policy)?;
+        let cache_after = park.session().cache_stats();
+
+        let members = points
+            .iter()
+            .zip(&ids)
+            .map(|(point, &id)| {
+                let job = schedule.job(id).expect("every submitted job appears in the park report");
+                let outcome = park.outcome(id);
+                MemberReport {
+                    index: point.index,
+                    point: point.coords.clone(),
+                    job: id,
+                    tenant: job.tenant.clone(),
+                    name: job.name.clone(),
+                    nodes: job.nodes,
+                    residual: job.residual,
+                    converged: outcome.map(|o| o.converged).unwrap_or(false),
+                    error: job.error.clone(),
+                    residual_history: outcome.map(|o| o.history.clone()).unwrap_or_default(),
+                    counters: job.counters,
+                    simulated_seconds: job.simulated_seconds,
+                    mflops: job.mflops,
+                    queue_wait: job.queue_wait,
+                }
+            })
+            .collect();
+
+        Ok(EnsembleReport::assemble(
+            &self.name,
+            &self.axes,
+            members,
+            &schedule,
+            cache_before,
+            cache_after,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cartesian_points_are_deterministic_and_ordered() {
+        let sweep = Sweep::new("t").axis("a", [1.0, 2.0, 3.0]).axis("b", [10.0, 20.0]);
+        let points = sweep.points();
+        assert_eq!(points.len(), 6);
+        assert_eq!(sweep.member_count(), 6);
+        let pairs: Vec<(f64, f64)> = points.iter().map(|p| (p.value("a"), p.value("b"))).collect();
+        assert_eq!(
+            pairs,
+            vec![(1.0, 10.0), (1.0, 20.0), (2.0, 10.0), (2.0, 20.0), (3.0, 10.0), (3.0, 20.0)],
+            "first axis outermost, last axis innermost"
+        );
+        assert!(points.iter().enumerate().all(|(i, p)| p.index == i));
+        // A second enumeration is bit-identical.
+        let again: Vec<(f64, f64)> =
+            sweep.points().iter().map(|p| (p.value("a"), p.value("b"))).collect();
+        assert_eq!(pairs, again);
+    }
+
+    #[test]
+    fn point_lookup() {
+        let sweep = Sweep::new("t").axis("omega", [1.5]);
+        let p = &sweep.points()[0];
+        assert_eq!(p.get("omega"), Some(1.5));
+        assert_eq!(p.get("re"), None);
+        assert_eq!(p.value("omega"), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "no axis named 'missing'")]
+    fn value_panics_on_unknown_axis() {
+        let sweep = Sweep::new("t").axis("omega", [1.5]);
+        sweep.points()[0].value("missing");
+    }
+
+    #[test]
+    fn axis_less_sweep_has_one_member() {
+        let sweep = Sweep::new("single");
+        let points = sweep.points();
+        assert_eq!(points.len(), 1);
+        assert!(points[0].coords.is_empty());
+    }
+
+    #[test]
+    fn empty_axis_yields_no_members() {
+        let sweep = Sweep::new("t").axis("a", []).axis("b", [1.0]);
+        assert_eq!(sweep.member_count(), 0);
+        assert!(sweep.points().is_empty());
+    }
+}

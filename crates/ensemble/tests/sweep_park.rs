@@ -1,0 +1,135 @@
+//! End-to-end sweeps over a real machine park: stability verdicts,
+//! compile-cache behaviour, and cross-policy bit-identity.
+
+use nsc_cfd::{DistributedMultigridWorkload, DistributedSorWorkload};
+use nsc_core::Session;
+use nsc_ensemble::{EnsembleReport, Sweep};
+use nsc_park::{Job, MachinePark, SchedPolicy};
+
+/// ω sweep of the same SOR problem: over-relaxation past 2 is rejected
+/// by the workload, near-2 stalls on the sweep cap, the rest converge.
+/// The stability map must tell the three verdicts apart.
+#[test]
+fn sor_omega_sweep_maps_stability() {
+    let sweep = Sweep::new("sor omega stability").axis("omega", [1.0, 1.5, 1.99, 2.05]);
+    let mut park = MachinePark::new(Session::nsc_1988(), 1);
+    let report = sweep
+        .run(&mut park, SchedPolicy::Fifo, |p| {
+            Ok(Job::new(
+                "study",
+                0,
+                DistributedSorWorkload::manufactured(6, p.value("omega"), 1e-3, 60),
+            ))
+        })
+        .expect("sweep runs");
+
+    assert_eq!(report.members.len(), 4);
+    assert_eq!(report.policy, "fifo");
+
+    let at = |omega: f64| {
+        report.members.iter().find(|m| m.point[0].value == omega).expect("member exists")
+    };
+    for omega in [1.0, 1.5] {
+        let m = at(omega);
+        assert!(m.error.is_none() && m.converged, "omega={omega} converges");
+        assert!(!m.residual_history.is_empty(), "converged member keeps its trace");
+        assert!(m.residual_history.last().unwrap() <= &1e-3);
+    }
+    let stalled = at(1.99);
+    assert!(stalled.error.is_none(), "omega=1.99 runs but stalls");
+    assert!(!stalled.converged, "omega=1.99 hits the sweep cap");
+    assert_eq!(stalled.residual_history.len(), 60, "one residual per sweep up to the cap");
+    let rejected = at(2.05);
+    assert!(rejected.error.is_some(), "omega=2.05 is a rejected parameter");
+    assert!(rejected.residual.is_nan(), "failed member has no residual");
+
+    assert_eq!(report.diverged, 2);
+    assert_eq!(report.diverged_members().len(), 2);
+    let map = report.stability_map_markdown();
+    assert!(map.contains('✓') && map.contains('~') && map.contains('✗'), "map: {map}");
+
+    // The report round-trips through JSON.
+    let json = report.to_json();
+    assert!(json.contains("\"omega\"") && json.contains("2.05"), "json: {json}");
+}
+
+/// ω is a document constant of the multigrid smoothing pipelines, so an
+/// ω sweep on one grid size must compile shapes once and rebind the
+/// rest — the compile-once story the ensemble layer exists for.
+#[test]
+fn multigrid_omega_sweep_rebinds_instead_of_recompiling() {
+    let sweep = Sweep::new("mg omega").axis("omega", [0.6, 0.8, 1.0]);
+    // A dimension-0 park runs members serially, so the cache counters
+    // are deterministic here.
+    let mut park = MachinePark::new(Session::nsc_1988(), 0);
+    let run = |park: &mut MachinePark| {
+        sweep
+            .run(park, SchedPolicy::Fifo, |p| {
+                Ok(Job::new(
+                    "study",
+                    0,
+                    DistributedMultigridWorkload::manufactured(9, p.value("omega"), 1e-4, 25),
+                ))
+            })
+            .expect("sweep runs")
+    };
+
+    let report = run(&mut park);
+    assert_eq!(report.diverged, 0, "all damped-Jacobi members converge");
+    let cache = &report.cache;
+    assert!(cache.misses > 0, "the first member pays for codegen: {cache:?}");
+    assert!(cache.rebinds > 0, "later members rebind the cached shapes: {cache:?}");
+    assert!(cache.hit_rate() > 0.5, "most compiles avoid the full pipeline: {cache:?}");
+    // Shapes are omega-independent, so distinct programs outnumber
+    // distinct shapes by exactly the swept smoothing constants.
+    assert!(cache.entries > cache.shapes, "{cache:?}");
+    assert!(report.cache_markdown().contains("hit rate"));
+    assert!(report.summary_markdown().contains("members/s"));
+
+    // The same sweep again on the same park: every program is already
+    // cached under its full digest, so the delta is pure hits.
+    let again = run(&mut park);
+    let cache = &again.cache;
+    assert_eq!(cache.misses, 0, "second pass recompiles nothing: {cache:?}");
+    assert_eq!(cache.rebinds, 0, "second pass repatches nothing: {cache:?}");
+    assert!(cache.hits > 0 && cache.hit_rate() == 1.0, "{cache:?}");
+    for (a, b) in report.members.iter().zip(&again.members) {
+        assert_eq!(a.residual.to_bits(), b.residual.to_bits(), "cached reruns are bit-identical");
+    }
+}
+
+/// The same sweep under all three policies: schedules differ, member
+/// results must not. (The rebind fast path feeds every policy from the
+/// same cached programs, so a mismatch here would implicate it.)
+#[test]
+fn member_results_bit_identical_across_policies() {
+    let run = |policy: SchedPolicy| -> EnsembleReport {
+        let sweep = Sweep::new("xpolicy").axis("omega", [1.0, 1.3, 1.6, 1.9]);
+        let mut park = MachinePark::new(Session::nsc_1988(), 2);
+        sweep
+            .run(&mut park, policy, |p| {
+                Ok(Job::new(
+                    if p.index % 2 == 0 { "ada" } else { "grace" },
+                    (p.index % 2) as u32,
+                    DistributedSorWorkload::manufactured(6, p.value("omega"), 1e-4, 80),
+                ))
+            })
+            .expect("sweep runs")
+    };
+    let fifo = run(SchedPolicy::Fifo);
+    for other in [run(SchedPolicy::Backfill), run(SchedPolicy::FairShare)] {
+        assert_ne!(fifo.policy, other.policy);
+        for (a, b) in fifo.members.iter().zip(&other.members) {
+            assert_eq!(a.index, b.index);
+            assert_eq!(a.residual.to_bits(), b.residual.to_bits(), "member {}", a.index);
+            assert_eq!(a.converged, b.converged);
+            let bits = |h: &[f64]| h.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(
+                bits(&a.residual_history),
+                bits(&b.residual_history),
+                "member {} trace differs across policies",
+                a.index
+            );
+        }
+    }
+}

@@ -26,6 +26,34 @@ pub struct JobOutcome {
     /// The result field, flattened — bit-compared against a standalone
     /// run of the same workload in the park's identity audits.
     pub grid: Vec<f64>,
+    /// The residual after each iteration (sweep pair, sweep, V-cycle or
+    /// time step), in order — the convergence trace ensemble reports
+    /// aggregate. Empty when the payload keeps no trace.
+    pub history: Vec<f64>,
+    /// Whether the payload's own convergence criterion (not an iteration
+    /// cap) ended the run. Payloads without a criterion report `true` —
+    /// their failures surface as errors instead.
+    pub converged: bool,
+}
+
+impl JobOutcome {
+    /// A converged outcome with no iteration trace; attach one with
+    /// [`JobOutcome::with_history`] / [`JobOutcome::with_converged`].
+    pub fn new(residual: f64, grid: Vec<f64>) -> Self {
+        JobOutcome { residual, grid, history: Vec::new(), converged: true }
+    }
+
+    /// Attach the per-iteration residual trace (builder style).
+    pub fn with_history(mut self, history: Vec<f64>) -> Self {
+        self.history = history;
+        self
+    }
+
+    /// Record whether the run actually converged (builder style).
+    pub fn with_converged(mut self, converged: bool) -> Self {
+        self.converged = converged;
+        self
+    }
 }
 
 /// A workload the park can run on a leased sub-system.
@@ -49,7 +77,9 @@ impl JobPayload for nsc_cfd::DistributedJacobiWorkload {
 
     fn run(&self, session: &Session, system: &mut NscSystem) -> Result<JobOutcome, NscError> {
         let r = nsc_core::Workload::execute(self, session, system)?;
-        Ok(JobOutcome { residual: r.residual, grid: r.u.data })
+        Ok(JobOutcome::new(r.residual, r.u.data)
+            .with_history(r.residual_history)
+            .with_converged(r.converged))
     }
 }
 
@@ -60,7 +90,9 @@ impl JobPayload for nsc_cfd::DistributedSorWorkload {
 
     fn run(&self, session: &Session, system: &mut NscSystem) -> Result<JobOutcome, NscError> {
         let r = nsc_core::Workload::execute(self, session, system)?;
-        Ok(JobOutcome { residual: r.residual, grid: r.u.data })
+        Ok(JobOutcome::new(r.residual, r.u.data)
+            .with_history(r.residual_history)
+            .with_converged(r.converged))
     }
 }
 
@@ -71,7 +103,9 @@ impl JobPayload for nsc_cfd::DistributedMultigridWorkload {
 
     fn run(&self, session: &Session, system: &mut NscSystem) -> Result<JobOutcome, NscError> {
         let r = nsc_core::Workload::execute(self, session, system)?;
-        Ok(JobOutcome { residual: r.residual, grid: r.u.data })
+        Ok(JobOutcome::new(r.residual, r.u.data)
+            .with_history(r.stats.residual_history.clone())
+            .with_converged(r.converged))
     }
 }
 
@@ -86,7 +120,9 @@ impl JobPayload for nsc_cfd::CavityWorkload {
         // transport.
         let mut grid = r.psi.data;
         grid.extend_from_slice(&r.omega.data);
-        Ok(JobOutcome { residual: r.last_residual, grid })
+        // A cavity run that returns at all converged every ψ-solve and
+        // kept the vorticity finite; divergence surfaces as an error.
+        Ok(JobOutcome::new(r.last_residual, grid).with_history(r.residual_history))
     }
 }
 

@@ -148,6 +148,27 @@ impl MachinePark {
         Ok(self.queue.submit(job))
     }
 
+    /// Queue a whole batch, in order, returning the ids in submission
+    /// order. All-or-nothing: the first oversized job rejects the batch
+    /// and nothing is queued — the batched path sweep engines use to
+    /// place an ensemble's members atomically.
+    pub fn submit_batch(
+        &mut self,
+        jobs: impl IntoIterator<Item = Job>,
+    ) -> Result<Vec<JobId>, NscError> {
+        let jobs: Vec<Job> = jobs.into_iter().collect();
+        if let Some(bad) = jobs.iter().find(|j| j.dim > self.cube.dimension) {
+            return Err(NscError::Workload(format!(
+                "batch job '{}' wants a dimension-{} sub-cube but the park machine is \
+                 dimension {}; nothing was queued",
+                bad.name(),
+                bad.dim,
+                self.cube.dimension
+            )));
+        }
+        Ok(jobs.into_iter().map(|j| self.queue.submit(j)).collect())
+    }
+
     /// Run every queued job to completion under `policy` and report.
     ///
     /// Deterministic: the same submissions under the same policy produce

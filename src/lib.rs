@@ -19,6 +19,7 @@
 //! | [`cfd`] | `nsc-cfd` | 3-D Poisson Jacobi (Equation 1), SOR, multigrid |
 //! | [`mod@env`] | `nsc-core` | the integrated environment, the `Session` compile-and-run pipeline + visual debugger |
 //! | [`park`] | `nsc-park` | machine-park job service: queue, schedule, and serve many workloads on one machine |
+//! | [`ensemble`] | `nsc-ensemble` | compile-once parameter sweeps over the machine park |
 //!
 //! See `README.md` for the quickstart, `DESIGN.md` for the system
 //! inventory, and `EXPERIMENTS.md` for the paper-versus-measured record.
@@ -30,6 +31,7 @@ pub use nsc_codegen as codegen;
 pub use nsc_core as env;
 pub use nsc_diagram as diagram;
 pub use nsc_editor as editor;
+pub use nsc_ensemble as ensemble;
 pub use nsc_expr as expr;
 pub use nsc_microcode as microcode;
 pub use nsc_park as park;
