@@ -19,9 +19,9 @@
 //! ```
 
 use nsc_bench::{
-    cavity_point, ensemble_point, host_comparison_point, jacobi_node_mflops, multigrid_point,
-    park_mixed_point, park_small_stream_point, strong_scaling_point, CavityPoint, EnsemblePoint,
-    HostPoint, ParkPoint, ScalingPoint,
+    cavity_point, cert_audit_point, ensemble_point, host_comparison_point, jacobi_node_mflops,
+    multigrid_point, park_mixed_point, park_small_stream_point, strong_scaling_point, CavityPoint,
+    CertPoint, EnsemblePoint, HostPoint, ParkPoint, ScalingPoint,
 };
 use nsc_park::SchedPolicy;
 use serde::{Deserialize, Serialize};
@@ -72,6 +72,12 @@ struct Baseline {
     /// informational only — the gate enforces the freshly measured
     /// speedup, never a comparison against this snapshot.
     host: HostPoint,
+    /// Certificate-audit throughput: the independent verifier re-checking
+    /// the Jacobi gate workload's certificates. Host wall-clock like
+    /// `host`, so the committed copy is informational — the gate enforces
+    /// the freshly measured audit speedup (auditing must be orders of
+    /// magnitude cheaper than re-running).
+    cert: CertPoint,
 }
 
 /// Simulated figures never flake, but they may legitimately improve; only
@@ -86,6 +92,12 @@ const REQUIRED_KERNEL_SPEEDUP: f64 = 3.0;
 /// must be served from the session cache (full digest hits plus preload
 /// rebinds): compile-once is the ensemble layer's contract.
 const ENSEMBLE_HIT_RATE_FLOOR: f64 = 0.9;
+
+/// Auditing a run's certificates must be at least this many times
+/// cheaper than re-running the workload — the economic premise of the
+/// spot-audit policy. Conservative: the measured ratio is typically in
+/// the thousands.
+const REQUIRED_AUDIT_SPEEDUP: f64 = 10.0;
 
 fn measure() -> Baseline {
     Baseline {
@@ -102,6 +114,7 @@ fn measure() -> Baseline {
         // Four pairs so the streamed sweeps, not compilation and problem
         // scatter (which both paths share), dominate the wall-clock.
         host: host_comparison_point(3, 64, 4, 2),
+        cert: cert_audit_point(),
     }
 }
 
@@ -270,6 +283,23 @@ fn check(current: &Baseline, baseline: &Baseline) -> Result<(), String> {
             current.host.kernel_speedup, REQUIRED_KERNEL_SPEEDUP
         ));
     }
+    // Same rule for the certificate audit: wall-clock, so the committed
+    // copy never gates — the freshly measured speedup must hold.
+    eprintln!(
+        "  {:<32} {:>12.0}x     ({} certs, {} obligations, {:.0} certs/s, floor {:.0}x)",
+        "audit speedup vs re-run",
+        current.cert.audit_speedup,
+        current.cert.certs,
+        current.cert.obligations,
+        current.cert.certs_per_second,
+        REQUIRED_AUDIT_SPEEDUP,
+    );
+    if current.cert.audit_speedup < REQUIRED_AUDIT_SPEEDUP {
+        failures.push(format!(
+            "certificate audit only {:.1}x cheaper than re-running (need {:.0}x)",
+            current.cert.audit_speedup, REQUIRED_AUDIT_SPEEDUP
+        ));
+    }
     if failures.is_empty() {
         Ok(())
     } else {
@@ -356,6 +386,14 @@ fn summary_markdown(current: &Baseline) -> String {
         "\nKernel speedup: **{:.1}x** (gate floor {REQUIRED_KERNEL_SPEEDUP:.1}x).\n",
         h.kernel_speedup
     ));
+    let c = &current.cert;
+    md.push_str("\n### Certificate audit (this runner; jacobi 16^3 @ 4 nodes)\n\n");
+    md.push_str("| certs | obligations | certs/s | audit speedup vs re-run |\n");
+    md.push_str("|---:|---:|---:|---:|\n");
+    md.push_str(&format!(
+        "| {} | {} | {:.0} | {:.0}x (floor {REQUIRED_AUDIT_SPEEDUP:.0}x) |\n",
+        c.certs, c.obligations, c.certs_per_second, c.audit_speedup
+    ));
     md
 }
 
@@ -378,9 +416,11 @@ usage: perf_gate [--check <baseline.json>] [--write <out.json>]
                             than synchronized, backfill strictly above
                             FIFO on park utilization and throughput, an
                             ensemble compile-cache hit rate of at least
-                            {hit}, and a freshly measured kernel speedup
+                            {hit}, a freshly measured kernel speedup
                             of at least {speedup:.1}x over the
-                            interpreter.
+                            interpreter, and a freshly measured
+                            certificate-audit speedup of at least
+                            {audit:.0}x over re-running the workload.
   --write <out.json>        Write the measured figures as JSON.
   --summary <markdown.md>   Append a markdown figure table (CI passes
                             $GITHUB_STEP_SUMMARY).
@@ -401,6 +441,7 @@ refresh semantics of --write-baseline:
         drop = TOLERATED_DROP * 100.0,
         speedup = REQUIRED_KERNEL_SPEEDUP,
         hit = ENSEMBLE_HIT_RATE_FLOOR,
+        audit = REQUIRED_AUDIT_SPEEDUP,
         path = BASELINE_PATH,
     )
 }

@@ -325,6 +325,59 @@ pub fn ensemble_point() -> EnsemblePoint {
     }
 }
 
+/// One certificate-audit measurement: how fast the independent verifier
+/// re-checks a run's certificates, against how long the run itself took.
+/// Host wall-clock, so the committed copy is informational — the gate
+/// enforces the freshly measured `audit_speedup` floor, which is a
+/// property of the code (verifying is hashing plus interval arithmetic;
+/// re-running is a full simulation), not of the runner.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CertPoint {
+    /// Certificates the gate workload emitted.
+    pub certs: usize,
+    /// Obligations one full audit pass discharges across those
+    /// certificates.
+    pub obligations: usize,
+    /// Certificates verified per host second.
+    pub certs_per_second: f64,
+    /// Workload wall-clock over one full audit pass's wall-clock: how
+    /// many times cheaper auditing a run is than re-running it.
+    pub audit_speedup: f64,
+}
+
+/// Measure the certificate verifier's throughput: run the distributed
+/// Jacobi gate workload once through the park (wall-clock), then
+/// repeatedly verify its full certificate set and time a pass.
+pub fn cert_audit_point() -> CertPoint {
+    use nsc_park::Job;
+    let mut park = nsc_park::MachinePark::new(Session::nsc_1988(), 2);
+    park.submit(Job::new("audit", 2, fixed_jacobi(16, 10))).expect("fits");
+    let start = std::time::Instant::now();
+    park.run(nsc_park::SchedPolicy::Fifo).expect("audit workload runs");
+    let run_seconds = start.elapsed().as_secs_f64();
+    let certs = park.outcome(0).expect("outcome kept").certificates.clone();
+    let expected = nsc_cert::Expected {
+        machine: Some(nsc_core::certify::machine_limits(park.session().kb().config())),
+        ..Default::default()
+    };
+    let passes = 50u32;
+    let mut obligations = 0usize;
+    let start = std::time::Instant::now();
+    for _ in 0..passes {
+        obligations = certs
+            .iter()
+            .map(|c| nsc_cert::verify(c, &expected).expect("honest certificates").obligations)
+            .sum();
+    }
+    let pass_seconds = start.elapsed().as_secs_f64() / passes as f64;
+    CertPoint {
+        certs: certs.len(),
+        obligations,
+        certs_per_second: certs.len() as f64 / pass_seconds,
+        audit_speedup: run_seconds / pass_seconds,
+    }
+}
+
 /// The benches honour `NSC_BENCH_QUICK` (set by the CI gate job) by
 /// cutting the sample count: wall-clock statistics are not what CI
 /// checks, the simulated figures are.

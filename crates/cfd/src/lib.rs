@@ -50,6 +50,7 @@
 //!   pipelines end-to-end.
 
 pub mod cavity;
+pub mod certify;
 pub mod diagrams;
 pub mod distributed;
 pub mod grid;
@@ -62,6 +63,7 @@ pub mod partition;
 pub mod workloads;
 
 pub use self::cavity::{CavityRun, CavityWorkload, Poisson2dSolver, VorticityTransport};
+pub use self::certify::{halo_routes, window_coverage};
 pub use self::diagrams::{
     build_chebyshev_document, build_damped_jacobi_sweep_document,
     build_damped_jacobi_sweep_document_windows, build_jacobi2d_sweep_document,

@@ -83,6 +83,7 @@
 //! # Ok::<(), nsc_core::NscError>(())
 //! ```
 
+use crate::certify::{halo_routes, window_coverage};
 use crate::diagrams::RESIDUAL_CACHE;
 use crate::distributed::attribute_part;
 use crate::partition::{host_halo_exchange, HaloSpec, Part, Partition, SweepSplit, SweepWindow};
@@ -92,6 +93,7 @@ use nsc_diagram::Document;
 use nsc_sim::{NscSystem, RunOptions};
 use std::collections::HashMap;
 use std::ops::Range;
+use std::sync::Arc;
 
 /// The plane roles of one sweep step: which plane it reads (whose ghosts
 /// the overlapped exchange refreshes mid-step) and which it writes (what
@@ -235,6 +237,24 @@ impl<'p> SweepEngine<'p> {
                 let whole = SweepWindow::whole(p.spans[axis].local_len());
                 fused.push(compile_windows(p, &[whole])?);
             }
+        }
+        // Staple the engine's topology claims — every halo route and the
+        // window tiling of each part's owned layers — onto the sweep's
+        // base compile certificate and record it for auditing. One
+        // certificate per compile call describes the whole sweep: the
+        // per-part programs share machine limits and the topology is a
+        // property of the partition, not of any one part.
+        let base = if self.overlap {
+            interior.iter().flatten().chain(shell.iter().flatten()).next()
+        } else {
+            fused.first()
+        };
+        if let Some(prog) = base {
+            let cert = prog.certificate().with_topology(
+                halo_routes(self.partition, &self.halo),
+                window_coverage(self.partition, &self.splits),
+            );
+            session.record_certificate(Arc::new(cert));
         }
         Ok(CompiledSweep { fused, interior, shell })
     }

@@ -4,6 +4,7 @@
 //! editor shows these in its message strip, attributed to the icon, wire or
 //! unit at fault so the display can highlight it.
 
+use nsc_cert::ConstraintKind;
 use nsc_diagram::{ConnId, IconId, PipelineId};
 use std::fmt;
 
@@ -113,40 +114,49 @@ pub enum RuleCode {
 }
 
 impl RuleCode {
-    /// Stable short code ("C005") used in messages and tests.
-    pub fn code(&self) -> &'static str {
+    /// The rule's place in the shared constraint taxonomy
+    /// ([`nsc_cert::ConstraintKind`]) — the declarative, enumerable form
+    /// the certificate verifier and audit reports also speak. The
+    /// taxonomy owns the stable ids; [`RuleCode::code`] delegates here.
+    pub fn constraint(&self) -> ConstraintKind {
         use RuleCode::*;
         match self {
-            UnboundIcon => "C001",
-            DuplicateBinding => "C002",
-            NoSuchResource => "C003",
-            AlsOvercommit => "C004",
-            SinkDrivenTwice => "C005",
-            FanoutExceeded => "C006",
-            PlaneContention => "C007",
-            FuMultiPlane => "C008",
-            CapabilityViolation => "C009",
-            ArityMismatch => "C010",
-            QueueDepthExceeded => "C011",
-            SduTapCount => "C012",
-            SduDelayRange => "C013",
-            DmaMissing => "C014",
-            DmaRange => "C015",
-            UndeclaredVariable => "C016",
-            StreamLenMismatch => "C017",
-            SubsetViolation => "C018",
-            CycleDetected => "C019",
-            DeadOutput => "C020",
-            NoStore => "C021",
-            SelfLoop => "C022",
-            CacheCapacity => "C023",
-            DanglingControlRef => "C024",
-            UnwrittenCondition => "C025",
-            UnusedIcon => "C026",
-            BindingKindMismatch => "C027",
-            SduSourceKind => "C028",
-            InactiveUnit => "C029",
+            UnboundIcon => ConstraintKind::UnboundIcon,
+            DuplicateBinding => ConstraintKind::DuplicateBinding,
+            NoSuchResource => ConstraintKind::NoSuchResource,
+            AlsOvercommit => ConstraintKind::AlsOvercommit,
+            SinkDrivenTwice => ConstraintKind::SinkDrivenTwice,
+            FanoutExceeded => ConstraintKind::FanoutExceeded,
+            PlaneContention => ConstraintKind::PlaneContention,
+            FuMultiPlane => ConstraintKind::FuMultiPlane,
+            CapabilityViolation => ConstraintKind::CapabilityViolation,
+            ArityMismatch => ConstraintKind::ArityMismatch,
+            QueueDepthExceeded => ConstraintKind::QueueDepthExceeded,
+            SduTapCount => ConstraintKind::SduTapCount,
+            SduDelayRange => ConstraintKind::SduDelayRange,
+            DmaMissing => ConstraintKind::DmaMissing,
+            DmaRange => ConstraintKind::DmaRange,
+            UndeclaredVariable => ConstraintKind::UndeclaredVariable,
+            StreamLenMismatch => ConstraintKind::StreamLenMismatch,
+            SubsetViolation => ConstraintKind::SubsetViolation,
+            CycleDetected => ConstraintKind::CycleDetected,
+            DeadOutput => ConstraintKind::DeadOutput,
+            NoStore => ConstraintKind::NoStore,
+            SelfLoop => ConstraintKind::SelfLoop,
+            CacheCapacity => ConstraintKind::CacheCapacity,
+            DanglingControlRef => ConstraintKind::DanglingControlRef,
+            UnwrittenCondition => ConstraintKind::UnwrittenCondition,
+            UnusedIcon => ConstraintKind::UnusedIcon,
+            BindingKindMismatch => ConstraintKind::BindingKindMismatch,
+            SduSourceKind => ConstraintKind::SduSourceKind,
+            InactiveUnit => ConstraintKind::InactiveUnit,
         }
+    }
+
+    /// Stable short code ("C005") used in messages and tests — owned by
+    /// the shared taxonomy since the certificate layer landed.
+    pub fn code(&self) -> &'static str {
+        self.constraint().id()
     }
 }
 
@@ -236,6 +246,16 @@ mod tests {
         let set: std::collections::HashSet<_> = all.iter().map(|r| r.code()).collect();
         assert_eq!(set.len(), all.len());
         assert_eq!(RuleCode::SinkDrivenTwice.code(), "C005");
+
+        // The rules map bijectively onto the taxonomy's checker half.
+        let kinds: std::collections::HashSet<_> = all.iter().map(|r| r.constraint()).collect();
+        assert_eq!(kinds.len(), all.len());
+        let checker_kinds = ConstraintKind::ALL.iter().filter(|k| k.is_checker_rule()).count();
+        assert_eq!(checker_kinds, all.len(), "taxonomy covers exactly the checker rules");
+        for r in all {
+            assert!(r.constraint().is_checker_rule());
+            assert!(!r.constraint().describe().is_empty());
+        }
     }
 
     #[test]

@@ -73,6 +73,7 @@
 
 #![warn(missing_docs)]
 
+pub mod certify;
 pub mod debugger;
 pub mod environment;
 pub mod error;
@@ -83,5 +84,5 @@ pub use self::environment::VisualEnvironment;
 pub use self::error::{DiagnosticSet, NscError};
 pub use self::session::{
     run_compiled_batch, run_compiled_on_pool, run_compiled_phased, BatchReport, CacheStats,
-    CompiledProgram, KernelCache, RunReport, Session, Workload,
+    CertificateLog, CompiledProgram, KernelCache, RunReport, Session, Workload,
 };

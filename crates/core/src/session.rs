@@ -19,8 +19,10 @@
 //! aggregating the per-run counters — the substrate for serving many
 //! concurrent workloads on one simulated machine park.
 
+use crate::certify::build_certificate;
 use crate::error::NscError;
 use nsc_arch::{KnowledgeBase, MachineConfig};
+use nsc_cert::{digest_hex, CompileCertificate, CompilePath};
 use nsc_checker::{diag, Checker, Diagnostic};
 use nsc_codegen::GenOutput;
 use nsc_diagram::Document;
@@ -32,12 +34,14 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// One cached compilation: the generator output plus the host fast-path
-/// kernel specialized from it.
+/// kernel specialized from it and the compile certificate the full
+/// pipeline emitted (the rebind base for the family's certificates).
 #[derive(Debug)]
 struct CacheEntry {
     output: GenOutput,
     warnings: Vec<Diagnostic>,
     kernel: Arc<CompiledKernel>,
+    certificate: Arc<CompileCertificate>,
 }
 
 /// The session's compile cache, keyed by [`Document::digest`] with a
@@ -218,6 +222,41 @@ impl CacheStats {
     }
 }
 
+/// A shared log of the certificates a [`Session`] emitted, for auditing.
+///
+/// [`Session::with_certificate_log`] clones a session with a fresh log
+/// attached; every subsequent [`Session::compile`] through that clone
+/// appends its sealed [`CompileCertificate`] here (cache hits and rebinds
+/// included — each restamped with its own compile path and digest). The
+/// machine park drains one log per job lease to attribute certificates to
+/// jobs; the log is an `Arc` internally, so cloning it shares the record.
+#[derive(Debug, Clone, Default)]
+pub struct CertificateLog {
+    inner: Arc<Mutex<Vec<Arc<CompileCertificate>>>>,
+}
+
+impl CertificateLog {
+    /// Append a certificate to the log.
+    pub fn record(&self, cert: Arc<CompileCertificate>) {
+        self.inner.lock().expect("certificate log lock").push(cert);
+    }
+
+    /// Take every recorded certificate, leaving the log empty.
+    pub fn drain(&self) -> Vec<Arc<CompileCertificate>> {
+        std::mem::take(&mut *self.inner.lock().expect("certificate log lock"))
+    }
+
+    /// Number of certificates currently recorded.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("certificate log lock").len()
+    }
+
+    /// Whether the log holds no certificates.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// A compile-and-run session over one machine configuration.
 ///
 /// Cheap to construct (one knowledge-base clone, reused by every stage)
@@ -229,6 +268,7 @@ pub struct Session {
     checker: Checker,
     kernels: KernelCache,
     fast_path: bool,
+    cert_log: Option<CertificateLog>,
 }
 
 impl Session {
@@ -239,7 +279,12 @@ impl Session {
 
     /// A session over an existing knowledge base.
     pub fn from_kb(kb: KnowledgeBase) -> Self {
-        Session { checker: Checker::new(kb), kernels: KernelCache::default(), fast_path: true }
+        Session {
+            checker: Checker::new(kb),
+            kernels: KernelCache::default(),
+            fast_path: true,
+            cert_log: None,
+        }
     }
 
     /// A session for the published 1988 machine.
@@ -264,6 +309,26 @@ impl Session {
     /// The digest-keyed compile cache.
     pub fn kernel_cache(&self) -> &KernelCache {
         &self.kernels
+    }
+
+    /// A clone of this session with a fresh [`CertificateLog`] attached,
+    /// plus the log itself. Compiles through the clone append their sealed
+    /// certificates to the log; the original session keeps whatever log it
+    /// had (usually none). The kernel cache stays shared with the original.
+    pub fn with_certificate_log(&self) -> (Session, CertificateLog) {
+        let log = CertificateLog::default();
+        let mut session = self.clone();
+        session.cert_log = Some(log.clone());
+        (session, log)
+    }
+
+    /// Append a certificate to this session's log, if one is attached.
+    /// Engines that extend a compile's certificate (the sweep engine's
+    /// topology restamp) record the extended version through this.
+    pub fn record_certificate(&self, cert: Arc<CompileCertificate>) {
+        if let Some(log) = &self.cert_log {
+            log.record(cert);
+        }
     }
 
     /// The knowledge base.
@@ -337,18 +402,34 @@ impl Session {
         if !self.fast_path {
             let warnings = self.check(doc)?;
             let output = nsc_codegen::generate_prechecked(self.kb(), doc)?;
+            let digest = doc.digest();
             let shape = doc.shape_digest();
-            return Ok(CompiledProgram { output, warnings, kernel: None, shape });
+            let certificate = Arc::new(build_certificate(
+                self.kb().config(),
+                digest,
+                shape,
+                CompilePath::Full,
+                &output,
+                None,
+            ));
+            self.record_certificate(certificate.clone());
+            return Ok(CompiledProgram { output, warnings, kernel: None, shape, certificate });
         }
         let digest = doc.digest();
         let shape = doc.shape_digest();
         if let Some(hit) = self.kernels.lookup(digest) {
             self.kernels.note_hit();
+            // Same document, same microcode: the cached certificate holds,
+            // restamped so the audit trail shows this compile was a hit.
+            let certificate =
+                Arc::new(hit.certificate.with_path(CompilePath::CacheHit, digest_hex(digest)));
+            self.record_certificate(certificate.clone());
             return Ok(CompiledProgram {
                 output: hit.output.clone(),
                 warnings: hit.warnings.clone(),
                 kernel: Some(hit.kernel.clone()),
                 shape,
+                certificate,
             });
         }
         if let Some(base) = self.kernels.lookup_shape(shape) {
@@ -361,7 +442,24 @@ impl Session {
             if rebind_preloads(doc, &mut output).is_ok() {
                 let kernel = Arc::new(CompiledKernel::compile(self.kb(), &output.program));
                 let warnings = base.warnings.clone();
-                let entry = Arc::new(CacheEntry { output, warnings, kernel });
+                // The census is re-read from the *rebound* microcode, so
+                // the certificate vouches for what actually runs, not for
+                // the base member it was patched from.
+                let certificate = Arc::new(build_certificate(
+                    self.kb().config(),
+                    digest,
+                    shape,
+                    CompilePath::Rebind,
+                    &output,
+                    Some(&kernel),
+                ));
+                self.record_certificate(certificate.clone());
+                let entry = Arc::new(CacheEntry {
+                    output,
+                    warnings,
+                    kernel,
+                    certificate: certificate.clone(),
+                });
                 self.kernels.note_rebind();
                 self.kernels.insert(digest, shape, entry.clone());
                 return Ok(CompiledProgram {
@@ -369,6 +467,7 @@ impl Session {
                     warnings: entry.warnings.clone(),
                     kernel: Some(entry.kernel.clone()),
                     shape,
+                    certificate: entry.certificate.clone(),
                 });
             }
         }
@@ -376,13 +475,24 @@ impl Session {
         let warnings = self.check(doc)?;
         let output = nsc_codegen::generate_prechecked(self.kb(), doc)?;
         let kernel = Arc::new(CompiledKernel::compile(self.kb(), &output.program));
-        let entry = Arc::new(CacheEntry { output, warnings, kernel });
+        let certificate = Arc::new(build_certificate(
+            self.kb().config(),
+            digest,
+            shape,
+            CompilePath::Full,
+            &output,
+            Some(&kernel),
+        ));
+        self.record_certificate(certificate.clone());
+        let entry =
+            Arc::new(CacheEntry { output, warnings, kernel, certificate: certificate.clone() });
         self.kernels.insert(digest, shape, entry.clone());
         Ok(CompiledProgram {
             output: entry.output.clone(),
             warnings: entry.warnings.clone(),
             kernel: Some(entry.kernel.clone()),
             shape,
+            certificate,
         })
     }
 
@@ -420,12 +530,30 @@ impl Session {
         } else {
             None
         };
-        Ok(CompiledProgram { output, warnings: base.warnings.clone(), kernel, shape })
+        let certificate = Arc::new(build_certificate(
+            self.kb().config(),
+            doc.digest(),
+            shape,
+            CompilePath::Rebind,
+            &output,
+            kernel.as_deref(),
+        ));
+        Ok(CompiledProgram { output, warnings: base.warnings.clone(), kernel, shape, certificate })
     }
 
     /// Snapshot of the kernel cache's counters — hit/rebind/miss counts
     /// and sizes — for reports and gates that must not reach into the
     /// cache's internals.
+    ///
+    /// The three counters partition compiles exactly: every
+    /// [`Session::compile`] through the fast path ticks exactly one of
+    /// `hits` (same digest, cached program returned whole), `rebinds` (new
+    /// digest, known shape — preloads re-patched, check and codegen
+    /// skipped) or `misses` (full pipeline). The per-compile view of the
+    /// same fact travels in the certificate: `CompileCertificate::
+    /// compile_path` is `CacheHit`, `Rebind` or `Full` respectively, so an
+    /// audit can tell a rebind-path compile from a full compile for any
+    /// single job, while these counters give the aggregate.
     pub fn cache_stats(&self) -> CacheStats {
         self.kernels.stats()
     }
@@ -703,6 +831,8 @@ pub struct CompiledProgram {
     /// The source document's shape digest, for [`Session::rebind`]'s
     /// same-shape guard.
     shape: u128,
+    /// The sealed compile certificate, bound to the document digest.
+    certificate: Arc<CompileCertificate>,
 }
 
 impl CompiledProgram {
@@ -721,6 +851,14 @@ impl CompiledProgram {
     /// fast path enabled. [`CompiledProgram::run`] uses it automatically.
     pub fn kernel(&self) -> Option<&CompiledKernel> {
         self.kernel.as_deref()
+    }
+
+    /// The sealed [`CompileCertificate`] this compile emitted: machine
+    /// limits, resource census and kernel validity windows, bound to the
+    /// source document's digest. Feed it to `nsc_cert::verify` to re-check
+    /// every capacity obligation without the engine.
+    pub fn certificate(&self) -> &Arc<CompileCertificate> {
+        &self.certificate
     }
 
     /// Execute on a node.

@@ -2,10 +2,12 @@
 //! schedule figures, the compile-cache delta, and markdown renderers
 //! for the stability map and the cache-hit table.
 
+use nsc_cert::CompileCertificate;
 use nsc_core::CacheStats;
 use nsc_park::{JobId, ParkReport};
 use nsc_sim::PerfCounters;
 use serde::Serialize;
+use std::sync::Arc;
 
 use crate::sweep::{Axis, AxisValue};
 
@@ -46,6 +48,11 @@ pub struct MemberReport {
     pub mflops: f64,
     /// Seconds the member waited in the park queue.
     pub queue_wait: f64,
+    /// The sealed compile certificates the member's compiles emitted,
+    /// stamped with its sub-cube lease by the park. Audit them offline
+    /// with [`fn@nsc_cert::verify`]; empty when the member failed before
+    /// compiling anything.
+    pub certificates: Vec<Arc<CompileCertificate>>,
 }
 
 impl MemberReport {
@@ -81,6 +88,12 @@ pub struct EnsembleReport {
     /// Compile-cache activity attributable to this run: hit/rebind/miss
     /// deltas across the sweep, entry/shape totals after it.
     pub cache: CacheStats,
+    /// Members whose certificates the park's spot-audit policy
+    /// re-verified. Every audited member passed — a rejected
+    /// certificate fails the whole run instead of appearing here.
+    pub audited_jobs: usize,
+    /// Total certificates verified across the audited members.
+    pub audited_certs: usize,
 }
 
 impl EnsembleReport {
@@ -116,6 +129,8 @@ impl EnsembleReport {
                 entries: cache_after.entries,
                 shapes: cache_after.shapes,
             },
+            audited_jobs: schedule.audited_jobs,
+            audited_certs: schedule.audited_certs,
         }
     }
 
@@ -209,19 +224,39 @@ impl EnsembleReport {
         )
     }
 
-    /// Stability map, cache table, and the headline schedule figures as
-    /// one markdown fragment — what the CI smoke job appends to its
-    /// step summary.
+    /// The spot-audit outcome as a markdown table: how many members the
+    /// park's audit policy re-verified, how many sealed certificates
+    /// that covered, and how many the sweep emitted in total. The
+    /// verdict column is always `all passed` in a report you can read —
+    /// a rejected certificate fails the whole run instead of rendering.
+    pub fn audit_markdown(&self) -> String {
+        let emitted: usize = self.members.iter().map(|m| m.certificates.len()).sum();
+        format!(
+            "| members | jobs audited | certs verified | certs emitted | verdict |\n\
+             |---|---|---|---|---|\n\
+             | {} | {} | {} | {} | {} |\n",
+            self.members.len(),
+            self.audited_jobs,
+            self.audited_certs,
+            emitted,
+            if self.audited_jobs > 0 { "all passed" } else { "not audited" },
+        )
+    }
+
+    /// Stability map, cache table, audit table, and the headline
+    /// schedule figures as one markdown fragment — what the CI smoke job
+    /// appends to its step summary.
     pub fn summary_markdown(&self) -> String {
         format!(
             "### Ensemble `{}` — {} members, `{}` policy\n\n\
-             {}\n{}\n\
+             {}\n{}\n{}\n\
              makespan {:.3} s · utilization {:.2} · {:.2} members/s · {} diverged\n",
             self.name,
             self.members.len(),
             self.policy,
             self.stability_map_markdown(),
             self.cache_markdown(),
+            self.audit_markdown(),
             self.makespan,
             self.utilization,
             self.members_per_second,

@@ -185,6 +185,7 @@ impl Sweep {
                     simulated_seconds: job.simulated_seconds,
                     mflops: job.mflops,
                     queue_wait: job.queue_wait,
+                    certificates: outcome.map(|o| o.certificates.clone()).unwrap_or_default(),
                 }
             })
             .collect();

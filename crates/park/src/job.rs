@@ -8,6 +8,7 @@
 //! multigrid or cavity problem drops into the queue unchanged; any
 //! `Fn(&Session, &mut NscSystem)` closure works too.
 
+use nsc_cert::CompileCertificate;
 use nsc_core::{NscError, Session};
 use nsc_sim::NscSystem;
 use std::sync::Arc;
@@ -34,13 +35,24 @@ pub struct JobOutcome {
     /// cap) ended the run. Payloads without a criterion report `true` —
     /// their failures surface as errors instead.
     pub converged: bool,
+    /// The sealed compile certificates the job's compiles emitted,
+    /// stamped with the job's sub-cube lease. Filled in by the *park*
+    /// from the lease's certificate log — payloads never touch this, so
+    /// a payload cannot launder its own certificates.
+    pub certificates: Vec<Arc<CompileCertificate>>,
 }
 
 impl JobOutcome {
     /// A converged outcome with no iteration trace; attach one with
     /// [`JobOutcome::with_history`] / [`JobOutcome::with_converged`].
     pub fn new(residual: f64, grid: Vec<f64>) -> Self {
-        JobOutcome { residual, grid, history: Vec::new(), converged: true }
+        JobOutcome {
+            residual,
+            grid,
+            history: Vec::new(),
+            converged: true,
+            certificates: Vec::new(),
+        }
     }
 
     /// Attach the per-iteration residual trace (builder style).

@@ -86,6 +86,12 @@ pub struct ParkReport {
     pub fairness: f64,
     /// Jobs whose payload returned an error.
     pub failed: usize,
+    /// Jobs whose certificates the spot-audit policy re-verified. Every
+    /// audited job passed — a rejected certificate fails the run instead
+    /// of appearing here.
+    pub audited_jobs: usize,
+    /// Total certificates verified across the audited jobs.
+    pub audited_certs: usize,
 }
 
 impl ParkReport {
@@ -95,6 +101,7 @@ impl ParkReport {
         capacity_nodes: usize,
         jobs: Vec<JobReport>,
         usage: &HashMap<String, (usize, f64)>,
+        audited: (usize, usize),
     ) -> ParkReport {
         let makespan = jobs.iter().map(|j| j.finished_at).fold(0.0, f64::max);
         let busy_node_seconds =
@@ -127,6 +134,8 @@ impl ParkReport {
             per_tenant,
             fairness,
             failed,
+            audited_jobs: audited.0,
+            audited_certs: audited.1,
         }
     }
 
@@ -179,9 +188,15 @@ mod tests {
         };
         let mut usage = HashMap::new();
         usage.insert("t".to_string(), (2usize, 6.0f64));
-        let r =
-            ParkReport::assemble("fifo", 4, vec![mk(0, 2, 2.0, 2.0), mk(1, 1, 2.0, 2.0)], &usage);
+        let r = ParkReport::assemble(
+            "fifo",
+            4,
+            vec![mk(0, 2, 2.0, 2.0), mk(1, 1, 2.0, 2.0)],
+            &usage,
+            (1, 3),
+        );
         assert_eq!(r.makespan, 2.0);
+        assert_eq!((r.audited_jobs, r.audited_certs), (1, 3));
         assert_eq!(r.busy_node_seconds, 6.0);
         assert!((r.utilization - 6.0 / 8.0).abs() < 1e-12);
         assert!((r.jobs_per_second - 1.0).abs() < 1e-12);

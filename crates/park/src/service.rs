@@ -32,7 +32,8 @@
 //! assert workload by workload.
 
 use nsc_arch::{HypercubeConfig, SubCube, SubCubeAllocator};
-use nsc_core::{NscError, Session};
+use nsc_cert::{verify, Expected, LeaseCert};
+use nsc_core::{certify::machine_limits, NscError, Session};
 use nsc_sim::{NodeSim, NscSystem, PerfCounters};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -105,6 +106,8 @@ pub struct MachinePark {
     clock_hz: u64,
     /// Completed jobs' solution bits, kept for identity audits.
     outcomes: HashMap<JobId, JobOutcome>,
+    /// Fraction of retiring jobs whose certificates get re-verified.
+    audit_fraction: f64,
 }
 
 impl MachinePark {
@@ -123,7 +126,41 @@ impl MachinePark {
             queue: JobQueue::new(),
             clock_hz,
             outcomes: HashMap::new(),
+            audit_fraction: 0.0,
         }
+    }
+
+    /// Spot-audit policy: re-verify the compile certificates of (roughly)
+    /// this fraction of retiring jobs through `nsc_cert::verify`, pinned
+    /// to this park's machine limits. `0.0` (the default) audits nothing,
+    /// `1.0` audits every job. Selection is deterministic — job ids at a
+    /// fixed stride of `round(1 / fraction)` — so the same submissions
+    /// audit the same jobs on every run. Any rejected certificate fails
+    /// the whole [`MachinePark::run`] with the verifier's violation: a
+    /// bad certificate in a shared facility is an integrity event, not a
+    /// per-job footnote.
+    pub fn with_audit_fraction(mut self, fraction: f64) -> Self {
+        self.set_audit_fraction(fraction);
+        self
+    }
+
+    /// Set the spot-audit fraction (see [`MachinePark::with_audit_fraction`]).
+    pub fn set_audit_fraction(&mut self, fraction: f64) {
+        self.audit_fraction = fraction.clamp(0.0, 1.0);
+    }
+
+    /// The configured spot-audit fraction.
+    pub fn audit_fraction(&self) -> f64 {
+        self.audit_fraction
+    }
+
+    /// Whether the deterministic spot-audit policy selects this job.
+    fn audits(&self, id: JobId) -> bool {
+        if self.audit_fraction <= 0.0 {
+            return false;
+        }
+        let stride = (1.0 / self.audit_fraction).round().max(1.0) as usize;
+        id.is_multiple_of(stride)
     }
 
     /// The machine's node count.
@@ -182,6 +219,8 @@ impl MachinePark {
         // tenant -> (jobs completed, node-seconds) for the report.
         let mut usage: HashMap<String, (usize, f64)> = HashMap::new();
         let mut reports: Vec<JobReport> = Vec::new();
+        // Spot-audit tally: (jobs audited, certificates verified).
+        let mut audited = (0usize, 0usize);
 
         while !self.queue.all_done() {
             // 1. Admit: what starts on the free capacity right now?
@@ -225,14 +264,14 @@ impl MachinePark {
             while i < running.len() {
                 if running[i].end <= now {
                     let done = running.swap_remove(i);
-                    reports.push(self.finish(done, &mut share, &mut usage));
+                    reports.push(self.finish(done, &mut share, &mut usage, &mut audited)?);
                 } else {
                     i += 1;
                 }
             }
         }
 
-        Ok(ParkReport::assemble(policy.label(), self.cube.nodes(), reports, &usage))
+        Ok(ParkReport::assemble(policy.label(), self.cube.nodes(), reports, &usage, audited))
     }
 
     /// Lease sub-cubes for an admitted batch and host-execute all of its
@@ -245,6 +284,12 @@ impl MachinePark {
             payload: Arc<dyn JobPayload>,
             nodes: Vec<NodeSim>,
             before: Vec<PerfCounters>,
+            /// The session clone this lease compiles through (shared
+            /// kernel cache, private certificate log) and the log it
+            /// records into — so certificates attribute to jobs even
+            /// though the whole batch shares one compile cache.
+            session: Session,
+            certs: nsc_core::CertificateLog,
         }
 
         let mut leases: Vec<Lease> = admitted
@@ -271,7 +316,8 @@ impl MachinePark {
                     })
                     .unzip();
                 let payload = Arc::clone(job.payload());
-                Lease { id, subcube, cube, payload, nodes, before }
+                let (session, certs) = self.session.with_certificate_log();
+                Lease { id, subcube, cube, payload, nodes, before, session, certs }
             })
             .collect();
         for lease in &leases {
@@ -279,19 +325,20 @@ impl MachinePark {
         }
 
         // Host-execute the whole batch concurrently; each thread owns its
-        // leased nodes and shares the one session (compile-once cache).
-        let session = &self.session;
+        // leased nodes and compiles through its lease's session clone —
+        // one shared kernel cache, one certificate log per job.
         let mut results: Vec<Option<LeaseResult>> = (0..leases.len()).map(|_| None).collect();
         // The vendored scope is std-backed: a child panic re-panics out of
         // scope() itself, so every slot is filled on the Ok path.
         let _ = crossbeam::thread::scope(|scope| {
             for (lease, slot) in leases.iter_mut().zip(results.iter_mut()) {
                 let payload = Arc::clone(&lease.payload);
+                let session = lease.session.clone();
                 let cube = lease.cube;
                 let nodes = std::mem::take(&mut lease.nodes);
                 scope.spawn(move |_| {
                     let mut system = NscSystem::from_nodes(cube, nodes);
-                    let outcome = payload.run(session, &mut system);
+                    let outcome = payload.run(&session, &mut system);
                     let (nodes, _comm_ns) = system.into_nodes();
                     *slot = Some((nodes, outcome));
                 });
@@ -302,7 +349,22 @@ impl MachinePark {
             .into_iter()
             .zip(results)
             .map(|(lease, result)| {
-                let (nodes, outcome) = result.expect("every spawned lease fills its slot");
+                let (nodes, mut outcome) = result.expect("every spawned lease fills its slot");
+                // Stamp every certificate the lease's compiles emitted
+                // with the sub-cube it ran inside, so the verifier can
+                // check route containment against the lease.
+                if let Ok(o) = &mut outcome {
+                    let stamp = LeaseCert {
+                        base: lease.subcube.base.0 as u64,
+                        dimension: lease.subcube.dimension,
+                    };
+                    o.certificates = lease
+                        .certs
+                        .drain()
+                        .into_iter()
+                        .map(|c| Arc::new(c.with_lease(stamp.clone())))
+                        .collect();
+                }
                 // The job's usage is the counter delta the park measured on
                 // its leased nodes; its simulated duration is the
                 // critical-path node (compute + unhidden communication).
@@ -328,13 +390,16 @@ impl MachinePark {
             .collect()
     }
 
-    /// Return a completed lease's nodes and sub-cube and write its report.
+    /// Return a completed lease's nodes and sub-cube, spot-audit its
+    /// certificates when the policy selects it, and write its report.
+    /// A rejected certificate fails the whole run.
     fn finish(
         &mut self,
         done: RunningJob,
         share: &mut HashMap<String, f64>,
         usage: &mut HashMap<String, (usize, f64)>,
-    ) -> JobReport {
+        audited: &mut (usize, usize),
+    ) -> Result<JobReport, NscError> {
         for (nid, node) in done.subcube.members().zip(done.nodes) {
             debug_assert!(self.slots[nid.index()].is_none());
             self.slots[nid.index()] = Some(node);
@@ -351,13 +416,34 @@ impl MachinePark {
 
         let (residual, error) = match done.outcome {
             Ok(outcome) => {
+                if self.audits(done.id) {
+                    // Independent re-check: only the certificate bytes and
+                    // this park's machine limits go in — the engine's
+                    // checker and codegen are never consulted.
+                    let expected = Expected {
+                        machine: Some(machine_limits(self.session.kb().config())),
+                        ..Expected::default()
+                    };
+                    for cert in &outcome.certificates {
+                        verify(cert, &expected).map_err(|v| {
+                            NscError::Workload(format!(
+                                "certificate audit failed for job {} ('{}', tenant {}): {v}",
+                                done.id,
+                                job.name(),
+                                job.tenant,
+                            ))
+                        })?;
+                        audited.1 += 1;
+                    }
+                    audited.0 += 1;
+                }
                 let residual = outcome.residual;
                 self.outcomes.insert(done.id, outcome);
                 (residual, None)
             }
             Err(e) => (f64::NAN, Some(e.to_string())),
         };
-        JobReport {
+        Ok(JobReport {
             id: done.id,
             tenant: job.tenant.clone(),
             name: job.name(),
@@ -372,7 +458,7 @@ impl MachinePark {
             mflops: done.counters.mflops(self.clock_hz),
             residual,
             error,
-        }
+        })
     }
 
     /// The solution a completed job produced — the bits the identity

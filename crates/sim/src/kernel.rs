@@ -195,6 +195,38 @@ impl CompiledKernel {
     pub(crate) fn plan(&self, pc: usize) -> Option<&InstrPlan> {
         self.plans.get(pc).and_then(|p| p.as_ref())
     }
+
+    /// The kernel calculus's per-instruction claim, for certificate
+    /// emission: the validity window in cycles and the work budget
+    /// inside it. `None` for instructions the analysis could not
+    /// specialize (they execute through the interpreter) and for idle
+    /// instructions, which stream nothing.
+    pub fn plan_summary(&self, pc: usize) -> Option<KernelPlanSummary> {
+        match &self.plan(pc)?.body {
+            PlanBody::Idle => None,
+            PlanBody::Pipeline(p) => Some(KernelPlanSummary {
+                executed_cycles: p.executed_cycles,
+                flops: p.flops,
+                elements_streamed: p.elements_streamed,
+                elements_stored: p.elements_stored,
+            }),
+        }
+    }
+}
+
+/// The public face of one specialized instruction's plan — what the
+/// compile pipeline copies into a run certificate so an independent
+/// verifier can bound the claimed work (see `nsc-cert`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelPlanSummary {
+    /// Cycles the lockstep loop executes (completion cycle + 1).
+    pub executed_cycles: u64,
+    /// Floating-point operations performed inside the window.
+    pub flops: u64,
+    /// Elements streamed in from planes and caches.
+    pub elements_streamed: u64,
+    /// Elements stored back to planes and caches.
+    pub elements_stored: u64,
 }
 
 // ---------------------------------------------------------------------

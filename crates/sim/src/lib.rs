@@ -40,7 +40,7 @@ pub mod system;
 
 pub use self::counters::PerfCounters;
 pub use self::exec::{ExecError, SourceTrace};
-pub use self::kernel::CompiledKernel;
+pub use self::kernel::{CompiledKernel, KernelPlanSummary};
 pub use self::memory::{DataCache, MemoryPlane, NodeMemory};
 pub use self::node::{HaltReason, NodeSim, RunOptions, RunStats};
 pub use self::system::{NodeExecError, NscSystem};

@@ -18,6 +18,12 @@
 //! policies, which is also an end-to-end audit of the rebind fast path
 //! feeding concurrent jobs.
 //!
+//! Every park runs with the spot-audit policy at fraction 1.0: the
+//! independent `nsc_cert` verifier re-checks every job's sealed compile
+//! certificates at retire time, and a single rejected certificate would
+//! fail the whole study. The audit table lands in the summary next to
+//! the stability map.
+//!
 //! Run with: `cargo run --release --example ensemble_sweep`
 //! (in CI the markdown below lands in the job's step summary).
 
@@ -33,9 +39,10 @@ fn sweep() -> Sweep {
         .axis("omega", [0.9, 1.5, 1.99, 2.05])
 }
 
-/// Run the 24-member ensemble under one policy on a fresh 4-node park.
+/// Run the 24-member ensemble under one policy on a fresh 4-node park,
+/// with every job's certificates audited at retire time.
 fn run_policy(policy: SchedPolicy) -> EnsembleReport {
-    let mut park = MachinePark::new(Session::nsc_1988(), 2);
+    let mut park = MachinePark::new(Session::nsc_1988(), 2).with_audit_fraction(1.0);
     sweep()
         .run(&mut park, policy, |point| {
             let re = point.value("re");
@@ -119,10 +126,25 @@ fn main() {
             report.policy
         );
     }
+    // The audit trail: with the spot-audit fraction at 1.0, every
+    // member that ran to completion had its sealed certificates
+    // re-verified by the independent verifier (the 6 rejected-ω members
+    // never produced an outcome to audit). A forged certificate
+    // anywhere would have failed the run instead of reporting.
+    for report in [&fifo, &backfill, &fair] {
+        assert_eq!(
+            report.audited_jobs, 18,
+            "policy {}: every completed job audited",
+            report.policy
+        );
+        assert!(report.audited_certs > 0, "policy {}: certificates verified", report.policy);
+    }
+
     // And on a park whose session already served the study once, a
     // rerun recompiles nothing at all: every program is cached under
-    // its full digest.
-    let mut park = MachinePark::new(Session::nsc_1988(), 2);
+    // its full digest — and the cache-hit-path certificates pass the
+    // same 100% audit the full compiles did.
+    let mut park = MachinePark::new(Session::nsc_1988(), 2).with_audit_fraction(1.0);
     let warm = |park: &mut MachinePark| {
         sweep()
             .run(park, SchedPolicy::Backfill, |p| {
@@ -144,10 +166,11 @@ fn main() {
     print!("{summary}");
     println!(
         "ensemble ok: 24 members x 3 policies, bit-identical across schedules, \
-         cache hit rate {:.3}/{:.3}/{:.3}",
+         cache hit rate {:.3}/{:.3}/{:.3}, {} certs audited per policy",
         fifo.cache.hit_rate(),
         backfill.cache.hit_rate(),
-        fair.cache.hit_rate()
+        fair.cache.hit_rate(),
+        fifo.audited_certs,
     );
 
     // In CI, the stability maps and cache tables land in the job's

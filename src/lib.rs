@@ -12,6 +12,7 @@
 //! | [`microcode`] | `nsc-microcode` | the few-thousand-bit instruction word |
 //! | [`diagram`] | `nsc-diagram` | pipeline diagrams (the semantic data structures) |
 //! | [`checker`] | `nsc-checker` | the architecture rule engine |
+//! | [`cert`] | `nsc-cert` | compile certificates + the independent fail-closed verifier |
 //! | [`editor`] | `nsc-editor` | the event-driven graphical editor core |
 //! | [`codegen`] | `nsc-codegen` | diagrams to microcode, with stream alignment |
 //! | [`sim`] | `nsc-sim` | cycle-level node simulator + hypercube system |
@@ -25,6 +26,7 @@
 //! inventory, and `EXPERIMENTS.md` for the paper-versus-measured record.
 
 pub use nsc_arch as arch;
+pub use nsc_cert as cert;
 pub use nsc_cfd as cfd;
 pub use nsc_checker as checker;
 pub use nsc_codegen as codegen;
